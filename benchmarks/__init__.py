@@ -1,0 +1,1 @@
+"""Benchmark suite regenerating every figure/table of the paper."""

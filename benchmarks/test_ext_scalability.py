@@ -1,0 +1,56 @@
+"""Extension experiment — platform-size scalability of EMTS's gain.
+
+The paper observes (Section V-A) that EMTS's improvement grows with
+platform size, but only samples two sizes (Chti: 20, Grelon: 120).
+This benchmark sweeps the platform size and asserts the full trend,
+writing the curve to results/.
+"""
+
+import pytest
+
+from repro.experiments import run_scalability_sweep
+from repro.workloads import DaggenParams, generate_daggen
+
+from .conftest import BENCH_SEED, write_result
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [
+        generate_daggen(
+            DaggenParams(
+                num_tasks=50,
+                width=0.5,
+                regularity=0.2,
+                density=0.2,
+                jump=2,
+            ),
+            rng=s,
+        )
+        for s in range(4)
+    ]
+
+
+def test_scalability_sweep(benchmark, workload):
+    sweep = benchmark.pedantic(
+        run_scalability_sweep,
+        args=(workload,),
+        kwargs={"sizes": (10, 20, 40, 80, 120, 160), "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+
+    # EMTS never loses to MCPA at any size
+    for ci in sweep.cells.values():
+        assert ci.mean >= 1.0 - 1e-9
+
+    # the paper's claim: gains grow (weakly) with platform size
+    assert sweep.trend_is_nondecreasing(slack=0.1)
+
+    # and the extremes separate clearly: the largest platform's gain
+    # exceeds the smallest platform's
+    assert (
+        sweep.cells[160].mean >= sweep.cells[10].mean - 1e-9
+    )
+
+    write_result("ext_scalability.txt", sweep.render())

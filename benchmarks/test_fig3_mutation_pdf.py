@@ -1,0 +1,42 @@
+"""E3 / Figure 3 — the probability density of the mutation operator.
+
+Samples the Eq. 1 operator at the paper's parameters (sigma_1 = sigma_2
+= 5, a = 0.2), verifies the distribution against the closed form, and
+benchmarks the sampling kernel (it runs inside every EA generation).
+"""
+
+import numpy as np
+
+from repro._rng import spawn
+from repro.core import sample_adjustments
+from repro.experiments.figures import generate_figure3
+
+from .conftest import BENCH_SEED, write_result
+
+
+def test_figure3_distribution(benchmark):
+    fig = benchmark(
+        generate_figure3, samples=300_000, rng=BENCH_SEED
+    )
+
+    # empirical distribution matches the analytic Eq. 1 pmf
+    assert fig.max_abs_error < 0.01
+
+    # the paper's design constraints on the operator:
+    # (1) allocations shrink with probability a = 0.2
+    assert abs(fig.shrink_mass - 0.2) < 0.01
+    # (2) no mutation is a no-op (P[C = 0] = 0)
+    assert fig.empirical[fig.support == 0].sum() == 0.0
+    # (3) small steps dominate large ones
+    small = fig.empirical[np.abs(fig.support) <= 3].sum()
+    large = fig.empirical[np.abs(fig.support) >= 10].sum()
+    assert small > 3 * large
+
+    write_result("figure3.txt", fig.render())
+
+
+def test_mutation_sampling_kernel(benchmark):
+    """Raw operator throughput (called once per offspring allele)."""
+    rng = spawn(BENCH_SEED, "bench", "fig3")
+    draws = benchmark(sample_adjustments, 10_000, rng)
+    assert np.all(draws != 0)

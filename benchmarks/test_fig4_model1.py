@@ -1,0 +1,60 @@
+"""E4 / Figure 4 — relative makespan under Model 1 (Amdahl), EMTS5.
+
+Regenerates the four-panel comparison grid (FFT, Strassen, layered-100,
+irregular-100 on Chti and Grelon) and asserts the paper's findings:
+
+* EMTS5 never loses to MCPA or HCPA (plus-strategy + seeding);
+* the improvement over HCPA exceeds the improvement over MCPA on the
+  regular PTG classes (MCPA's level bound fits them well);
+* the improvement on irregular PTGs is larger on the bigger platform.
+
+Set ``REPRO_BENCH_SCALE=1.0`` for the paper's full corpus.
+"""
+
+import pytest
+
+from repro.experiments.figures import generate_figure4
+from repro.platform import grelon
+from repro.timemodels import AmdahlModel, TimeTable
+from repro.workloads import generate_fft
+from repro.core import emts5
+
+from .conftest import BENCH_SEED, bench_scale, write_result
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return generate_figure4(
+        seed=BENCH_SEED, scale=bench_scale(0.02)
+    )
+
+
+def test_figure4_grid(benchmark, fig4):
+    # benchmark the representative kernel: one EMTS5 run under Model 1
+    ptg = generate_fft(8, rng=BENCH_SEED)
+    cluster = grelon()
+    table = TimeTable.build(AmdahlModel(), ptg, cluster)
+    benchmark.pedantic(
+        lambda: emts5().schedule(ptg, cluster, table, rng=BENCH_SEED),
+        rounds=3,
+        iterations=1,
+    )
+
+    # --- the paper's qualitative findings --------------------------------
+    for (panel, platform, baseline), ci in fig4.cells.items():
+        assert ci.mean >= 1.0 - 1e-9, (panel, platform, baseline)
+
+    for panel in ("fft", "strassen", "layered-100"):
+        for platform in fig4.platforms:
+            hcpa = fig4.cell(panel, platform, "hcpa").mean
+            mcpa = fig4.cell(panel, platform, "mcpa").mean
+            assert hcpa >= mcpa - 0.02, (panel, platform)
+
+    irr_small = fig4.cell("irregular-100", "chti", "mcpa").mean
+    irr_large = fig4.cell("irregular-100", "grelon", "mcpa").mean
+    assert irr_large >= irr_small - 0.05
+
+    write_result("figure4.txt", fig4.render())
+    from repro.experiments import write_csv
+
+    write_result("figure4.csv", write_csv(fig4.to_rows()))

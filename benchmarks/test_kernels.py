@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+The paper's complexity analysis identifies the mapping function as the
+cost driver of the whole algorithm (``O(U * mu * lambda * C_map)``); the
+conclusions single it out as the main optimization target.  These
+benchmarks track the kernels so performance regressions are visible:
+
+* ``bottom_levels`` — computed once per fitness evaluation and once per
+  CPA iteration (the measured hot spot, vectorized layer-wise);
+* ``makespan_of`` — one full fitness evaluation;
+* CPA/MCPA allocation — the seed cost;
+* ``TimeTable.build`` — the per-(PTG, platform) setup cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import spawn
+from repro.allocation import CpaAllocator, McpaAllocator
+from repro.graph import bottom_levels
+from repro.mapping import makespan_of, map_allocations
+from repro.platform import grelon
+from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable
+from repro.workloads import DaggenParams, generate_daggen
+
+from .conftest import BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ptg = generate_daggen(
+        DaggenParams(
+            num_tasks=100, width=0.5, regularity=0.2, density=0.5, jump=2
+        ),
+        rng=BENCH_SEED,
+    )
+    cluster = grelon()
+    table = TimeTable.build(SyntheticModel(), ptg, cluster)
+    return ptg, cluster, table
+
+
+def test_kernel_bottom_levels(benchmark, problem):
+    ptg, _, table = problem
+    times = table.times_for(
+        np.ones(ptg.num_tasks, dtype=np.int64)
+    )
+    bl = benchmark(bottom_levels, ptg, times)
+    assert bl.max() > 0
+
+
+def test_kernel_fitness_evaluation(benchmark, problem):
+    ptg, _, table = problem
+    rng = spawn(BENCH_SEED, "bench", "fitness")
+    alloc = rng.integers(1, 121, size=ptg.num_tasks, dtype=np.int64)
+    ms = benchmark(makespan_of, ptg, table, alloc)
+    assert ms > 0
+
+
+def test_kernel_full_mapping(benchmark, problem):
+    ptg, _, table = problem
+    alloc = np.full(ptg.num_tasks, 4, dtype=np.int64)
+    schedule = benchmark(map_allocations, ptg, table, alloc)
+    assert schedule.makespan > 0
+
+
+def test_kernel_cpa_allocation_model2(benchmark, problem):
+    ptg, _, table = problem
+    alloc = benchmark(CpaAllocator().allocate, ptg, table)
+    assert alloc.min() >= 1
+
+
+def test_kernel_cpa_allocation_model1(benchmark, problem):
+    """Model 1 is the expensive case: allocations keep growing."""
+    ptg, cluster, _ = problem
+    table = TimeTable.build(AmdahlModel(), ptg, cluster)
+    alloc = benchmark(McpaAllocator().allocate, ptg, table)
+    assert alloc.max() >= 1
+
+
+def test_kernel_time_table_build(benchmark, problem):
+    ptg, cluster, _ = problem
+    table = benchmark(
+        TimeTable.build, SyntheticModel(), ptg, cluster
+    )
+    assert table.shape == (100, 120)

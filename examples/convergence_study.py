@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Convergence of the evolutionary search: EMTS5 vs EMTS10.
+
+Reproduces the paper's Section V discussion live: EMTS5's schedule is
+"already efficient, so that improving this solution would require many
+more evolutionary generations" — visible here as EMTS5's best/seed curve
+flattening after a few generations while EMTS10 (4x the offspring, twice
+the generations) keeps finding improvements on irregular PTGs.
+
+Run:  python examples/convergence_study.py
+"""
+
+from repro import SyntheticModel, emts5, emts10, grelon
+from repro.experiments import run_convergence_study
+from repro.workloads import DaggenParams, generate_daggen
+
+
+def spark(curve, width=40) -> str:
+    """Cheap terminal sparkline of a descending curve."""
+    lo, hi = min(curve), max(curve)
+    span = (hi - lo) or 1.0
+    blocks = " .:-=+*#%@"
+    return "".join(
+        blocks[
+            min(
+                len(blocks) - 1,
+                int((hi - v) / span * (len(blocks) - 1)),
+            )
+        ]
+        for v in curve
+    )
+
+
+def main() -> None:
+    ptgs = [
+        generate_daggen(
+            DaggenParams(
+                num_tasks=100,
+                width=0.5,
+                regularity=0.2,
+                density=0.2,
+                jump=2,
+            ),
+            rng=s,
+            name=f"irregular-{s}",
+        )
+        for s in range(4)
+    ]
+    print(
+        f"studying convergence on {len(ptgs)} irregular 100-task PTGs "
+        "(Grelon, non-monotone model)\n"
+    )
+
+    study = run_convergence_study(
+        ptgs, grelon(), SyntheticModel(), [emts5(), emts10()], seed=11
+    )
+    print(study.render())
+
+    for variant in ("emts5", "emts10"):
+        curve = study.mean_relative_trajectory(variant)
+        print(
+            f"{variant:>7}: {spark(curve)}  "
+            f"final improvement {study.final_improvement(variant):.2f}x"
+        )
+    print(
+        "\nNote how emts5 flattens after its 5 generations while emts10"
+        "\nkeeps descending — the paper's argument for EMTS10 on larger"
+        "\nPTGs, and its future-work motivation to cut per-generation "
+        "cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

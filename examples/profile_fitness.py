@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Profiling the scheduling hot path (the HPC-Python workflow).
+
+The paper's complexity analysis says EMTS's cost is dominated by the
+mapping function — ``O(U * mu * lambda * C_map)`` — and its conclusions
+name the mapper as the optimization target.  This script follows the
+standard scientific-Python optimization workflow: *measure before you
+optimize*.  It times the three layers of one fitness evaluation and
+then cProfiles a full EMTS10 run so you can see where the time really
+goes (spoiler: bottom levels + the list-scheduling sweep, exactly as
+predicted — which is why both are vectorized in this library).
+
+Run:  python examples/profile_fitness.py
+"""
+
+import cProfile
+import io
+import pstats
+import timeit
+
+import numpy as np
+
+from repro import SyntheticModel, TimeTable, emts10, grelon
+from repro.graph import bottom_levels
+from repro.mapping import makespan_of
+from repro.workloads import DaggenParams, generate_daggen
+
+
+def main() -> None:
+    ptg = generate_daggen(
+        DaggenParams(
+            num_tasks=100, width=0.5, regularity=0.2, density=0.5, jump=2
+        ),
+        rng=1,
+        name="profiled-100",
+    )
+    cluster = grelon()
+    table = TimeTable.build(SyntheticModel(), ptg, cluster)
+    alloc = np.full(ptg.num_tasks, 4, dtype=np.int64)
+    times = table.times_for(alloc)
+
+    print("micro-timings (median of repeated runs):")
+    for label, stmt in [
+        ("table lookup   (times_for)", lambda: table.times_for(alloc)),
+        ("bottom levels  (per eval) ", lambda: bottom_levels(ptg, times)),
+        ("full fitness   (makespan) ", lambda: makespan_of(ptg, table, alloc)),
+    ]:
+        reps = 200
+        best = min(timeit.repeat(stmt, number=reps, repeat=5)) / reps
+        print(f"  {label}: {best * 1e6:9.1f} us")
+
+    print("\ncProfile of one EMTS10 run (top 10 by cumulative time):")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    emts10().schedule(ptg, cluster, table, rng=1)
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(10)
+    print(out.getvalue())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments whose
+setuptools lacks the ``wheel`` package required for PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

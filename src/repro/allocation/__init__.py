@@ -1,0 +1,41 @@
+"""Baseline allocation heuristics (paper Sections II-B and III-B).
+
+Public API:
+
+* :class:`AllocationHeuristic` — the allocator protocol (first step of
+  two-step scheduling; the second step is :mod:`repro.mapping`);
+* :class:`SerialAllocator`, :class:`GreedyBestAllocator` — trivial
+  baselines;
+* :class:`CpaAllocator` — Critical Path and Area-based allocation with a
+  non-monotone guard;
+* :class:`HcpaAllocator` — CPA on a virtual reference cluster (identity
+  on homogeneous platforms);
+* :class:`McpaAllocator` / :class:`Mcpa2Allocator` — per-level bounded
+  variants;
+* :class:`DeltaCriticalAllocator` — the paper's Δ-critical seed for EMTS;
+* :func:`cpa_quantities` — the ``(T_CP, T_A)`` pair driving the CPA loop.
+"""
+
+from .base import AllocationHeuristic, cpa_quantities
+from .bicpa import BicpaAllocator
+from .cpa import CpaAllocator, critical_path_mask
+from .cpr import CprAllocator
+from .delta_critical import DeltaCriticalAllocator
+from .hcpa import HcpaAllocator
+from .mcpa import Mcpa2Allocator, McpaAllocator
+from .serial import GreedyBestAllocator, SerialAllocator
+
+__all__ = [
+    "AllocationHeuristic",
+    "cpa_quantities",
+    "critical_path_mask",
+    "SerialAllocator",
+    "GreedyBestAllocator",
+    "CpaAllocator",
+    "CprAllocator",
+    "BicpaAllocator",
+    "HcpaAllocator",
+    "McpaAllocator",
+    "Mcpa2Allocator",
+    "DeltaCriticalAllocator",
+]

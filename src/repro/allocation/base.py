@@ -1,0 +1,63 @@
+"""Allocation-heuristic interface (the first step of two-step scheduling).
+
+Two-step algorithms (paper Section II-B) first pick a processor count for
+every task (*allocation*), then place the tasks on concrete processors
+(*mapping*, shared by all heuristics — :mod:`repro.mapping`).  This module
+defines the allocator protocol plus the CPA-family quantities ``T_CP``
+(critical-path length) and ``T_A`` (average area).
+
+All allocators consume a precomputed :class:`~repro.timemodels.TimeTable`
+so they are — like EMTS — agnostic to the execution-time model, even
+though their *decision logic* assumes monotonicity.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..graph import PTG, bottom_levels
+from ..mapping import Schedule, map_allocations
+from ..timemodels import TimeTable
+
+__all__ = ["AllocationHeuristic", "cpa_quantities"]
+
+
+def cpa_quantities(
+    ptg: PTG, table: TimeTable, alloc: np.ndarray
+) -> tuple[float, float]:
+    """The pair ``(T_CP, T_A)`` driving the CPA-family allocation loops.
+
+    ``T_CP`` is the critical-path length under the current allocations;
+    ``T_A = (1/P) * sum_v s(v) * T(v, s(v))`` is the average per-processor
+    work area.  CPA grows allocations while ``T_CP > T_A``, trading
+    critical-path length against the area (and thus packing efficiency)
+    of the schedule.
+    """
+    times = table.times_for(alloc)
+    t_cp = float(bottom_levels(ptg, times).max())
+    t_a = float(np.sum(alloc * times)) / table.num_processors
+    return t_cp, t_a
+
+
+class AllocationHeuristic(abc.ABC):
+    """Base class for allocation heuristics.
+
+    Subclasses implement :meth:`allocate`; :meth:`schedule` composes the
+    allocation with the shared list-scheduling mapper.
+    """
+
+    #: Identifier used in experiment records and reports.
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def allocate(self, ptg: PTG, table: TimeTable) -> np.ndarray:
+        """Return an ``int64`` allocation vector in ``[1, P]^V``."""
+
+    def schedule(self, ptg: PTG, table: TimeTable) -> Schedule:
+        """Allocate and map in one call."""
+        return map_allocations(ptg, table, self.allocate(ptg, table))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

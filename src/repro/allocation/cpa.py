@@ -1,0 +1,135 @@
+"""CPA — Critical Path and Area-based allocation
+(Radulescu & van Gemund, ICPP 2001; paper Section II-B).
+
+CPA starts from one processor per task and repeatedly gives one more
+processor to a critical-path task, trading critical-path length ``T_CP``
+against average area ``T_A``:
+
+.. code-block:: text
+
+    s(v) = 1 for all v
+    while T_CP > T_A:
+        C  = tasks on the critical path that can still grow
+        v* = argmax_{v in C} [ T(v, s(v)) - T(v, s(v)+1) ]
+        if gain(v*) <= 0: stop          # non-monotone guard, see below
+        s(v*) += 1
+
+**Non-monotone guard.**  Classic CPA assumes ``T(v, p)`` non-increasing
+in ``p``, so the best gain is always >= 0 and the loop runs until
+``T_CP <= T_A``.  Under the paper's Model 2 a larger allocation can be
+*slower*; growing an allocation at negative gain would raise both ``T_CP``
+and ``T_A`` and can cycle.  We therefore stop as soon as no critical-path
+task improves by growing — which reproduces the paper's observation that
+under Model 2 "allocations will grow up to a size of 4-8 processors before
+the allocation procedure stops" (Section V-B).
+
+Complexity: ``O(V (V + E) P)`` — each of at most ``V P`` growth steps
+recomputes bottom levels in ``O(V + E)`` — matching the bound the paper
+cites for (H)CPA's allocation procedure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import PTG, bottom_levels, top_levels
+from ..timemodels import TimeTable
+from .base import AllocationHeuristic
+
+__all__ = ["CpaAllocator", "critical_path_mask"]
+
+_EPS = 1e-12
+
+
+def critical_path_mask(
+    ptg: PTG, times: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Boolean mask of tasks lying on *some* critical path, plus ``T_CP``.
+
+    A task is on a critical path iff ``tl(v) + T(v) + (bl(v) - T(v)) ==
+    T_CP`` i.e. ``tl(v) + bl(v) == T_CP`` (bottom level includes the
+    task's own time).  Using the mask instead of a single concrete path
+    lets the allocator consider every critical task — important when
+    several parallel branches are equally critical.
+    """
+    bl = bottom_levels(ptg, times)
+    tl = top_levels(ptg, times)
+    t_cp = float(bl.max())
+    on_cp = (tl + bl) >= t_cp * (1.0 - 1e-12) - _EPS
+    return on_cp, t_cp
+
+
+class CpaAllocator(AllocationHeuristic):
+    """Critical Path and Area-based allocation.
+
+    Parameters
+    ----------
+    allow_negative_gain:
+        Disable the non-monotone guard and run the textbook loop (only
+        safe with monotone models; used by tests to document why the
+        guard exists).
+    max_iterations:
+        Hard safety bound on growth steps; ``None`` derives ``V * P``.
+    """
+
+    name = "cpa"
+
+    def __init__(
+        self,
+        allow_negative_gain: bool = False,
+        max_iterations: int | None = None,
+    ) -> None:
+        self.allow_negative_gain = bool(allow_negative_gain)
+        self.max_iterations = max_iterations
+
+    # hook points for subclasses (MCPA constrains candidates per level)
+    def _candidate_mask(
+        self,
+        ptg: PTG,
+        table: TimeTable,
+        alloc: np.ndarray,
+        on_cp: np.ndarray,
+    ) -> np.ndarray:
+        """Tasks eligible to receive one more processor this step."""
+        return on_cp & (alloc < table.num_processors)
+
+    def _on_grow(self, ptg: PTG, v: int, alloc: np.ndarray) -> None:
+        """Notification hook after task ``v``'s allocation grew."""
+
+    def allocate(self, ptg: PTG, table: TimeTable) -> np.ndarray:
+        P = table.num_processors
+        V = ptg.num_tasks
+        alloc = np.ones(V, dtype=np.int64)
+        times = table.times_for(alloc)
+        area = float(times.sum())  # = sum alloc * times at alloc == 1
+        limit = (
+            self.max_iterations
+            if self.max_iterations is not None
+            else V * P
+        )
+
+        idx = np.arange(V)
+        for _ in range(limit):
+            on_cp, t_cp = critical_path_mask(ptg, times)
+            if t_cp <= area / P:
+                break
+            cand = self._candidate_mask(ptg, table, alloc, on_cp)
+            if not cand.any():
+                break
+            # gain of adding one processor, restricted to candidates
+            grown = table.array[idx[cand], alloc[cand]]  # T(v, s+1)
+            gains = times[cand] - grown
+            best_pos = int(np.argmax(gains))
+            best_gain = float(gains[best_pos])
+            if not self.allow_negative_gain and best_gain <= _EPS:
+                break
+            v = int(idx[cand][best_pos])
+            # update area incrementally: area += (s+1) T(v,s+1) - s T(v,s)
+            s = int(alloc[v])
+            t_old = float(times[v])
+            t_new = float(table.array[v, s])  # column s == p = s+1
+            area += (s + 1) * t_new - s * t_old
+            alloc[v] = s + 1
+            times[v] = t_new
+            self._on_grow(ptg, v, alloc)
+        return alloc

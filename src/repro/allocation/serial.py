@@ -1,0 +1,41 @@
+"""Trivial allocators used as baselines and EA seeds.
+
+* :class:`SerialAllocator` — one processor per task.  With it, the list
+  scheduler degenerates to classic single-processor-task DAG scheduling;
+  every non-trivial allocator must beat it whenever the PTG has less
+  parallelism than the platform has processors.
+* :class:`GreedyBestAllocator` — gives each task its *individually*
+  fastest processor count (``argmin_p T(v, p)``) with no regard for
+  packing.  Under a monotone model this is "all tasks take everything";
+  its (usually poor) makespan illustrates why allocation must consider
+  the whole graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import PTG
+from ..timemodels import TimeTable
+from .base import AllocationHeuristic
+
+__all__ = ["SerialAllocator", "GreedyBestAllocator"]
+
+
+class SerialAllocator(AllocationHeuristic):
+    """Every task runs on exactly one processor."""
+
+    name = "serial"
+
+    def allocate(self, ptg: PTG, table: TimeTable) -> np.ndarray:
+        return np.ones(ptg.num_tasks, dtype=np.int64)
+
+
+class GreedyBestAllocator(AllocationHeuristic):
+    """Every task gets its individually time-optimal processor count."""
+
+    name = "greedy-best"
+
+    def allocate(self, ptg: PTG, table: TimeTable) -> np.ndarray:
+        # argmin over the table rows; +1 converts column to processor count
+        return np.argmin(table.array, axis=1).astype(np.int64) + 1

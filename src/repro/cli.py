@@ -1,0 +1,406 @@
+"""Command-line interface: ``python -m repro`` / ``repro-emts``.
+
+Subcommands:
+
+``generate``
+    Generate a PTG (fft / strassen / daggen) and save it as JSON or DOT.
+``schedule``
+    Schedule a PTG file (or a generated one) with a chosen algorithm and
+    print the resulting makespan, allocations and optionally a Gantt
+    chart.
+``figure``
+    Regenerate one of the paper's figures (1-6) and print/save its data.
+``runtime``
+    Run the Section V runtime measurement (experiment E7).
+``corpus``
+    Summarize (and optionally save) the paper's evaluation corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .allocation import AllocationHeuristic
+from .core import EMTS, SEED_REGISTRY, emts5, emts10, make_allocator
+from .graph import PTG, load_ptg, ptg_to_dot, save_ptg
+from .mapping import ascii_gantt, map_allocations, save_svg_gantt
+from .platform import Cluster, by_name
+from .timemodels import (
+    AmdahlModel,
+    DowneyModel,
+    ExecutionTimeModel,
+    SyntheticModel,
+    TimeTable,
+)
+from .workloads import (
+    DaggenParams,
+    generate_daggen,
+    generate_fft,
+    generate_strassen,
+    paper_corpus,
+)
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = {
+    "model1": AmdahlModel,
+    "amdahl": AmdahlModel,
+    "model2": SyntheticModel,
+    "synthetic": SyntheticModel,
+    "downey": DowneyModel,
+}
+
+
+def _make_model(name: str) -> ExecutionTimeModel:
+    try:
+        return _MODELS[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_MODELS))
+        raise SystemExit(
+            f"unknown model {name!r}; known models: {known}"
+        ) from None
+
+
+def _make_algorithm(name: str):
+    name = name.lower()
+    if name == "emts5":
+        return emts5()
+    if name == "emts10":
+        return emts10()
+    if name in SEED_REGISTRY:
+        return make_allocator(name)
+    known = ", ".join(["emts5", "emts10"] + sorted(SEED_REGISTRY))
+    raise SystemExit(f"unknown algorithm {name!r}; known: {known}")
+
+
+def _generate_ptg(args) -> PTG:
+    if args.kind == "fft":
+        return generate_fft(args.size, rng=args.seed)
+    if args.kind == "strassen":
+        return generate_strassen(rng=args.seed)
+    if args.kind == "daggen":
+        return generate_daggen(
+            DaggenParams(
+                num_tasks=args.size,
+                width=args.width,
+                regularity=args.regularity,
+                density=args.density,
+                jump=args.jump,
+            ),
+            rng=args.seed,
+        )
+    raise SystemExit(f"unknown PTG kind {args.kind!r}")
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    ptg = _generate_ptg(args)
+    out = Path(args.output)
+    if out.suffix == ".dot":
+        out.write_text(ptg_to_dot(ptg), encoding="utf-8")
+    else:
+        save_ptg(ptg, out)
+    print(
+        f"wrote {ptg.name}: {ptg.num_tasks} tasks, {ptg.num_edges} "
+        f"edges -> {out}"
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    if args.ptg:
+        ptg = load_ptg(args.ptg)
+    else:
+        ptg = _generate_ptg(args)
+    cluster: Cluster = by_name(args.platform)
+    model = _make_model(args.model)
+    table = TimeTable.build(model, ptg, cluster)
+    algorithm = _make_algorithm(args.algorithm)
+
+    if isinstance(algorithm, EMTS):
+        result = algorithm.schedule(ptg, cluster, table, rng=args.seed)
+        schedule = result.schedule
+        print(f"algorithm : {algorithm.name}")
+        for name, ms in sorted(result.seed_makespans.items()):
+            print(f"seed {name:<15s}: {ms:.6g} s")
+        print(f"makespan  : {result.makespan:.6g} s")
+        print(f"opt. time : {result.elapsed_seconds:.3f} s")
+        print(f"evals     : {result.evaluations}")
+    else:
+        assert isinstance(algorithm, AllocationHeuristic)
+        alloc = algorithm.allocate(ptg, table)
+        schedule = map_allocations(ptg, table, alloc)
+        print(f"algorithm : {algorithm.name}")
+        print(f"makespan  : {schedule.makespan:.6g} s")
+    print(f"utilization: {schedule.utilization:.1%}")
+    if args.gantt:
+        print()
+        print(ascii_gantt(schedule))
+    if args.svg:
+        save_svg_gantt(schedule, args.svg)
+        print(f"wrote Gantt SVG -> {args.svg}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import figures as F
+
+    if str(args.number).lower() == "all":
+        for n in range(1, 7):
+            print(f"\n===== Figure {n} =====")
+            sub_args = argparse.Namespace(**vars(args))
+            sub_args.number = n
+            _cmd_figure(sub_args)
+        return 0
+    try:
+        n = int(args.number)
+    except ValueError:
+        raise SystemExit(
+            f"figure must be a number 1-6 or 'all', got "
+            f"{args.number!r}"
+        ) from None
+    out_dir = Path(args.output_dir) if args.output_dir else None
+    if n == 1:
+        print(F.generate_figure1().render())
+    elif n == 2:
+        print(F.generate_figure2().render())
+    elif n == 3:
+        print(F.generate_figure3(samples=args.samples).render())
+    elif n == 4:
+        fig = F.generate_figure4(seed=args.seed, scale=args.scale)
+        print(fig.render())
+    elif n == 5:
+        fig = F.generate_figure5(seed=args.seed, scale=args.scale)
+        print(fig.render())
+    elif n == 6:
+        fig = F.generate_figure6(seed=args.seed)
+        print(fig.render())
+        if out_dir:
+            paths = fig.save_svgs(out_dir)
+            print(f"wrote {paths[0]} and {paths[1]}")
+    else:
+        raise SystemExit(f"no figure {n}; the paper has figures 1-6")
+    return 0
+
+
+def _cmd_runtime(args) -> int:
+    from .experiments import measure_runtimes
+
+    report = measure_runtimes(
+        seed=args.seed, repetitions=args.repetitions
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    from .experiments import run_scalability_sweep
+    from .workloads import DaggenParams, generate_daggen
+
+    ptgs = [
+        generate_daggen(
+            DaggenParams(
+                num_tasks=args.size,
+                width=0.5,
+                regularity=0.2,
+                density=0.2,
+                jump=2,
+            ),
+            rng=(args.seed or 0) + i,
+        )
+        for i in range(args.instances)
+    ]
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    sweep = run_scalability_sweep(ptgs, sizes=sizes, seed=args.seed)
+    print(sweep.render())
+    trend = (
+        "non-decreasing"
+        if sweep.trend_is_nondecreasing()
+        else "NOT monotone"
+    )
+    print(f"trend across platform sizes: {trend}")
+    return 0
+
+
+def _cmd_convergence(args) -> int:
+    from .experiments import run_convergence_study
+    from .workloads import DaggenParams, generate_daggen
+
+    ptgs = [
+        generate_daggen(
+            DaggenParams(
+                num_tasks=args.size,
+                width=0.5,
+                regularity=0.2,
+                density=0.2,
+                jump=2,
+            ),
+            rng=(args.seed or 0) + i,
+        )
+        for i in range(args.instances)
+    ]
+    study = run_convergence_study(
+        ptgs,
+        by_name(args.platform),
+        _make_model(args.model),
+        [emts5(), emts10()],
+        seed=args.seed,
+    )
+    print(study.render())
+    for variant in ("emts5", "emts10"):
+        print(
+            f"final mean improvement over seeds ({variant}): "
+            f"{study.final_improvement(variant):.3f}x"
+        )
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    corpus = paper_corpus(seed=args.seed, scale=args.scale)
+    print(corpus.summary())
+    sizes = {
+        cls: sorted({p.num_tasks for p in corpus.by_class(cls)})
+        for cls in corpus.classes
+    }
+    for cls, sz in sizes.items():
+        print(f"  {cls}: task counts {sz}")
+    if args.output:
+        from .graph import save_corpus
+
+        all_ptgs = [
+            p for cls in corpus.classes for p in corpus.by_class(cls)
+        ]
+        save_corpus(all_ptgs, args.output)
+        print(f"wrote {len(all_ptgs)} PTGs -> {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-emts",
+        description=(
+            "EMTS: evolutionary scheduling of parallel task graphs "
+            "(reproduction of Hunold & Lepping, CLUSTER 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_ptg_options(p, require_kind=True):
+        p.add_argument(
+            "--kind",
+            choices=["fft", "strassen", "daggen"],
+            default="daggen" if not require_kind else None,
+            required=require_kind,
+            help="PTG family to generate",
+        )
+        p.add_argument(
+            "--size",
+            type=int,
+            default=50,
+            help="FFT size (power of two) or daggen task count",
+        )
+        p.add_argument("--width", type=float, default=0.5)
+        p.add_argument("--regularity", type=float, default=0.5)
+        p.add_argument("--density", type=float, default=0.5)
+        p.add_argument("--jump", type=int, default=1)
+        p.add_argument("--seed", type=int, default=None)
+
+    g = sub.add_parser("generate", help="generate a PTG file")
+    add_ptg_options(g)
+    g.add_argument("output", help="output path (.json or .dot)")
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("schedule", help="schedule a PTG")
+    s.add_argument(
+        "--ptg", help="PTG JSON file (omit to generate one)", default=None
+    )
+    add_ptg_options(s, require_kind=False)
+    s.add_argument(
+        "--platform",
+        default="grelon",
+        help="platform preset (chti | grelon)",
+    )
+    s.add_argument(
+        "--model", default="model2", help="execution-time model"
+    )
+    s.add_argument(
+        "--algorithm",
+        default="emts5",
+        help="emts5 | emts10 | mcpa | hcpa | cpa | ...",
+    )
+    s.add_argument(
+        "--gantt", action="store_true", help="print an ASCII Gantt chart"
+    )
+    s.add_argument("--svg", default=None, help="write a Gantt SVG here")
+    s.set_defaults(func=_cmd_schedule)
+
+    f = sub.add_parser("figure", help="regenerate a paper figure")
+    f.add_argument(
+        "number", help="figure number (1-6) or 'all'"
+    )
+    f.add_argument("--seed", type=int, default=None)
+    f.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="corpus scale for figures 4/5 (1.0 = full paper corpus)",
+    )
+    f.add_argument("--samples", type=int, default=200_000)
+    f.add_argument("--output-dir", default=None)
+    f.set_defaults(func=_cmd_figure)
+
+    r = sub.add_parser(
+        "runtime", help="measure EMTS run times (Section V)"
+    )
+    r.add_argument("--seed", type=int, default=None)
+    r.add_argument("--repetitions", type=int, default=3)
+    r.set_defaults(func=_cmd_runtime)
+
+    sc = sub.add_parser(
+        "scalability",
+        help="sweep EMTS's gain over MCPA across platform sizes",
+    )
+    sc.add_argument("--seed", type=int, default=None)
+    sc.add_argument("--size", type=int, default=50)
+    sc.add_argument("--instances", type=int, default=3)
+    sc.add_argument(
+        "--sizes",
+        default="10,20,40,80,120,160",
+        help="comma-separated processor counts",
+    )
+    sc.set_defaults(func=_cmd_scalability)
+
+    cv = sub.add_parser(
+        "convergence",
+        help="best-vs-generation trajectories of EMTS5/EMTS10",
+    )
+    cv.add_argument("--seed", type=int, default=None)
+    cv.add_argument("--size", type=int, default=50)
+    cv.add_argument("--instances", type=int, default=3)
+    cv.add_argument("--platform", default="grelon")
+    cv.add_argument("--model", default="model2")
+    cv.set_defaults(func=_cmd_convergence)
+
+    c = sub.add_parser("corpus", help="build the evaluation corpus")
+    c.add_argument("--seed", type=int, default=None)
+    c.add_argument("--scale", type=float, default=1.0)
+    c.add_argument("--output", default=None)
+    c.set_defaults(func=_cmd_corpus)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""EMTS — Evolutionary Moldable Task Scheduling (paper Section III).
+
+EMTS is a two-step scheduler.  *Allocation* is solved by a (mu + lambda)
+evolution strategy over allocation vectors: the initial population is
+seeded with the allocation functions of MCPA, HCPA and the Δ-critical
+heuristic; offspring are produced by the annealed Eq. 1 mutation; fitness
+of an individual is the makespan of the list schedule built from its
+allocations.  *Mapping* is the shared bottom-level list scheduler —
+since the mapping function also evaluates every individual's fitness, the
+fast makespan-only path of :mod:`repro.mapping` is used inside the loop
+and the full schedule is reconstructed only once for the winner.
+
+Because the EA only ever consults the precomputed
+:class:`~repro.timemodels.TimeTable`, EMTS works unchanged with Amdahl's
+law, the synthetic non-monotone model, Downey curves, or measured tables —
+the model-independence that is the paper's main point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..exceptions import ConfigurationError
+from ..ea import (
+    AnyOf,
+    EvolutionLog,
+    EvolutionStrategy,
+    GenerationLimit,
+    TimeBudget,
+)
+from ..graph import PTG
+from ..mapping import Schedule, makespan_of, map_allocations
+from ..platform import Cluster
+from ..timemodels import ExecutionTimeModel, TimeTable
+from .config import EMTSConfig, emts5_config, emts10_config
+from .mutation import AllocationMutation
+from .seeding import seed_population
+
+__all__ = ["EMTS", "EMTSResult", "emts5", "emts10"]
+
+
+@dataclass
+class EMTSResult:
+    """Outcome of one EMTS run.
+
+    Attributes
+    ----------
+    schedule:
+        The full schedule reconstructed from the best allocation vector.
+    allocation:
+        The winning allocation vector ``s(v)``.
+    seed_makespans:
+        Makespan of each seed heuristic's own schedule — the baselines
+        EMTS starts from (used for the paper's relative-makespan plots).
+    log:
+        Per-generation statistics of the evolutionary search.
+    elapsed_seconds:
+        Wall-clock time of the whole EMTS run (seeding + evolution +
+        final mapping) — the quantity reported in Section V's runtime
+        discussion.
+    """
+
+    schedule: Schedule
+    allocation: np.ndarray
+    seed_makespans: dict[str, float]
+    log: EvolutionLog
+    elapsed_seconds: float
+    config: EMTSConfig = field(repr=False)
+
+    @property
+    def makespan(self) -> float:
+        """Makespan of the best schedule found."""
+        return self.schedule.makespan
+
+    @property
+    def evaluations(self) -> int:
+        """Total number of fitness (mapping) evaluations."""
+        return self.log.total_evaluations
+
+    def improvement_over(self, heuristic: str) -> float:
+        """Relative makespan ``T_heuristic / T_EMTS`` (>= 1 when EMTS wins)."""
+        try:
+            base = self.seed_makespans[heuristic]
+        except KeyError:
+            known = ", ".join(sorted(self.seed_makespans))
+            raise KeyError(
+                f"no seed named {heuristic!r}; recorded seeds: {known}"
+            ) from None
+        return base / self.makespan
+
+
+class EMTS:
+    """The Evolutionary Moldable Task Scheduling algorithm.
+
+    Parameters
+    ----------
+    config:
+        Full parameterization; defaults to the paper's EMTS5 preset.
+
+    Example
+    -------
+    >>> from repro import EMTS, grelon, SyntheticModel
+    >>> from repro.workloads import generate_fft
+    >>> result = EMTS().schedule(
+    ...     generate_fft(4, rng=7), grelon(), SyntheticModel(), rng=7
+    ... )
+    >>> result.makespan <= min(result.seed_makespans.values()) + 1e-12
+    True
+    """
+
+    def __init__(self, config: EMTSConfig | None = None) -> None:
+        self.config = config or emts5_config()
+
+    @property
+    def name(self) -> str:
+        """Configuration name (``emts5``, ``emts10``, ...)."""
+        return self.config.name
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        ptg: PTG,
+        cluster: Cluster,
+        model: ExecutionTimeModel | TimeTable,
+        rng: np.random.Generator | int | None = None,
+    ) -> EMTSResult:
+        """Schedule ``ptg`` on ``cluster`` under ``model``.
+
+        ``model`` may be an :class:`ExecutionTimeModel` (the table is
+        built internally) or an already-built :class:`TimeTable` (reused
+        across algorithms in the experiment harness).
+        """
+        t_start = time.perf_counter()
+        cfg = self.config
+        rng = ensure_generator(rng, "emts", cfg.name)
+
+        if isinstance(model, TimeTable):
+            table = model
+            if table.ptg != ptg:
+                raise ConfigurationError(
+                    f"time table was built for PTG {table.ptg.name!r}, "
+                    f"not {ptg.name!r}"
+                )
+            if table.cluster != cluster:
+                raise ConfigurationError(
+                    f"time table was built for cluster "
+                    f"{table.cluster.name!r}, not {cluster.name!r}"
+                )
+        else:
+            table = TimeTable.build(model, ptg, cluster)
+
+        mutation = AllocationMutation(
+            P=table.num_processors,
+            fm=cfg.fm,
+            sigma_stretch=cfg.sigma_stretch,
+            sigma_shrink=cfg.sigma_shrink,
+            shrink_probability=cfg.shrink_probability,
+        )
+        initial, seed_allocs = seed_population(
+            ptg,
+            table,
+            heuristics=cfg.seed_heuristics,
+            population_size=cfg.mu,
+            mutation=mutation,
+            rng=rng,
+            delta=cfg.delta,
+        )
+        seed_makespans = {
+            name: makespan_of(ptg, table, alloc)
+            for name, alloc in seed_allocs.items()
+        }
+
+        # Rejection strategy (paper Section VI, future work): abort a
+        # candidate's mapping once it provably cannot enter the survivor
+        # set.  Under plus selection the cutoff is the *worst current
+        # parent*: every parent survives unless displaced by a strictly
+        # better offspring, so an offspring whose makespan lower bound
+        # already reaches the worst parent's fitness can never be
+        # selected (ties go to parents).  Using this bound — rather than
+        # the best incumbent — keeps the optimization outcome bit-for-bit
+        # identical to the unrejected run.
+        abort_bound = [np.inf]
+
+        def on_generation_start(parents, generation) -> None:
+            if cfg.use_rejection and cfg.selection == "plus":
+                abort_bound[0] = max(
+                    ind.evaluated_fitness() for ind in parents
+                )
+
+        def fitness(genome: np.ndarray) -> float:
+            abort = (
+                abort_bound[0]
+                if np.isfinite(abort_bound[0])
+                else None
+            )
+            return makespan_of(ptg, table, genome, abort_above=abort)
+
+        termination = GenerationLimit(cfg.generations)
+        if cfg.time_budget_seconds is not None:
+            termination = AnyOf(
+                termination, TimeBudget(cfg.time_budget_seconds)
+            )
+
+        strategy = EvolutionStrategy(
+            mu=cfg.mu,
+            lam=cfg.lam,
+            mutation=mutation,
+            selection=cfg.selection,
+        )
+        outcome = strategy.evolve(
+            initial,
+            fitness,
+            rng=rng,
+            termination=termination,
+            total_generations=cfg.generations,
+            on_generation_start=on_generation_start,
+        )
+
+        best_alloc = np.asarray(outcome.best.genome, dtype=np.int64)
+        schedule = map_allocations(ptg, table, best_alloc)
+        elapsed = time.perf_counter() - t_start
+        return EMTSResult(
+            schedule=schedule,
+            allocation=best_alloc,
+            seed_makespans=seed_makespans,
+            log=outcome.log,
+            elapsed_seconds=elapsed,
+            config=cfg,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = self.config
+        return (
+            f"EMTS(({c.mu}+{c.lam})-EA, U={c.generations}, "
+            f"seeds={list(c.seed_heuristics)})"
+        )
+
+
+def emts5(**overrides) -> EMTS:
+    """The paper's EMTS5: (5 + 25)-EA, 5 generations."""
+    return EMTS(emts5_config().with_updates(**overrides))
+
+
+def emts10(**overrides) -> EMTS:
+    """The paper's EMTS10: (10 + 100)-EA, 10 generations."""
+    return EMTS(emts10_config().with_updates(**overrides))

@@ -1,0 +1,52 @@
+"""Generic evolution-strategy engine (paper Section III).
+
+Built from scratch (the offline environment has no DEAP): individuals,
+plus/comma survivor selection, a mutation/crossover operator algebra,
+per-generation statistics and composable termination criteria.
+
+Public API: :class:`EvolutionStrategy`, :class:`EvolutionResult`,
+:class:`Individual`, the operators and the termination criteria.
+"""
+
+from .individual import Individual
+from .operators import (
+    CrossoverOperator,
+    MutationOperator,
+    OnePointCrossover,
+    UniformIntegerMutation,
+    UniformPointCrossover,
+)
+from .selection import best_of, comma_selection, plus_selection
+from .statistics import EvolutionLog, GenerationStats, population_diversity
+from .strategy import EvolutionResult, EvolutionStrategy
+from .termination import (
+    AnyOf,
+    GenerationLimit,
+    StagnationLimit,
+    TargetFitness,
+    TerminationCriterion,
+    TimeBudget,
+)
+
+__all__ = [
+    "Individual",
+    "MutationOperator",
+    "CrossoverOperator",
+    "UniformIntegerMutation",
+    "UniformPointCrossover",
+    "OnePointCrossover",
+    "plus_selection",
+    "comma_selection",
+    "best_of",
+    "GenerationStats",
+    "EvolutionLog",
+    "population_diversity",
+    "TerminationCriterion",
+    "GenerationLimit",
+    "TimeBudget",
+    "TargetFitness",
+    "StagnationLimit",
+    "AnyOf",
+    "EvolutionStrategy",
+    "EvolutionResult",
+]

@@ -1,0 +1,138 @@
+"""Variation-operator protocol and generic integer-vector operators.
+
+EMTS is mutation-only (paper Section III-C: crossover on allocation
+vectors of *dependent* tasks rarely helps, and mutation-only strategies
+are known to suffice for several combinatorial problems).  The engine
+nevertheless defines a small operator algebra so ablation studies can
+swap in alternatives:
+
+* :class:`MutationOperator` — the protocol (genome in, genome out);
+* :class:`UniformIntegerMutation` — resample positions uniformly in the
+  domain (the naive operator Section III-D argues against);
+* :class:`UniformPointCrossover` / :class:`OnePointCrossover` — optional
+  recombination for the ablation benchmarks.
+
+EMTS's actual operator (Eq. 1 with the annealed mutation count) lives in
+:mod:`repro.core.mutation` because it is paper-specific.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "MutationOperator",
+    "CrossoverOperator",
+    "UniformIntegerMutation",
+    "UniformPointCrossover",
+    "OnePointCrossover",
+]
+
+
+class MutationOperator(abc.ABC):
+    """Produces a child genome from one parent genome."""
+
+    @abc.abstractmethod
+    def mutate(
+        self,
+        genome: np.ndarray,
+        rng: np.random.Generator,
+        generation: int,
+        total_generations: int,
+    ) -> np.ndarray:
+        """Return a *new* genome (the parent's array is read-only).
+
+        ``generation`` / ``total_generations`` let operators anneal their
+        step size over the run, as EMTS's operator does.
+        """
+
+
+class CrossoverOperator(abc.ABC):
+    """Produces a child genome from two parent genomes."""
+
+    @abc.abstractmethod
+    def crossover(
+        self,
+        genome_a: np.ndarray,
+        genome_b: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return a new genome combining both parents."""
+
+
+class UniformIntegerMutation(MutationOperator):
+    """Resample a fraction of positions uniformly in ``[low, high]``.
+
+    This is the "any uniform distribution could be applied" baseline of
+    paper Section III-D; the ablation benchmarks show it converges worse
+    than Eq. 1 because a change by ``k`` processors is as likely as a
+    change by 1.
+    """
+
+    def __init__(self, low: int, high: int, rate: float = 0.33) -> None:
+        if low > high:
+            raise ConfigurationError(
+                f"low ({low}) must be <= high ({high})"
+            )
+        if not (0.0 < rate <= 1.0):
+            raise ConfigurationError(
+                f"rate must lie in (0, 1], got {rate}"
+            )
+        self.low = int(low)
+        self.high = int(high)
+        self.rate = float(rate)
+
+    def mutate(
+        self,
+        genome: np.ndarray,
+        rng: np.random.Generator,
+        generation: int,
+        total_generations: int,
+    ) -> np.ndarray:
+        child = np.array(genome, copy=True)
+        n = child.shape[0]
+        m = max(1, int(round(self.rate * n)))
+        pos = rng.choice(n, size=min(m, n), replace=False)
+        child[pos] = rng.integers(
+            self.low, self.high + 1, size=pos.shape[0]
+        )
+        return child
+
+
+class UniformPointCrossover(CrossoverOperator):
+    """Each position is taken from parent A or B with probability 1/2."""
+
+    def crossover(
+        self,
+        genome_a: np.ndarray,
+        genome_b: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if genome_a.shape != genome_b.shape:
+            raise ConfigurationError(
+                "crossover requires genomes of equal length"
+            )
+        mask = rng.random(genome_a.shape[0]) < 0.5
+        return np.where(mask, genome_a, genome_b)
+
+
+class OnePointCrossover(CrossoverOperator):
+    """Classic single cut point."""
+
+    def crossover(
+        self,
+        genome_a: np.ndarray,
+        genome_b: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if genome_a.shape != genome_b.shape:
+            raise ConfigurationError(
+                "crossover requires genomes of equal length"
+            )
+        n = genome_a.shape[0]
+        cut = int(rng.integers(1, n)) if n > 1 else 0
+        return np.concatenate([genome_a[:cut], genome_b[cut:]])

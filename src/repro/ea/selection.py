@@ -1,0 +1,62 @@
+"""Survivor selection for evolution strategies.
+
+The paper uses a **plus strategy** ("(mu + lambda)-EA"): the ``mu`` best
+of the union of parents and offspring survive, so the best solution found
+is always conserved and the population can never get worse across
+generations (Schwefel & Rudolph).  A **comma strategy** (survivors drawn
+from the offspring only) is provided for the selection ablation — it
+trades the monotonicity guarantee for better escape from local optima.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .individual import Individual
+
+__all__ = ["plus_selection", "comma_selection", "best_of"]
+
+
+def _sorted_by_fitness(pool: list[Individual]) -> list[Individual]:
+    # stable sort: among equal fitness, earlier individuals (parents
+    # before offspring, older before younger) win — keeps runs
+    # deterministic and mildly favours proven solutions
+    return sorted(pool, key=lambda ind: ind.evaluated_fitness())
+
+
+def plus_selection(
+    parents: list[Individual],
+    offspring: list[Individual],
+    mu: int,
+) -> list[Individual]:
+    """The mu best of parents ∪ offspring (elitist; never regresses)."""
+    if mu < 1:
+        raise ConfigurationError(f"mu must be >= 1, got {mu}")
+    pool = list(parents) + list(offspring)
+    if len(pool) < mu:
+        raise ConfigurationError(
+            f"cannot select {mu} survivors from a pool of {len(pool)}"
+        )
+    return _sorted_by_fitness(pool)[:mu]
+
+
+def comma_selection(
+    parents: list[Individual],
+    offspring: list[Individual],
+    mu: int,
+) -> list[Individual]:
+    """The mu best of the offspring only (requires lambda >= mu)."""
+    if mu < 1:
+        raise ConfigurationError(f"mu must be >= 1, got {mu}")
+    if len(offspring) < mu:
+        raise ConfigurationError(
+            f"comma selection needs at least mu={mu} offspring, got "
+            f"{len(offspring)}"
+        )
+    return _sorted_by_fitness(list(offspring))[:mu]
+
+
+def best_of(pool: list[Individual]) -> Individual:
+    """The single fittest individual of ``pool``."""
+    if not pool:
+        raise ConfigurationError("cannot take the best of an empty pool")
+    return min(pool, key=lambda ind: ind.evaluated_fitness())

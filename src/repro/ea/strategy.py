@@ -1,0 +1,245 @@
+"""The (mu + lambda) / (mu, lambda) evolution-strategy engine.
+
+Generic over genomes and fitness functions; EMTS instantiates it with
+allocation-vector genomes, the Eq. 1 mutation operator and the
+list-scheduling makespan as fitness.  Per generation (paper Section
+III-E):
+
+1. draw ``lambda`` offspring, each by mutating a uniformly chosen parent;
+2. evaluate the offspring (``lambda`` fitness calls — the ``U * mu *
+   lambda * C_map`` term of the paper's complexity analysis is an upper
+   bound; the engine evaluates each individual exactly once);
+3. select the ``mu`` survivors (plus: from parents ∪ offspring, comma:
+   from offspring only).
+
+The engine reports per-generation statistics and enforces arbitrary
+termination criteria.  Fitness functions may return ``inf`` to reject an
+individual (the mapper's ``abort_above`` rejection strategy does this).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .individual import Individual
+from .operators import CrossoverOperator, MutationOperator
+from .selection import best_of, comma_selection, plus_selection
+from .statistics import EvolutionLog, GenerationStats
+from .termination import GenerationLimit, TerminationCriterion
+
+__all__ = ["EvolutionStrategy", "EvolutionResult"]
+
+FitnessFunction = Callable[[np.ndarray], float]
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one evolution-strategy run."""
+
+    best: Individual
+    population: list[Individual]
+    log: EvolutionLog
+
+    @property
+    def best_fitness(self) -> float:
+        """Fitness of the best individual found."""
+        return self.best.evaluated_fitness()
+
+    @property
+    def generations(self) -> int:
+        """Number of evolutionary steps executed."""
+        return self.log.generations - 1  # entry 0 is the initial population
+
+    @property
+    def evaluations(self) -> int:
+        """Total number of fitness evaluations."""
+        return self.log.total_evaluations
+
+
+class EvolutionStrategy:
+    """A (mu + lambda) or (mu, lambda) evolution strategy.
+
+    Parameters
+    ----------
+    mu:
+        Number of parents kept in the population.
+    lam:
+        Number of offspring generated per generation.
+    mutation:
+        The variation operator applied to every offspring.
+    crossover:
+        Optional recombination applied (to two uniformly drawn parents)
+        *before* mutation, with probability ``crossover_rate``.  EMTS
+        leaves this ``None`` (mutation-only, Section III-C).
+    selection:
+        ``"plus"`` (elitist, the paper's choice) or ``"comma"``.
+    """
+
+    def __init__(
+        self,
+        mu: int,
+        lam: int,
+        mutation: MutationOperator,
+        crossover: CrossoverOperator | None = None,
+        crossover_rate: float = 0.5,
+        selection: str = "plus",
+    ) -> None:
+        if mu < 1:
+            raise ConfigurationError(f"mu must be >= 1, got {mu}")
+        if lam < 1:
+            raise ConfigurationError(f"lambda must be >= 1, got {lam}")
+        if selection not in ("plus", "comma"):
+            raise ConfigurationError(
+                f"selection must be 'plus' or 'comma', got {selection!r}"
+            )
+        if selection == "comma" and lam < mu:
+            raise ConfigurationError(
+                f"comma selection needs lambda >= mu ({lam} < {mu})"
+            )
+        if not (0.0 <= crossover_rate <= 1.0):
+            raise ConfigurationError(
+                f"crossover_rate must lie in [0, 1], got {crossover_rate}"
+            )
+        self.mu = int(mu)
+        self.lam = int(lam)
+        self.mutation = mutation
+        self.crossover = crossover
+        self.crossover_rate = float(crossover_rate)
+        self.selection = selection
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        individuals: list[Individual],
+        fitness: FitnessFunction,
+    ) -> int:
+        evals = 0
+        for ind in individuals:
+            if not ind.evaluated:
+                ind.fitness = float(fitness(ind.genome))
+                evals += 1
+        return evals
+
+    def evolve(
+        self,
+        initial: Sequence[Individual],
+        fitness: FitnessFunction,
+        rng: np.random.Generator,
+        termination: TerminationCriterion | None = None,
+        total_generations: int | None = None,
+        on_generation_start=None,
+    ) -> EvolutionResult:
+        """Run the strategy from the given starting individuals.
+
+        Parameters
+        ----------
+        initial:
+            Starting individuals (EMTS: the heuristic seeds plus mutated
+            copies); padded/truncated to ``mu`` after evaluation.
+        fitness:
+            Objective to minimize; may return ``inf`` to reject.
+        rng:
+            Random source for parent choice and operators.
+        termination:
+            Stop condition; defaults to ``GenerationLimit(total_generations)``.
+        total_generations:
+            The annealing horizon ``U`` handed to the mutation operator;
+            defaults to the generation limit when one is used.
+        on_generation_start:
+            Optional hook called with ``(parents, generation)`` before
+            each generation's offspring are created — used by EMTS's
+            rejection strategy to derive a sound fitness abort bound
+            from the current survivor set.
+        """
+        if not initial:
+            raise ConfigurationError("need at least one initial individual")
+        if termination is None:
+            if total_generations is None:
+                raise ConfigurationError(
+                    "provide either a termination criterion or "
+                    "total_generations"
+                )
+            termination = GenerationLimit(total_generations)
+        if total_generations is None:
+            total_generations = (
+                termination.limit
+                if isinstance(termination, GenerationLimit)
+                else 10
+            )
+
+        log = EvolutionLog()
+        termination.start()
+
+        t0 = time.perf_counter()
+        population = [
+            Individual(
+                genome=ind.genome,
+                fitness=ind.fitness,
+                origin=ind.origin,
+                generation=0,
+            )
+            for ind in initial
+        ]
+        evals = self._evaluate(population, fitness)
+        population = plus_selection(population, [], min(self.mu, len(population)))
+        log.append(
+            GenerationStats.from_population(
+                0, population, evals, time.perf_counter() - t0
+            )
+        )
+
+        generation = 0
+        while not termination.should_stop(log):
+            generation += 1
+            if on_generation_start is not None:
+                on_generation_start(population, generation)
+            t0 = time.perf_counter()
+            offspring: list[Individual] = []
+            for _ in range(self.lam):
+                parent = population[int(rng.integers(len(population)))]
+                genome = parent.genome
+                origin = "mutation"
+                if (
+                    self.crossover is not None
+                    and len(population) > 1
+                    and rng.random() < self.crossover_rate
+                ):
+                    mate = population[
+                        int(rng.integers(len(population)))
+                    ]
+                    genome = self.crossover.crossover(
+                        genome, mate.genome, rng
+                    )
+                    origin = "crossover+mutation"
+                child_genome = self.mutation.mutate(
+                    genome, rng, generation, total_generations
+                )
+                offspring.append(
+                    parent.with_genome(child_genome, origin, generation)
+                )
+            evals = self._evaluate(offspring, fitness)
+            if self.selection == "plus":
+                population = plus_selection(
+                    population, offspring, self.mu
+                )
+            else:
+                population = comma_selection(
+                    population, offspring, self.mu
+                )
+            log.append(
+                GenerationStats.from_population(
+                    generation,
+                    population,
+                    evals,
+                    time.perf_counter() - t0,
+                )
+            )
+
+        return EvolutionResult(
+            best=best_of(population), population=population, log=log
+        )

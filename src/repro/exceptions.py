@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish graph problems from scheduling
+problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ValidationError",
+    "PlatformError",
+    "AllocationError",
+    "ScheduleError",
+    "SimulationError",
+    "ModelError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A parallel task graph is structurally invalid."""
+
+
+class CycleError(GraphError):
+    """A task graph contains a dependency cycle (must be a DAG)."""
+
+
+class ValidationError(ReproError):
+    """An object failed an internal consistency check."""
+
+
+class PlatformError(ReproError):
+    """A platform description is invalid (e.g. non-positive speed)."""
+
+
+class AllocationError(ReproError):
+    """A processor-allocation vector is invalid for a PTG/platform pair."""
+
+
+class ScheduleError(ReproError):
+    """A schedule violates precedence or resource constraints."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency."""
+
+
+class ModelError(ReproError):
+    """An execution-time model received invalid parameters."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm configuration is invalid (e.g. mu <= 0)."""

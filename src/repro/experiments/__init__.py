@@ -1,0 +1,53 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section V).
+
+Public API:
+
+* :func:`run_comparison`, :class:`ComparisonResult`, :class:`RunRecord` —
+  the generic scheduler-comparison harness;
+* :mod:`~repro.experiments.figures` — per-figure data generators;
+* :func:`measure_runtimes` — the Section V runtime table (E7);
+* :func:`mean_confidence_interval`, :func:`relative_makespans` — the
+  statistics of the paper's bar plots;
+* :func:`text_table`, :func:`write_csv` — report rendering.
+"""
+
+from . import figures
+from .convergence import ConvergenceResult, run_convergence_study
+from .harness import ComparisonResult, RunRecord, run_comparison
+from .metrics import MeanCI, mean_confidence_interval, relative_makespans
+from .report import format_panel, text_table, write_csv
+from .runtime import RuntimeCell, RuntimeReport, measure_runtimes
+from .scalability import ScalabilityResult, run_scalability_sweep
+from .sensitivity import SensitivityResult, run_sensitivity_study
+from .variants import (
+    VariantOutcome,
+    VariantsResult,
+    compare_variants,
+    default_variant_panel,
+)
+
+__all__ = [
+    "figures",
+    "RunRecord",
+    "ComparisonResult",
+    "run_comparison",
+    "MeanCI",
+    "mean_confidence_interval",
+    "relative_makespans",
+    "text_table",
+    "write_csv",
+    "format_panel",
+    "RuntimeCell",
+    "RuntimeReport",
+    "measure_runtimes",
+    "ScalabilityResult",
+    "run_scalability_sweep",
+    "ConvergenceResult",
+    "run_convergence_study",
+    "SensitivityResult",
+    "run_sensitivity_study",
+    "VariantOutcome",
+    "VariantsResult",
+    "compare_variants",
+    "default_variant_panel",
+]

@@ -1,0 +1,113 @@
+"""Convergence study: best makespan versus evolutionary budget.
+
+Section V discusses why EMTS10 barely beats EMTS5 on regular PTGs (the
+solutions EMTS5 finds are already efficient; the shared random seed means
+EMTS10 revisits them) while irregular PTGs keep improving.  This harness
+makes that visible: it runs EMTS variants on shared problems and extracts
+the full best-fitness-per-generation trajectories — the data behind any
+"quality vs. budget" plot and behind the paper's future-work question of
+how to spend less time in the evolutionary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..core import EMTS
+from ..graph import PTG
+from ..platform import Cluster
+from ..timemodels import ExecutionTimeModel, TimeTable
+from .report import text_table
+
+__all__ = ["ConvergenceResult", "run_convergence_study"]
+
+
+@dataclass
+class ConvergenceResult:
+    """Best-fitness trajectories of several EMTS variants."""
+
+    # variant name -> per-problem trajectories (generation -> best)
+    trajectories: dict[str, list[np.ndarray]]
+    seed_best: list[float]  # best seed makespan per problem
+
+    def mean_relative_trajectory(self, variant: str) -> np.ndarray:
+        """Mean of best(gen)/best-seed over the problems.
+
+        Values <= 1; lower means more improvement over the seeds.
+        Trajectories of different lengths are aligned on generations
+        (shorter runs hold their final value).
+        """
+        runs = self.trajectories[variant]
+        length = max(len(t) for t in runs)
+        rel = np.empty((len(runs), length))
+        for i, (traj, seed_ms) in enumerate(
+            zip(runs, self.seed_best)
+        ):
+            padded = np.concatenate(
+                [traj, np.full(length - len(traj), traj[-1])]
+            )
+            rel[i] = padded / seed_ms
+        return rel.mean(axis=0)
+
+    def final_improvement(self, variant: str) -> float:
+        """Mean final gain over the seeds, ``1 / relative`` at the end."""
+        return float(1.0 / self.mean_relative_trajectory(variant)[-1])
+
+    def render(self) -> str:
+        """Table: one row per generation, one column per variant."""
+        variants = sorted(self.trajectories)
+        curves = {
+            v: self.mean_relative_trajectory(v) for v in variants
+        }
+        length = max(len(c) for c in curves.values())
+        rows = []
+        for g in range(length):
+            row = [g]
+            for v in variants:
+                c = curves[v]
+                row.append(float(c[min(g, len(c) - 1)]))
+            rows.append(row)
+        return text_table(
+            ["gen"] + [f"best/seed ({v})" for v in variants], rows
+        )
+
+
+def run_convergence_study(
+    ptgs: list[PTG],
+    cluster: Cluster,
+    model: ExecutionTimeModel,
+    variants: list[EMTS],
+    seed: int | None = None,
+) -> ConvergenceResult:
+    """Run every variant on every problem and collect trajectories.
+
+    All variants of one problem share the same RNG seed, mirroring the
+    paper's setup ("the random generator uses the same (random) seed for
+    all experiments", which is why EMTS10 rediscovers EMTS5's
+    solutions).
+    """
+    trajectories: dict[str, list[np.ndarray]] = {
+        v.name: [] for v in variants
+    }
+    seed_best: list[float] = []
+    stream = ensure_generator(seed, "convergence")
+    for ptg in ptgs:
+        table = TimeTable.build(model, ptg, cluster)
+        problem_seed = int(stream.integers(0, 2**63 - 1))
+        recorded_seed = None
+        for variant in variants:
+            result = variant.schedule(
+                ptg, cluster, table, rng=problem_seed
+            )
+            trajectories[variant.name].append(
+                result.log.best_trajectory()
+            )
+            if recorded_seed is None:
+                recorded_seed = min(result.seed_makespans.values())
+        seed_best.append(float(recorded_seed))
+    return ConvergenceResult(
+        trajectories=trajectories, seed_best=seed_best
+    )

@@ -1,0 +1,180 @@
+"""Shared machinery for the relative-makespan figures (Figures 4 and 5).
+
+Both figures share one layout: four PTG-class panels (FFT, Strassen,
+layered n=100, irregular n=100), each showing the mean relative makespan
+``T_baseline / T_EMTS`` of MCPA and HCPA on Chti and Grelon, with 95 %
+confidence intervals.  This module builds the corpus panels, runs the
+comparison harness and aggregates into that structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..._rng import ensure_generator
+from ...allocation import HcpaAllocator, McpaAllocator
+from ...core import EMTS
+from ...platform import paper_platforms
+from ...timemodels import ExecutionTimeModel
+from ...workloads import (
+    fft_corpus,
+    irregular_corpus,
+    layered_corpus,
+    strassen_corpus,
+)
+from ..harness import ComparisonResult, run_comparison
+from ..metrics import MeanCI
+from ..report import text_table
+
+__all__ = [
+    "PANEL_ORDER",
+    "RelativeMakespanFigure",
+    "build_panels",
+    "run_relative_makespan_figure",
+]
+
+#: Panel titles in the paper's left-to-right order.
+PANEL_ORDER = ("fft", "strassen", "layered-100", "irregular-100")
+
+
+def build_panels(seed: int | None, scale: float) -> dict[str, list]:
+    """The four figure panels' PTG lists.
+
+    The paper's layered/irregular panels show the 100-task graphs
+    ("layered n=100", "irregular n=100"), so those corpora are generated
+    at size 100 only.
+    """
+    return {
+        "fft": fft_corpus(
+            ensure_generator(seed, "corpus", "fft"), scale
+        ),
+        "strassen": strassen_corpus(
+            ensure_generator(seed, "corpus", "strassen"), scale
+        ),
+        "layered-100": layered_corpus(
+            ensure_generator(seed, "corpus", "layered"),
+            scale,
+            sizes=(100,),
+        ),
+        "irregular-100": irregular_corpus(
+            ensure_generator(seed, "corpus", "irregular"),
+            scale,
+            sizes=(100,),
+        ),
+    }
+
+
+@dataclass
+class RelativeMakespanFigure:
+    """Aggregated data behind one Figure 4/5-style grid."""
+
+    emts_name: str
+    model_name: str
+    # (panel, platform, baseline) -> MeanCI of T_baseline / T_EMTS
+    cells: dict[tuple[str, str, str], MeanCI]
+    raw: ComparisonResult
+
+    @property
+    def panels(self) -> tuple[str, ...]:
+        """Panel labels, in the paper's order."""
+        found = {p for (p, _, _) in self.cells}
+        return tuple(p for p in PANEL_ORDER if p in found)
+
+    @property
+    def platforms(self) -> tuple[str, ...]:
+        """Platform labels."""
+        return tuple(sorted({pl for (_, pl, _) in self.cells}))
+
+    @property
+    def baselines(self) -> tuple[str, ...]:
+        """Baseline labels."""
+        return tuple(sorted({b for (_, _, b) in self.cells}))
+
+    def cell(
+        self, panel: str, platform: str, baseline: str
+    ) -> MeanCI:
+        """One bar of the figure."""
+        return self.cells[(panel, platform, baseline)]
+
+    def to_rows(self) -> list[dict]:
+        """Flat dict rows (CSV-friendly), one per figure bar."""
+        rows = []
+        for (panel, platform, baseline), ci in sorted(
+            self.cells.items()
+        ):
+            rows.append(
+                {
+                    "panel": panel,
+                    "platform": platform,
+                    "baseline": baseline,
+                    "emts": self.emts_name,
+                    "model": self.model_name,
+                    "mean": ci.mean,
+                    "ci95_low": ci.low,
+                    "ci95_high": ci.high,
+                    "n": ci.n,
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        """The whole grid as a text table (one row per bar)."""
+        rows = []
+        for panel in self.panels:
+            for baseline in self.baselines:
+                for platform in self.platforms:
+                    ci = self.cells[(panel, platform, baseline)]
+                    rows.append(
+                        [
+                            panel,
+                            baseline,
+                            platform,
+                            ci.mean,
+                            ci.low,
+                            ci.high,
+                            ci.n,
+                        ]
+                    )
+        return text_table(
+            [
+                "panel",
+                "baseline",
+                "platform",
+                f"T_base/T_{self.emts_name}",
+                "ci95_low",
+                "ci95_high",
+                "n",
+            ],
+            rows,
+        )
+
+
+def run_relative_makespan_figure(
+    model: ExecutionTimeModel,
+    emts: EMTS,
+    seed: int | None = None,
+    scale: float = 1.0,
+    panels: dict[str, list] | None = None,
+) -> RelativeMakespanFigure:
+    """Run the full comparison grid for one model and EMTS variant."""
+    if panels is None:
+        panels = build_panels(seed, scale)
+    platforms = list(paper_platforms())
+    baselines = [McpaAllocator(), HcpaAllocator()]
+    raw = run_comparison(
+        panels, platforms, model, emts, baselines, seed=seed
+    )
+    cells: dict[tuple[str, str, str], MeanCI] = {}
+    for panel in panels:
+        for cluster in platforms:
+            subset = raw.filter(ptg_class=panel, platform=cluster.name)
+            for b in baselines:
+                cells[(panel, cluster.name, b.name)] = (
+                    subset.relative_makespan(b.name)
+                )
+    return RelativeMakespanFigure(
+        emts_name=emts.name,
+        model_name=model.name,
+        cells=cells,
+        raw=raw,
+    )

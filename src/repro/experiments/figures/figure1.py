@@ -1,0 +1,86 @@
+"""Figure 1 — PDGEMM execution times are not monotone in p.
+
+The paper's Figure 1 shows measured PDGEMM wall times on the Cray XT4 of
+LBNL for matrix sizes 1024 and 2048 over 2..32 processors: time broadly
+falls with more processors but spikes at awkward counts.  We regenerate
+the figure from the PDGEMM-like analytic model (see
+:mod:`repro.timemodels.pdgemm` for the substitution rationale) and verify
+its defining property: the curve is **not** monotonically decreasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...timemodels import pdgemm_time
+from ..report import text_table
+
+__all__ = ["Figure1Data", "generate_figure1"]
+
+#: The matrix sizes shown in the paper's Figure 1.
+MATRIX_SIZES = (1024, 2048)
+#: Processor counts on the x-axis.
+PROCESSOR_RANGE = tuple(range(1, 33))
+
+
+@dataclass
+class Figure1Data:
+    """Modelled PDGEMM timing curves."""
+
+    matrix_sizes: tuple[int, ...]
+    processors: np.ndarray
+    times: dict[int, np.ndarray]  # matrix size -> seconds per p
+
+    def non_monotone(self, n: int) -> bool:
+        """True when the curve for matrix size ``n`` has an uphill step."""
+        t = self.times[n]
+        return bool(np.any(np.diff(t) > 0))
+
+    def spikes(self, n: int) -> list[int]:
+        """Processor counts where time increases vs. the previous count."""
+        t = self.times[n]
+        return [
+            int(self.processors[i + 1])
+            for i in range(len(t) - 1)
+            if t[i + 1] > t[i]
+        ]
+
+    def render(self) -> str:
+        """Text rendering of both curves."""
+        rows = []
+        for i, p in enumerate(self.processors):
+            rows.append(
+                [int(p)]
+                + [float(self.times[n][i]) for n in self.matrix_sizes]
+            )
+        headers = ["p"] + [f"n={n} [s]" for n in self.matrix_sizes]
+        body = text_table(headers, rows)
+        notes = [
+            f"n={n}: non-monotone={self.non_monotone(n)}, "
+            f"uphill at p={self.spikes(n)}"
+            for n in self.matrix_sizes
+        ]
+        return body + "\n".join(notes) + "\n"
+
+
+def generate_figure1(
+    matrix_sizes: tuple[int, ...] = MATRIX_SIZES,
+    processors: tuple[int, ...] = PROCESSOR_RANGE,
+    speed_flops: float = 8.0e9,
+) -> Figure1Data:
+    """Compute the PDGEMM-like timing curves of Figure 1."""
+    p = np.asarray(processors, dtype=np.int64)
+    times = {
+        n: np.array(
+            [
+                pdgemm_time(n, int(pi), speed_flops=speed_flops)
+                for pi in p
+            ]
+        )
+        for n in matrix_sizes
+    }
+    return Figure1Data(
+        matrix_sizes=tuple(matrix_sizes), processors=p, times=times
+    )

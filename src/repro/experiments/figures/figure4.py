@@ -1,0 +1,42 @@
+"""Figure 4 — relative makespan under Model 1 (Amdahl).
+
+Average relative makespan of MCPA and HCPA compared to EMTS5
+(``T_MCPA / T_EMTS5`` etc.) for FFT, Strassen, layered n=100 and
+irregular n=100 PTGs on Chti and Grelon, with 95 % confidence intervals.
+
+Paper findings this figure must reproduce in shape:
+
+* all ratios >= 1 (the plus-strategy EA, seeded with the heuristics' own
+  solutions, can never lose to them);
+* only slight improvement over MCPA on regular PTGs (MCPA exploits their
+  level parallelism well);
+* significant improvement over HCPA, and on irregular PTGs generally;
+* larger improvements on Grelon (120 procs) than on Chti (20 procs).
+"""
+
+from __future__ import annotations
+
+from ...core import emts5
+from ...timemodels import AmdahlModel
+from .comparison import (
+    RelativeMakespanFigure,
+    run_relative_makespan_figure,
+)
+
+__all__ = ["generate_figure4"]
+
+
+def generate_figure4(
+    seed: int | None = None,
+    scale: float = 1.0,
+    panels: dict | None = None,
+) -> RelativeMakespanFigure:
+    """Run the Figure 4 experiment (Model 1, EMTS5).
+
+    ``scale`` shrinks the corpus for quick runs; the full paper corpus
+    (400 FFT + 100 Strassen + 36 layered-100 + 108 irregular-100 PTGs,
+    each on two platforms) is ``scale=1``.
+    """
+    return run_relative_makespan_figure(
+        AmdahlModel(), emts5(), seed=seed, scale=scale, panels=panels
+    )

@@ -1,0 +1,184 @@
+"""Experiment harness: run scheduler comparisons over PTG corpora.
+
+One :class:`RunRecord` is produced per (PTG, platform) pair: the EMTS
+makespan and run time plus the makespan of every baseline heuristic, all
+computed against a *shared* time table so every algorithm sees identical
+task-time predictions.  Aggregation then reproduces the paper's
+per-class / per-platform relative-makespan summaries (Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import ensure_generator, iter_seeds
+from ..allocation import AllocationHeuristic
+from ..core import EMTS
+from ..graph import PTG
+from ..mapping import makespan_of
+from ..platform import Cluster
+from ..timemodels import ExecutionTimeModel, TimeTable
+from .metrics import MeanCI, mean_confidence_interval, relative_makespans
+
+__all__ = ["RunRecord", "ComparisonResult", "run_comparison"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Result of scheduling one PTG on one platform with one model."""
+
+    ptg_name: str
+    ptg_class: str
+    num_tasks: int
+    platform: str
+    model: str
+    emts_name: str
+    emts_makespan: float
+    emts_seconds: float
+    baseline_makespans: dict[str, float]
+
+    def relative(self, baseline: str) -> float:
+        """``T_baseline / T_EMTS`` for this instance."""
+        return self.baseline_makespans[baseline] / self.emts_makespan
+
+
+@dataclass
+class ComparisonResult:
+    """All records of one comparison sweep, with aggregation helpers."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def filter(
+        self,
+        ptg_class: str | None = None,
+        platform: str | None = None,
+        model: str | None = None,
+    ) -> "ComparisonResult":
+        """Subset matching the given attributes."""
+        out = [
+            r
+            for r in self.records
+            if (ptg_class is None or r.ptg_class == ptg_class)
+            and (platform is None or r.platform == platform)
+            and (model is None or r.model == model)
+        ]
+        return ComparisonResult(out)
+
+    @property
+    def baselines(self) -> tuple[str, ...]:
+        """Baseline names present in the records."""
+        if not self.records:
+            return ()
+        return tuple(sorted(self.records[0].baseline_makespans))
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """PTG classes present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.ptg_class, None)
+        return tuple(seen)
+
+    @property
+    def platforms(self) -> tuple[str, ...]:
+        """Platforms present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.platform, None)
+        return tuple(seen)
+
+    def relative_makespan(self, baseline: str) -> MeanCI:
+        """Mean +- 95 % CI of ``T_baseline / T_EMTS`` over the records."""
+        base = np.array(
+            [r.baseline_makespans[baseline] for r in self.records]
+        )
+        emts = np.array([r.emts_makespan for r in self.records])
+        return mean_confidence_interval(relative_makespans(base, emts))
+
+    def to_rows(self) -> list[dict]:
+        """Flat dict rows (CSV-friendly)."""
+        rows = []
+        for r in self.records:
+            row = {
+                "ptg": r.ptg_name,
+                "class": r.ptg_class,
+                "tasks": r.num_tasks,
+                "platform": r.platform,
+                "model": r.model,
+                "emts": r.emts_name,
+                "emts_makespan": r.emts_makespan,
+                "emts_seconds": r.emts_seconds,
+            }
+            for name, ms in r.baseline_makespans.items():
+                row[f"makespan_{name}"] = ms
+            rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def run_comparison(
+    ptgs: dict[str, list[PTG]],
+    platforms: list[Cluster],
+    model: ExecutionTimeModel,
+    emts: EMTS,
+    baselines: list[AllocationHeuristic],
+    seed: int | None = None,
+) -> ComparisonResult:
+    """Schedule every PTG on every platform with EMTS and all baselines.
+
+    Parameters
+    ----------
+    ptgs:
+        PTG lists keyed by class label (``{"fft": [...], ...}``).
+    platforms:
+        Clusters to evaluate on (the paper: Chti and Grelon).
+    model:
+        Execution-time model shared by all algorithms.
+    emts:
+        The configured EMTS instance.
+    baselines:
+        Heuristics to compare against (the paper: MCPA and HCPA).
+    seed:
+        Root seed; each (class, platform, instance) triple gets its own
+        derived stream, so adding a class never perturbs another's
+        results.
+    """
+    result = ComparisonResult()
+    for cluster in platforms:
+        for cls, graphs in ptgs.items():
+            stream = ensure_generator(
+                seed, "harness", cluster.name, cls
+            )
+            seeds = iter_seeds(stream)
+            for ptg in graphs:
+                table = TimeTable.build(model, ptg, cluster)
+                base_ms = {
+                    b.name: makespan_of(
+                        ptg, table, b.allocate(ptg, table)
+                    )
+                    for b in baselines
+                }
+                t0 = time.perf_counter()
+                emts_result = emts.schedule(
+                    ptg, cluster, table, rng=next(seeds)
+                )
+                seconds = time.perf_counter() - t0
+                result.records.append(
+                    RunRecord(
+                        ptg_name=ptg.name,
+                        ptg_class=cls,
+                        num_tasks=ptg.num_tasks,
+                        platform=cluster.name,
+                        model=model.name,
+                        emts_name=emts.name,
+                        emts_makespan=emts_result.makespan,
+                        emts_seconds=seconds,
+                        baseline_makespans=base_ms,
+                    )
+                )
+    return result

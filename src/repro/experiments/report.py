@@ -1,0 +1,64 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["text_table", "write_csv", "format_panel"]
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospaced table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(c) if isinstance(c, float) else str(c)
+                for c in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(
+    rows: list[Mapping], path: str | Path | None = None
+) -> str:
+    """Serialize dict rows as CSV; optionally write to ``path``."""
+    if not rows:
+        return ""
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def format_panel(title: str, body: str) -> str:
+    """A titled section in the style of the paper's figure panels."""
+    bar = "=" * max(len(title), 8)
+    return f"{title}\n{bar}\n{body}\n"

@@ -1,0 +1,127 @@
+"""Platform-scalability study (extension of the paper's observation).
+
+Section V-A notes that "EMTS performs comparatively better for larger
+platforms … the probability of finding a better allocation increases
+when the size of the platform increases".  The paper supports this with
+the two fixed platforms (20 vs 120 processors); this harness sweeps the
+platform size explicitly and produces the full trend curve: mean
+relative makespan ``T_MCPA / T_EMTS5`` as a function of ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_generator, iter_seeds
+from ..allocation import McpaAllocator
+from ..core import EMTS, emts5
+from ..graph import PTG
+from ..mapping import makespan_of
+from ..platform import Cluster
+from ..timemodels import ExecutionTimeModel, SyntheticModel, TimeTable
+from .metrics import MeanCI, mean_confidence_interval
+from .report import text_table
+
+__all__ = ["ScalabilityResult", "run_scalability_sweep"]
+
+#: Default processor counts of the sweep (Chti and Grelon included).
+DEFAULT_SIZES = (10, 20, 40, 80, 120, 160)
+
+
+@dataclass
+class ScalabilityResult:
+    """Relative makespan of EMTS vs MCPA per platform size."""
+
+    sizes: tuple[int, ...]
+    cells: dict[int, MeanCI]  # P -> mean T_MCPA / T_EMTS
+    model_name: str
+    emts_name: str
+
+    def trend_is_nondecreasing(self, slack: float = 0.05) -> bool:
+        """True when the mean gain never drops by more than ``slack``
+        from one size to the next (the paper's qualitative claim)."""
+        means = [self.cells[p].mean for p in self.sizes]
+        return all(
+            b >= a - slack for a, b in zip(means, means[1:])
+        )
+
+    def render(self) -> str:
+        """Text table of the sweep."""
+        rows = [
+            [
+                p,
+                self.cells[p].mean,
+                self.cells[p].low,
+                self.cells[p].high,
+                self.cells[p].n,
+            ]
+            for p in self.sizes
+        ]
+        return text_table(
+            [
+                "P",
+                f"T_mcpa/T_{self.emts_name}",
+                "ci95_low",
+                "ci95_high",
+                "n",
+            ],
+            rows,
+        )
+
+
+def run_scalability_sweep(
+    ptgs: list[PTG],
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    model: ExecutionTimeModel | None = None,
+    emts: EMTS | None = None,
+    speed_gflops: float = 3.1,
+    seed: int | None = None,
+) -> ScalabilityResult:
+    """Measure EMTS's gain over MCPA across platform sizes.
+
+    Parameters
+    ----------
+    ptgs:
+        The workload instances (shared across all platform sizes, so the
+        only varying factor is ``P``).
+    sizes:
+        Processor counts to sweep.
+    model:
+        Execution-time model (default: the non-monotone Model 2, where
+        the effect is most pronounced).
+    emts:
+        EMTS variant (default: EMTS5).
+    speed_gflops:
+        Per-processor speed (default: Grelon's).
+    """
+    model = model or SyntheticModel()
+    emts = emts or emts5()
+    cells: dict[int, MeanCI] = {}
+    for P in sizes:
+        cluster = Cluster(
+            name=f"sweep-{P}",
+            num_processors=P,
+            speed_gflops=speed_gflops,
+        )
+        seeds = iter_seeds(
+            ensure_generator(seed, "scalability", str(P))
+        )
+        ratios = []
+        for ptg in ptgs:
+            table = TimeTable.build(model, ptg, cluster)
+            mcpa_ms = makespan_of(
+                ptg, table, McpaAllocator().allocate(ptg, table)
+            )
+            result = emts.schedule(
+                ptg, cluster, table, rng=next(seeds)
+            )
+            ratios.append(mcpa_ms / result.makespan)
+        cells[P] = mean_confidence_interval(np.asarray(ratios))
+    return ScalabilityResult(
+        sizes=tuple(sizes),
+        cells=cells,
+        model_name=model.name,
+        emts_name=emts.name,
+    )

@@ -1,0 +1,146 @@
+"""Parameter-sensitivity study for EMTS.
+
+The paper fixes its EA parameters to "reasonable values" (Δ = 0.9,
+f_m = 0.33, σ = 5, a = 0.2) and explicitly declines to tune them — "we
+are not primarily interested in finding the best parameters for each
+case".  This harness answers the obvious follow-up question: *how much
+does it matter?*  For each parameter it sweeps a value grid while
+holding the others at the paper's settings, and reports the mean
+makespan (relative to the paper-default run) per value.
+
+A flat profile around the default validates the paper's choice; a steep
+profile flags a parameter a practitioner should tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_generator, iter_seeds
+from ..core import EMTS, EMTSConfig, emts5_config
+from ..graph import PTG
+from ..platform import Cluster
+from ..timemodels import ExecutionTimeModel, TimeTable
+from .report import text_table
+
+__all__ = ["SensitivityResult", "run_sensitivity_study", "DEFAULT_GRIDS"]
+
+#: Default value grids per tunable parameter (paper values included).
+DEFAULT_GRIDS: dict[str, tuple] = {
+    "fm": (0.1, 0.2, 0.33, 0.5, 0.8),
+    "shrink_probability": (0.0, 0.1, 0.2, 0.4, 0.6),
+    "sigma": (1.0, 2.0, 5.0, 10.0, 20.0),
+    "delta": (0.5, 0.7, 0.9, 1.0),
+}
+
+#: The paper's setting of each swept parameter.
+PAPER_VALUES = {
+    "fm": 0.33,
+    "shrink_probability": 0.2,
+    "sigma": 5.0,
+    "delta": 0.9,
+}
+
+
+def _config_with(parameter: str, value: float) -> EMTSConfig:
+    base = emts5_config()
+    if parameter == "sigma":
+        return base.with_updates(
+            sigma_stretch=value, sigma_shrink=value
+        )
+    return base.with_updates(**{parameter: value})
+
+
+@dataclass
+class SensitivityResult:
+    """Mean relative makespan per (parameter, value)."""
+
+    # parameter -> {value: mean makespan / mean paper-default makespan}
+    profiles: dict[str, dict[float, float]]
+    baseline_makespan: float  # mean makespan at the paper's settings
+
+    def profile(self, parameter: str) -> dict[float, float]:
+        """The swept curve of one parameter (1.0 = paper default)."""
+        return self.profiles[parameter]
+
+    def worst_degradation(self, parameter: str) -> float:
+        """Largest relative makespan across the grid (>= 1 means the
+        paper's value is at least as good as the worst grid point)."""
+        return max(self.profiles[parameter].values())
+
+    def flat_within(self, parameter: str, slack: float) -> bool:
+        """True when every grid value lands within ``slack`` of the
+        paper default's quality."""
+        return all(
+            v <= 1.0 + slack
+            for v in self.profiles[parameter].values()
+        )
+
+    def render(self) -> str:
+        """One table row per (parameter, value)."""
+        rows = []
+        for parameter, profile in self.profiles.items():
+            for value, rel in sorted(profile.items()):
+                marker = (
+                    " (paper)"
+                    if value == PAPER_VALUES.get(parameter)
+                    else ""
+                )
+                rows.append(
+                    [parameter, f"{value:g}{marker}", rel]
+                )
+        return text_table(
+            ["parameter", "value", "makespan / paper-default"], rows
+        )
+
+
+def run_sensitivity_study(
+    ptgs: list[PTG],
+    cluster: Cluster,
+    model: ExecutionTimeModel,
+    grids: dict[str, tuple] | None = None,
+    seed: int | None = None,
+) -> SensitivityResult:
+    """Sweep each parameter's grid on the given problems.
+
+    Every (parameter, value) cell schedules all ``ptgs`` with the same
+    per-problem RNG seeds, so cells are directly comparable.
+    """
+    grids = grids or DEFAULT_GRIDS
+    tables = [
+        TimeTable.build(model, ptg, cluster) for ptg in ptgs
+    ]
+    problem_seeds = [
+        s
+        for s, _ in zip(
+            iter_seeds(ensure_generator(seed, "sensitivity")), ptgs
+        )
+    ]
+
+    def mean_makespan(config: EMTSConfig) -> float:
+        algorithm = EMTS(config)
+        values = [
+            algorithm.schedule(
+                ptg, cluster, table, rng=problem_seed
+            ).makespan
+            for ptg, table, problem_seed in zip(
+                ptgs, tables, problem_seeds
+            )
+        ]
+        return float(np.mean(values))
+
+    baseline = mean_makespan(emts5_config())
+    profiles: dict[str, dict[float, float]] = {}
+    for parameter, grid in grids.items():
+        profiles[parameter] = {
+            float(value): mean_makespan(
+                _config_with(parameter, value)
+            )
+            / baseline
+            for value in grid
+        }
+    return SensitivityResult(
+        profiles=profiles, baseline_makespan=baseline
+    )

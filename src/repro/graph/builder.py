@@ -1,0 +1,134 @@
+"""Incremental construction of parallel task graphs.
+
+:class:`PTG` objects are immutable; :class:`PTGBuilder` offers the usual
+mutable-builder pattern used by every workload generator in
+:mod:`repro.workloads`:
+
+>>> from repro.graph import PTGBuilder
+>>> b = PTGBuilder("demo")
+>>> a = b.add_task("a", work=1e9)
+>>> c = b.add_task("c", work=2e9, alpha=0.1)
+>>> b.add_edge(a, c)
+>>> ptg = b.build()
+>>> ptg.num_tasks, ptg.num_edges
+(2, 1)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..exceptions import GraphError
+from .ptg import PTG, Task
+
+__all__ = ["PTGBuilder", "chain", "fork_join"]
+
+
+class PTGBuilder:
+    """Mutable builder that produces an immutable :class:`PTG`."""
+
+    def __init__(self, name: str = "ptg") -> None:
+        self.name = name
+        self._tasks: list[Task] = []
+        self._index_of: dict[str, int] = {}
+        self._edges: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        name: str,
+        work: float,
+        alpha: float = 0.0,
+        data_size: float = 0.0,
+        kind: str = "task",
+    ) -> int:
+        """Append a task and return its index."""
+        if name in self._index_of:
+            raise GraphError(f"duplicate task name {name!r}")
+        task = Task(
+            name=name,
+            work=work,
+            alpha=alpha,
+            data_size=data_size,
+            kind=kind,
+        )
+        idx = len(self._tasks)
+        self._tasks.append(task)
+        self._index_of[name] = idx
+        return idx
+
+    def add_edge(self, src: int | str, dst: int | str) -> None:
+        """Add a dependency edge ``src -> dst`` (by index or by name)."""
+        u = self._resolve(src)
+        v = self._resolve(dst)
+        if u == v:
+            raise GraphError(f"self-loop on task index {u}")
+        self._edges.append((u, v))
+
+    def add_edges(
+        self, pairs: Iterable[tuple[int | str, int | str]]
+    ) -> None:
+        """Add several edges at once."""
+        for u, v in pairs:
+            self.add_edge(u, v)
+
+    def _resolve(self, ref: int | str) -> int:
+        if isinstance(ref, str):
+            try:
+                return self._index_of[ref]
+            except KeyError:
+                raise GraphError(f"unknown task name {ref!r}") from None
+        idx = int(ref)
+        if not (0 <= idx < len(self._tasks)):
+            raise GraphError(f"task index {idx} out of range")
+        return idx
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Tasks added so far."""
+        return len(self._tasks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index_of
+
+    def build(self) -> PTG:
+        """Validate and freeze into a :class:`PTG` (checks acyclicity)."""
+        return PTG(self._tasks, self._edges, name=self.name)
+
+
+# ----------------------------------------------------------------------
+# tiny convenience factories used across tests, docs, and examples
+# ----------------------------------------------------------------------
+def chain(lengths: Iterable[float], name: str = "chain") -> PTG:
+    """A linear chain of tasks with the given FLOP costs."""
+    b = PTGBuilder(name)
+    prev: int | None = None
+    for i, w in enumerate(lengths):
+        cur = b.add_task(f"t{i}", work=w)
+        if prev is not None:
+            b.add_edge(prev, cur)
+        prev = cur
+    return b.build()
+
+
+def fork_join(
+    branch_works: Iterable[float],
+    head_work: float = 1.0,
+    tail_work: float = 1.0,
+    name: str = "fork-join",
+) -> PTG:
+    """A fork-join PTG: head -> N parallel branches -> tail."""
+    b = PTGBuilder(name)
+    head = b.add_task("head", work=head_work)
+    tail_refs = []
+    for i, w in enumerate(branch_works):
+        t = b.add_task(f"branch{i}", work=w)
+        b.add_edge(head, t)
+        tail_refs.append(t)
+    tail = b.add_task("tail", work=tail_work)
+    for t in tail_refs:
+        b.add_edge(t, tail)
+    if not tail_refs:
+        b.add_edge(head, tail)
+    return b.build()

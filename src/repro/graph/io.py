@@ -1,0 +1,123 @@
+"""Serialization of parallel task graphs.
+
+Two formats are supported:
+
+* **JSON** — lossless round-trip of every task attribute; the library's
+  native interchange format (used by the CLI to save generated corpora).
+* **DOT** — Graphviz export for visual inspection of generated PTGs
+  (write-only; reading arbitrary DOT is out of scope).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import GraphError
+from .ptg import PTG, Task
+
+__all__ = [
+    "ptg_to_dict",
+    "ptg_from_dict",
+    "save_ptg",
+    "load_ptg",
+    "ptg_to_dot",
+    "save_corpus",
+    "load_corpus",
+]
+
+_FORMAT_VERSION = 1
+
+
+def ptg_to_dict(ptg: PTG) -> dict[str, Any]:
+    """Convert a PTG into a JSON-serializable dictionary."""
+    return {
+        "format": "repro-ptg",
+        "version": _FORMAT_VERSION,
+        "name": ptg.name,
+        "tasks": [
+            {
+                "name": t.name,
+                "work": t.work,
+                "alpha": t.alpha,
+                "data_size": t.data_size,
+                "kind": t.kind,
+            }
+            for t in ptg.tasks
+        ],
+        "edges": [[u, v] for u, v in ptg.edges],
+    }
+
+
+def ptg_from_dict(data: dict[str, Any]) -> PTG:
+    """Inverse of :func:`ptg_to_dict`."""
+    if data.get("format") != "repro-ptg":
+        raise GraphError(
+            f"not a repro PTG document (format={data.get('format')!r})"
+        )
+    if int(data.get("version", -1)) != _FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported PTG format version {data.get('version')!r}"
+        )
+    tasks = [
+        Task(
+            name=str(t["name"]),
+            work=float(t["work"]),
+            alpha=float(t.get("alpha", 0.0)),
+            data_size=float(t.get("data_size", 0.0)),
+            kind=str(t.get("kind", "task")),
+        )
+        for t in data["tasks"]
+    ]
+    edges = [(int(u), int(v)) for u, v in data["edges"]]
+    return PTG(tasks, edges, name=str(data.get("name", "ptg")))
+
+
+def save_ptg(ptg: PTG, path: str | Path) -> None:
+    """Write one PTG to a JSON file."""
+    Path(path).write_text(
+        json.dumps(ptg_to_dict(ptg), indent=2), encoding="utf-8"
+    )
+
+
+def load_ptg(path: str | Path) -> PTG:
+    """Read one PTG from a JSON file."""
+    return ptg_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+def save_corpus(ptgs: list[PTG], path: str | Path) -> None:
+    """Write a list of PTGs into a single JSON file."""
+    doc = {
+        "format": "repro-ptg-corpus",
+        "version": _FORMAT_VERSION,
+        "ptgs": [ptg_to_dict(p) for p in ptgs],
+    }
+    Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+
+def load_corpus(path: str | Path) -> list[PTG]:
+    """Read a corpus file written by :func:`save_corpus`."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("format") != "repro-ptg-corpus":
+        raise GraphError(
+            f"not a repro corpus document (format={doc.get('format')!r})"
+        )
+    return [ptg_from_dict(d) for d in doc["ptgs"]]
+
+
+def ptg_to_dot(ptg: PTG, label_work: bool = True) -> str:
+    """Render a PTG as a Graphviz DOT string."""
+    lines = [f'digraph "{ptg.name}" {{', "  rankdir=TB;"]
+    for i, t in enumerate(ptg.tasks):
+        if label_work:
+            label = f"{t.name}\\n{t.work:.3g} FLOP"
+        else:
+            label = t.name
+        lines.append(f'  n{i} [label="{label}", shape=box];')
+    for u, v in ptg.edges:
+        lines.append(f"  n{u} -> n{v};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

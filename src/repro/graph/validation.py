@@ -1,0 +1,132 @@
+"""Deep structural validation of parallel task graphs.
+
+:class:`repro.graph.PTG` already enforces the hard invariants (acyclicity,
+unique names, valid edges) at construction time.  The checks here verify
+the *softer* properties the paper's workloads rely on and produce a
+human-readable report; the workload generators call :func:`validate_ptg`
+in their own test suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .analysis import precedence_levels
+from .ptg import PTG
+
+__all__ = ["ValidationReport", "validate_ptg", "is_layered", "is_connected"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_ptg`.
+
+    ``errors`` make the graph unusable for the paper's experiments;
+    ``warnings`` are merely suspicious (e.g. disconnected components).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found."""
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ValueError` summarizing errors, if any."""
+        if self.errors:
+            raise ValueError(
+                "PTG validation failed: " + "; ".join(self.errors)
+            )
+
+    def __str__(self) -> str:
+        lines = []
+        for e in self.errors:
+            lines.append(f"ERROR: {e}")
+        for w in self.warnings:
+            lines.append(f"WARNING: {w}")
+        return "\n".join(lines) if lines else "OK"
+
+
+def is_connected(ptg: PTG) -> bool:
+    """True when the underlying undirected graph is connected."""
+    n = ptg.num_tasks
+    if n <= 1:
+        return True
+    seen = np.zeros(n, dtype=bool)
+    stack = [0]
+    seen[0] = True
+    count = 1
+    while stack:
+        u = stack.pop()
+        for v in ptg.successors(u) + ptg.predecessors(u):
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                stack.append(v)
+    return count == n
+
+
+def is_layered(ptg: PTG) -> bool:
+    """True when every edge connects adjacent precedence levels.
+
+    This is the defining property of the paper's *layered* synthetic PTGs
+    (DAGGEN ``jump=0``); *irregular* PTGs may skip levels.
+    """
+    lv = precedence_levels(ptg)
+    return all(lv[v] - lv[u] == 1 for u, v in ptg.edges)
+
+
+def validate_ptg(
+    ptg: PTG,
+    max_data_size: float | None = None,
+    require_connected: bool = False,
+) -> ValidationReport:
+    """Run all soft checks on ``ptg`` and return a report.
+
+    Parameters
+    ----------
+    max_data_size:
+        If given, tasks whose ``data_size`` exceeds it are flagged (the
+        paper bounds ``d`` by 125e6 doubles — 1 GB of memory per node).
+    require_connected:
+        Treat disconnectedness as an error rather than a warning.
+    """
+    rep = ValidationReport()
+
+    work = ptg.work
+    if np.any(~np.isfinite(work)) or np.any(work <= 0):
+        rep.errors.append("some tasks have non-finite or non-positive work")
+
+    alpha = ptg.alpha
+    if np.any(alpha < 0) or np.any(alpha > 1):
+        rep.errors.append("some tasks have alpha outside [0, 1]")
+
+    if max_data_size is not None:
+        too_big = np.flatnonzero(ptg.data_size > max_data_size)
+        if too_big.size:
+            rep.errors.append(
+                f"{too_big.size} task(s) exceed max data_size "
+                f"{max_data_size:g} (first: {ptg.task(int(too_big[0])).name})"
+            )
+
+    if not is_connected(ptg):
+        msg = "graph is not (weakly) connected"
+        if require_connected:
+            rep.errors.append(msg)
+        else:
+            rep.warnings.append(msg)
+
+    n_src = len(ptg.sources)
+    n_snk = len(ptg.sinks)
+    if n_src == 0 or n_snk == 0:
+        # cannot actually happen in a DAG, but guard against regressions
+        rep.errors.append("graph has no source or no sink")
+    if n_src > max(1, ptg.num_tasks // 2):
+        rep.warnings.append(
+            f"unusually many sources ({n_src} of {ptg.num_tasks} tasks)"
+        )
+    return rep

@@ -1,0 +1,48 @@
+"""Mapping step: allocation vectors → concrete schedules (Section III-A).
+
+Public API:
+
+* :func:`map_allocations` — list scheduling by decreasing bottom level,
+  first-fit processor sets; returns a validated :class:`Schedule`;
+* :func:`makespan_of` — the same engine, makespan-only (the EA fitness
+  fast path), with the optional ``abort_above`` rejection strategy;
+* :class:`Schedule`, :class:`ScheduledTask` — schedule data model with
+  invariant checking;
+* :class:`ProcessorState` — processor-availability bookkeeping;
+* :func:`ascii_gantt` / :func:`svg_gantt` — Gantt rendering (Figure 6).
+"""
+
+from .gantt import ascii_gantt, save_svg_gantt, svg_gantt
+from .io import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .list_scheduler import (
+    PRIORITIES,
+    check_allocation,
+    makespan_lower_bound,
+    makespan_of,
+    map_allocations,
+)
+from .processor_state import ProcessorState
+from .schedule import Schedule, ScheduledTask
+
+__all__ = [
+    "map_allocations",
+    "makespan_of",
+    "check_allocation",
+    "makespan_lower_bound",
+    "PRIORITIES",
+    "Schedule",
+    "ScheduledTask",
+    "ProcessorState",
+    "ascii_gantt",
+    "svg_gantt",
+    "save_svg_gantt",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]

@@ -1,0 +1,122 @@
+"""Schedule serialization.
+
+Schedules are the hand-off artifact between the scheduler and whatever
+executes the workflow (the paper's scenario: the PTG scheduler runs
+inside a batch allocation granted by PBS).  The JSON format stores the
+platform, per-task placements, and enough of the PTG (name + task names)
+to detect mismatches on load; loading *requires* the original PTG so the
+schedule can be re-validated against the real precedence constraints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ScheduleError
+from ..graph import PTG
+from ..platform import Cluster, cluster_from_dict, cluster_to_dict
+from .schedule import Schedule
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Convert a schedule into a JSON-serializable dictionary."""
+    return {
+        "format": "repro-schedule",
+        "version": _FORMAT_VERSION,
+        "ptg_name": schedule.ptg.name,
+        "platform": cluster_to_dict(schedule.cluster),
+        "makespan": schedule.makespan,
+        "tasks": [
+            {
+                "name": schedule.ptg.task(v).name,
+                "start": float(schedule.start[v]),
+                "finish": float(schedule.finish[v]),
+                "processors": [
+                    int(p) for p in schedule.proc_sets[v]
+                ],
+            }
+            for v in range(schedule.ptg.num_tasks)
+        ],
+    }
+
+
+def schedule_from_dict(
+    data: dict[str, Any], ptg: PTG, validate: bool = True
+) -> Schedule:
+    """Rebuild a schedule against its original ``ptg``.
+
+    Placements are matched by task *name*, so the document survives task
+    reordering; unknown or missing tasks raise :class:`ScheduleError`.
+    """
+    if data.get("format") != "repro-schedule":
+        raise ScheduleError(
+            f"not a repro schedule document "
+            f"(format={data.get('format')!r})"
+        )
+    if int(data.get("version", -1)) != _FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format version "
+            f"{data.get('version')!r}"
+        )
+    cluster: Cluster = cluster_from_dict(data["platform"])
+
+    placements = {t["name"]: t for t in data["tasks"]}
+    V = ptg.num_tasks
+    missing = [
+        t.name for t in ptg.tasks if t.name not in placements
+    ]
+    if missing:
+        raise ScheduleError(
+            f"schedule document lacks placements for {missing[:5]}"
+        )
+    if len(placements) != V:
+        extra = set(placements) - {t.name for t in ptg.tasks}
+        raise ScheduleError(
+            f"schedule document has placements for unknown tasks: "
+            f"{sorted(extra)[:5]}"
+        )
+
+    start = np.empty(V, dtype=np.float64)
+    finish = np.empty(V, dtype=np.float64)
+    proc_sets = []
+    for v in range(V):
+        t = placements[ptg.task(v).name]
+        start[v] = float(t["start"])
+        finish[v] = float(t["finish"])
+        proc_sets.append(np.asarray(t["processors"], dtype=np.int64))
+    schedule = Schedule(ptg, cluster, start, finish, proc_sets)
+    if validate:
+        schedule.validate()
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write a schedule to a JSON file."""
+    Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule), indent=2),
+        encoding="utf-8",
+    )
+
+
+def load_schedule(
+    path: str | Path, ptg: PTG, validate: bool = True
+) -> Schedule:
+    """Read a schedule from a JSON file and re-validate it."""
+    return schedule_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8")),
+        ptg,
+        validate=validate,
+    )

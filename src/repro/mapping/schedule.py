@@ -1,0 +1,209 @@
+"""Schedule representation and invariant checking.
+
+A :class:`Schedule` is the final product of any scheduling algorithm in
+this library: for every task a start time, a finish time and a concrete
+processor set.  :meth:`Schedule.validate` independently re-checks the
+three invariants every valid mixed-parallel schedule must satisfy:
+
+1. *allocation consistency* — task ``v`` occupies exactly ``s(v)``
+   distinct processors, all within the platform;
+2. *precedence* — a task starts no earlier than the finish of each of its
+   predecessors;
+3. *exclusivity* — no processor executes two tasks at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ScheduleError
+from ..graph import PTG
+from ..platform import Cluster
+
+__all__ = ["Schedule", "ScheduledTask"]
+
+#: Numerical slack for start/finish comparisons.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of one task (a convenience view into a Schedule)."""
+
+    index: int
+    name: str
+    start: float
+    finish: float
+    processors: tuple[int, ...]
+
+    @property
+    def duration(self) -> float:
+        """Execution time of the placed task."""
+        return self.finish - self.start
+
+    @property
+    def allocation(self) -> int:
+        """Number of processors used."""
+        return len(self.processors)
+
+
+class Schedule:
+    """A complete schedule of a PTG on a cluster.
+
+    Parameters
+    ----------
+    ptg, cluster:
+        The scheduled application and platform.
+    start, finish:
+        Float arrays of length ``V``.
+    proc_sets:
+        For each task, the assigned processor indices (each an int array).
+    """
+
+    __slots__ = ("ptg", "cluster", "start", "finish", "proc_sets")
+
+    def __init__(
+        self,
+        ptg: PTG,
+        cluster: Cluster,
+        start: np.ndarray,
+        finish: np.ndarray,
+        proc_sets: list[np.ndarray],
+    ) -> None:
+        self.ptg = ptg
+        self.cluster = cluster
+        self.start = np.asarray(start, dtype=np.float64)
+        self.finish = np.asarray(finish, dtype=np.float64)
+        self.proc_sets = [
+            np.asarray(ps, dtype=np.int64) for ps in proc_sets
+        ]
+        V = ptg.num_tasks
+        if self.start.shape != (V,) or self.finish.shape != (V,):
+            raise ScheduleError(
+                f"start/finish must have shape ({V},), got "
+                f"{self.start.shape}/{self.finish.shape}"
+            )
+        if len(self.proc_sets) != V:
+            raise ScheduleError(
+                f"expected {V} processor sets, got {len(self.proc_sets)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Overall completion time — the paper's optimization objective."""
+        return float(self.finish.max())
+
+    @property
+    def allocations(self) -> np.ndarray:
+        """Allocation sizes ``s(v)`` recovered from the processor sets."""
+        return np.array(
+            [len(ps) for ps in self.proc_sets], dtype=np.int64
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the ``P x makespan`` area actually computing."""
+        ms = self.makespan
+        if ms <= 0:
+            return 0.0
+        area = float(
+            np.sum((self.finish - self.start) * self.allocations)
+        )
+        return area / (self.cluster.num_processors * ms)
+
+    def task(self, v: int) -> ScheduledTask:
+        """The placement of task ``v`` as a :class:`ScheduledTask`."""
+        return ScheduledTask(
+            index=v,
+            name=self.ptg.task(v).name,
+            start=float(self.start[v]),
+            finish=float(self.finish[v]),
+            processors=tuple(int(p) for p in self.proc_sets[v]),
+        )
+
+    def tasks_by_start(self) -> list[ScheduledTask]:
+        """All placements ordered by start time (ties: task index)."""
+        order = np.lexsort((np.arange(len(self.start)), self.start))
+        return [self.task(int(v)) for v in order]
+
+    # ------------------------------------------------------------------
+    def validate(self, times: np.ndarray | None = None) -> None:
+        """Raise :class:`ScheduleError` if any invariant is violated.
+
+        Parameters
+        ----------
+        times:
+            Optional expected durations; when given, each task's
+            ``finish - start`` must match.
+        """
+        V = self.ptg.num_tasks
+        P = self.cluster.num_processors
+
+        if np.any(self.start < -_EPS):
+            raise ScheduleError("negative start time")
+        if np.any(self.finish < self.start - _EPS):
+            raise ScheduleError("task finishes before it starts")
+
+        for v in range(V):
+            ps = self.proc_sets[v]
+            if ps.size == 0:
+                raise ScheduleError(
+                    f"task {self.ptg.task(v).name!r} has no processors"
+                )
+            if np.unique(ps).size != ps.size:
+                raise ScheduleError(
+                    f"task {self.ptg.task(v).name!r} lists a processor "
+                    "twice"
+                )
+            if ps.min() < 0 or ps.max() >= P:
+                raise ScheduleError(
+                    f"task {self.ptg.task(v).name!r} uses an unknown "
+                    "processor"
+                )
+
+        if times is not None:
+            times = np.asarray(times, dtype=np.float64)
+            durations = self.finish - self.start
+            if not np.allclose(durations, times, rtol=1e-9, atol=1e-9):
+                bad = int(np.argmax(np.abs(durations - times)))
+                raise ScheduleError(
+                    f"task {self.ptg.task(bad).name!r}: duration "
+                    f"{durations[bad]} != expected {times[bad]}"
+                )
+
+        for u, v in self.ptg.edges:
+            if self.start[v] < self.finish[u] - _EPS:
+                raise ScheduleError(
+                    f"precedence violated: {self.ptg.task(v).name!r} "
+                    f"starts at {self.start[v]} before "
+                    f"{self.ptg.task(u).name!r} finishes at "
+                    f"{self.finish[u]}"
+                )
+
+        # exclusivity: per processor, intervals must not overlap
+        per_proc: dict[int, list[tuple[float, float, int]]] = {}
+        for v in range(V):
+            for p in self.proc_sets[v]:
+                per_proc.setdefault(int(p), []).append(
+                    (float(self.start[v]), float(self.finish[v]), v)
+                )
+        for p, intervals in per_proc.items():
+            intervals.sort()
+            for (s1, f1, v1), (s2, f2, v2) in zip(
+                intervals, intervals[1:]
+            ):
+                if s2 < f1 - _EPS:
+                    raise ScheduleError(
+                        f"processor {p} double-booked by "
+                        f"{self.ptg.task(v1).name!r} and "
+                        f"{self.ptg.task(v2).name!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(ptg={self.ptg.name!r}, cluster={self.cluster.name!r},"
+            f" makespan={self.makespan:.6g})"
+        )

@@ -1,0 +1,94 @@
+"""Homogeneous cluster platform model (paper Sections II-A and IV-A).
+
+A platform is a set of ``P`` identical processors, each with the same
+computing speed (GFLOPS), fully interconnected so that every processor
+pair can communicate.  Communication costs between tasks are *not*
+modelled (paper Section III: "communication costs between tasks are not
+considered; if communication or data redistributions are necessary, they
+need to be included in the execution time model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import PlatformError
+
+__all__ = ["Cluster"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster.
+
+    Parameters
+    ----------
+    name:
+        Human-readable platform label (e.g. ``"chti"``).
+    num_processors:
+        Number of identical processors ``P``; each task may be allocated
+        ``1 <= p <= P`` of them.
+    speed_gflops:
+        Per-processor computing speed in GFLOPS, as measured by the paper
+        with HP-LinPACK.
+    """
+
+    name: str
+    num_processors: int
+    speed_gflops: float
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise PlatformError(
+                f"cluster {self.name!r}: num_processors must be >= 1, "
+                f"got {self.num_processors}"
+            )
+        if not self.speed_gflops > 0.0:
+            raise PlatformError(
+                f"cluster {self.name!r}: speed_gflops must be > 0, "
+                f"got {self.speed_gflops}"
+            )
+
+    @property
+    def speed_flops(self) -> float:
+        """Per-processor speed in FLOP/s."""
+        return self.speed_gflops * 1e9
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak of the whole cluster in FLOP/s."""
+        return self.num_processors * self.speed_flops
+
+    def sequential_time(self, work: float) -> float:
+        """Time (seconds) to run ``work`` FLOP on a single processor."""
+        if work < 0:
+            raise PlatformError(f"work must be >= 0, got {work}")
+        return work / self.speed_flops
+
+    def valid_allocation(self, p: int) -> bool:
+        """True if ``p`` processors is a feasible moldable allocation."""
+        return 1 <= p <= self.num_processors
+
+    def clamp_allocation(self, p: int) -> int:
+        """Clamp ``p`` into the feasible range ``[1, P]``."""
+        return max(1, min(int(p), self.num_processors))
+
+    def scaled(self, factor: int, name: str | None = None) -> "Cluster":
+        """A cluster with ``factor`` times as many processors.
+
+        Convenience for scalability studies (the paper observes EMTS gains
+        grow with platform size).
+        """
+        if factor < 1:
+            raise PlatformError(f"scale factor must be >= 1, got {factor}")
+        return Cluster(
+            name=name or f"{self.name}-x{factor}",
+            num_processors=self.num_processors * factor,
+            speed_gflops=self.speed_gflops,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_processors} procs @ "
+            f"{self.speed_gflops:g} GFLOPS"
+        )

@@ -1,0 +1,103 @@
+"""Platform-file I/O.
+
+The paper's simulator "reads a platform file, containing the processors'
+speed, and builds a platform model".  We support two formats:
+
+* **JSON** — ``{"name": ..., "num_processors": ..., "speed_gflops": ...}``
+* **text** — one line per cluster, ``<name> <num_processors> <speed_gflops>``
+  (comments start with ``#``), convenient for hand-written files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import PlatformError
+from .cluster import Cluster
+
+__all__ = [
+    "cluster_to_dict",
+    "cluster_from_dict",
+    "save_cluster",
+    "load_cluster",
+    "parse_platform_text",
+    "format_platform_text",
+]
+
+
+def cluster_to_dict(cluster: Cluster) -> dict:
+    """JSON-serializable representation of a cluster."""
+    return {
+        "format": "repro-platform",
+        "name": cluster.name,
+        "num_processors": cluster.num_processors,
+        "speed_gflops": cluster.speed_gflops,
+    }
+
+
+def cluster_from_dict(data: dict) -> Cluster:
+    """Inverse of :func:`cluster_to_dict`."""
+    if data.get("format") != "repro-platform":
+        raise PlatformError(
+            f"not a repro platform document (format={data.get('format')!r})"
+        )
+    try:
+        return Cluster(
+            name=str(data["name"]),
+            num_processors=int(data["num_processors"]),
+            speed_gflops=float(data["speed_gflops"]),
+        )
+    except KeyError as exc:
+        raise PlatformError(f"platform document missing key {exc}") from None
+
+
+def save_cluster(cluster: Cluster, path: str | Path) -> None:
+    """Write one cluster description to a JSON file."""
+    Path(path).write_text(
+        json.dumps(cluster_to_dict(cluster), indent=2), encoding="utf-8"
+    )
+
+
+def load_cluster(path: str | Path) -> Cluster:
+    """Read one cluster description from a JSON file."""
+    return cluster_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+def parse_platform_text(text: str) -> list[Cluster]:
+    """Parse the line-oriented text format into clusters."""
+    clusters: list[Cluster] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise PlatformError(
+                f"line {lineno}: expected '<name> <procs> <gflops>', "
+                f"got {raw!r}"
+            )
+        name, procs, gflops = parts
+        try:
+            clusters.append(
+                Cluster(
+                    name=name,
+                    num_processors=int(procs),
+                    speed_gflops=float(gflops),
+                )
+            )
+        except ValueError as exc:
+            raise PlatformError(f"line {lineno}: {exc}") from None
+    if not clusters:
+        raise PlatformError("platform text contains no cluster definitions")
+    return clusters
+
+
+def format_platform_text(clusters: list[Cluster]) -> str:
+    """Render clusters in the line-oriented text format."""
+    lines = ["# name  num_processors  speed_gflops"]
+    for c in clusters:
+        lines.append(f"{c.name}  {c.num_processors}  {c.speed_gflops:g}")
+    return "\n".join(lines) + "\n"

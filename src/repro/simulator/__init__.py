@@ -1,0 +1,18 @@
+"""Discrete-event schedule simulator (paper Section IV).
+
+Public API: :func:`simulate` (replay + verify a schedule),
+:class:`SimulationResult`, :class:`SimulationTrace` and the event types.
+"""
+
+from .engine import SimulationResult, simulate
+from .events import Event, TaskFinished, TaskStarted
+from .trace import SimulationTrace
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "SimulationTrace",
+    "Event",
+    "TaskStarted",
+    "TaskFinished",
+]

@@ -1,0 +1,35 @@
+"""Event types of the discrete-event schedule simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Event", "TaskStarted", "TaskFinished"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something happened at simulated time ``time``."""
+
+    time: float
+    task: int
+    task_name: str
+
+    @property
+    def kind(self) -> str:
+        """Event type label used in trace rendering."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class TaskStarted(Event):
+    """A task began executing on ``processors``."""
+
+    processors: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TaskFinished(Event):
+    """A task completed and released ``processors``."""
+
+    processors: tuple[int, ...]

@@ -1,0 +1,101 @@
+"""Execution traces produced by the schedule simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import Event, TaskFinished, TaskStarted
+
+__all__ = ["SimulationTrace"]
+
+
+@dataclass
+class SimulationTrace:
+    """Chronological event log of one simulated schedule execution."""
+
+    num_processors: int
+    events: list[Event] = field(default_factory=list)
+
+    def record(self, event: Event) -> None:
+        """Append one event (events must arrive in time order)."""
+        if self.events and event.time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                f"event at t={event.time} arrived after t="
+                f"{self.events[-1].time}"
+            )
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Time of the last TaskFinished event."""
+        finishes = [
+            e.time for e in self.events if isinstance(e, TaskFinished)
+        ]
+        return max(finishes) if finishes else 0.0
+
+    @property
+    def num_tasks_completed(self) -> int:
+        """Number of TaskFinished events."""
+        return sum(1 for e in self.events if isinstance(e, TaskFinished))
+
+    def events_for_task(self, task: int) -> list[Event]:
+        """All events concerning one task."""
+        return [e for e in self.events if e.task == task]
+
+    def busy_time_per_processor(self) -> np.ndarray:
+        """Total busy seconds of each processor."""
+        busy = np.zeros(self.num_processors, dtype=np.float64)
+        started: dict[int, float] = {}
+        for e in self.events:
+            if isinstance(e, TaskStarted):
+                started[e.task] = e.time
+            elif isinstance(e, TaskFinished):
+                duration = e.time - started.pop(e.task)
+                for p in e.processors:
+                    busy[p] += duration
+        return busy
+
+    def utilization(self) -> float:
+        """Average processor utilization over the makespan."""
+        ms = self.makespan
+        if ms <= 0:
+            return 0.0
+        return float(
+            self.busy_time_per_processor().sum()
+            / (self.num_processors * ms)
+        )
+
+    def concurrency_profile(self) -> list[tuple[float, int]]:
+        """Piecewise-constant count of busy processors over time.
+
+        Returns ``(time, busy_processors)`` breakpoints — the count holds
+        from each breakpoint until the next.
+        """
+        profile: list[tuple[float, int]] = []
+        busy = 0
+        for e in self.events:
+            if isinstance(e, TaskStarted):
+                busy += len(e.processors)
+            elif isinstance(e, TaskFinished):
+                busy -= len(e.processors)
+            else:  # pragma: no cover - no other event kinds exist
+                continue
+            if profile and abs(profile[-1][0] - e.time) < 1e-15:
+                profile[-1] = (e.time, busy)
+            else:
+                profile.append((e.time, busy))
+        return profile
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        lines = [f"trace: {len(self.events)} events"]
+        for e in self.events:
+            lines.append(
+                f"  t={e.time:>12.6g}  {e.kind:<13} {e.task_name}"
+            )
+        return "\n".join(lines)

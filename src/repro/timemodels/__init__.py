@@ -1,0 +1,39 @@
+"""Execution-time models for moldable parallel tasks (paper Section IV-B).
+
+Public API:
+
+* :class:`ExecutionTimeModel` — the model protocol;
+* :class:`TimeTable` — the precomputed ``V x P`` lookup every scheduler
+  uses (this is what makes EMTS model-agnostic);
+* :class:`AmdahlModel` — the paper's monotone **Model 1**;
+* :class:`SyntheticModel` — the paper's non-monotone **Model 2**
+  (Algorithm 1);
+* :class:`DowneyModel` — Downey's speedup model (mentioned in related
+  work);
+* :class:`TabulatedModel` — empirical measured-curve model;
+* :class:`PdgemmLikeModel` / :func:`pdgemm_time` — the PDGEMM-style model
+  behind Figure 1.
+"""
+
+from .amdahl import AmdahlModel, amdahl_time
+from .base import ExecutionTimeModel, TimeTable
+from .downey import DowneyModel, downey_speedup
+from .pdgemm import PdgemmLikeModel, best_grid, pdgemm_time
+from .synthetic import SyntheticModel, penalty_factors
+from .tabulated import MeasurementSeries, TabulatedModel
+
+__all__ = [
+    "ExecutionTimeModel",
+    "TimeTable",
+    "AmdahlModel",
+    "amdahl_time",
+    "SyntheticModel",
+    "penalty_factors",
+    "DowneyModel",
+    "downey_speedup",
+    "TabulatedModel",
+    "MeasurementSeries",
+    "PdgemmLikeModel",
+    "pdgemm_time",
+    "best_grid",
+]

@@ -1,0 +1,62 @@
+"""Model 1 — Amdahl's law (paper Section IV-B).
+
+With ``T(v, 1)`` the sequential execution time of task ``v`` and ``alpha``
+its non-parallelizable code fraction, the parallel execution time on ``p``
+processors is
+
+.. math::  T(v, p) = \\left(\\alpha + \\frac{1 - \\alpha}{p}\\right) T(v, 1)
+
+Each PTG node carries its own ``alpha`` value, so two nodes with different
+``alpha`` follow different performance curves — exactly as the paper's
+simulator does.  ``T(v, 1)`` is derived from the task's FLOP count and the
+cluster's per-processor GFLOPS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .base import ExecutionTimeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph import PTG, Task
+    from ..platform import Cluster
+
+__all__ = ["AmdahlModel", "amdahl_time"]
+
+
+def amdahl_time(seq_time: float, alpha: float, p: int | np.ndarray):
+    """Amdahl execution time for sequential time ``seq_time``.
+
+    Vectorized over ``p``.
+    """
+    return (alpha + (1.0 - alpha) / p) * seq_time
+
+
+class AmdahlModel(ExecutionTimeModel):
+    """Monotonically decreasing execution-time model (the paper's Model 1).
+
+    This is the assumption baked into the CPA-family heuristics; the
+    paper's first experiment (Figure 4) evaluates EMTS under it to show
+    the EA is competitive even on the heuristics' home turf.
+    """
+
+    name = "model1-amdahl"
+    monotone = True
+
+    def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
+        self._check_p(p, cluster)
+        seq = cluster.sequential_time(task.work)
+        return float(amdahl_time(seq, task.alpha, p))
+
+    def build_table(self, ptg: "PTG", cluster: "Cluster") -> np.ndarray:
+        # Fully vectorized: outer product of per-task sequential times with
+        # the per-p Amdahl factors.
+        p = np.arange(1, cluster.num_processors + 1, dtype=np.float64)
+        seq = ptg.work / cluster.speed_flops  # (V,)
+        alpha = ptg.alpha  # (V,)
+        # (V, 1) * (V, P) via broadcasting
+        factors = alpha[:, None] + (1.0 - alpha[:, None]) / p[None, :]
+        return seq[:, None] * factors

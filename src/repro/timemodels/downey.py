@@ -1,0 +1,156 @@
+"""Downey's speedup model for moldable jobs.
+
+The paper's related-work section notes that most PTG scheduling algorithms
+predict task runtimes either with Amdahl's law or with Downey's model
+[Downey, *A Model for Speedup of Parallel Programs*, UCB/CSD-97-933].  We
+include Downey's model so that every model family the paper mentions is
+available; it also serves as a second *monotone* model for ablations.
+
+Downey characterizes a job by its average parallelism ``A`` and the
+variance of parallelism ``sigma``.  The speedup ``S(n)`` on ``n``
+processors is
+
+for ``sigma <= 1`` (low variance)::
+
+    S(n) = A*n / (A + sigma/2 * (n - 1))                1 <= n <= A
+    S(n) = A*n / (sigma*(A - 1/2) + n*(1 - sigma/2))    A <= n <= 2A - 1
+    S(n) = A                                            n >= 2A - 1
+
+for ``sigma >= 1`` (high variance)::
+
+    S(n) = n*A*(sigma + 1) / (sigma*(n + A - 1) + A)    1 <= n <= A + A*sigma - sigma
+    S(n) = A                                            otherwise
+
+and the execution time is ``T(v, n) = T(v, 1) / S(n)``.
+
+Per-task parameters come from the task's ``alpha`` by default (mapping the
+Amdahl fraction to an equivalent average parallelism ``A = 1/alpha`` when
+``alpha > 0``), or can be fixed globally.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .base import ExecutionTimeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph import PTG, Task
+    from ..platform import Cluster
+
+__all__ = ["DowneyModel", "downey_speedup"]
+
+
+def downey_speedup(
+    n: np.ndarray | int, A: float, sigma: float
+) -> np.ndarray | float:
+    """Downey's speedup ``S(n)`` (vectorized over ``n``).
+
+    Parameters
+    ----------
+    n:
+        Processor count(s), ``>= 1``.
+    A:
+        Average parallelism, ``>= 1``.
+    sigma:
+        Variance of parallelism, ``>= 0``.
+    """
+    if A < 1.0:
+        raise ModelError(f"average parallelism A must be >= 1, got {A}")
+    if sigma < 0.0:
+        raise ModelError(f"sigma must be >= 0, got {sigma}")
+    n_arr = np.asarray(n, dtype=np.float64)
+    s = np.empty_like(n_arr)
+    if sigma <= 1.0:
+        low = n_arr <= A
+        mid = (n_arr > A) & (n_arr <= 2.0 * A - 1.0)
+        high = n_arr > 2.0 * A - 1.0
+        s[low] = (A * n_arr[low]) / (A + (sigma / 2.0) * (n_arr[low] - 1.0))
+        denom = sigma * (A - 0.5) + n_arr[mid] * (1.0 - sigma / 2.0)
+        s[mid] = (A * n_arr[mid]) / denom
+        s[high] = A
+    else:
+        knee = A + A * sigma - sigma
+        low = n_arr <= knee
+        s[low] = (
+            n_arr[low]
+            * A
+            * (sigma + 1.0)
+            / (sigma * (n_arr[low] + A - 1.0) + A)
+        )
+        s[~low] = A
+    # speedup can never drop below 1 (a moldable job never runs slower than
+    # sequentially in Downey's model)
+    np.maximum(s, 1.0, out=s)
+    if np.isscalar(n):
+        return float(s)
+    return s
+
+
+class DowneyModel(ExecutionTimeModel):
+    """Execution-time model based on Downey's speedup curves.
+
+    Parameters
+    ----------
+    sigma:
+        Variance of parallelism shared by all tasks (Downey's second
+        parameter).
+    parallelism_from_alpha:
+        When True (default), a task's average parallelism is derived from
+        its Amdahl fraction as ``A = 1/alpha`` (``alpha = 0`` maps to
+        "embarrassingly parallel", ``A = infinity``, realized as ``A = P``).
+        When False, ``fixed_parallelism`` is used for every task.
+    fixed_parallelism:
+        Average parallelism used when ``parallelism_from_alpha=False``.
+    """
+
+    name = "downey"
+    monotone = True
+
+    def __init__(
+        self,
+        sigma: float = 0.5,
+        parallelism_from_alpha: bool = True,
+        fixed_parallelism: float = 32.0,
+    ) -> None:
+        if sigma < 0:
+            raise ModelError(f"sigma must be >= 0, got {sigma}")
+        if fixed_parallelism < 1:
+            raise ModelError(
+                f"fixed_parallelism must be >= 1, got {fixed_parallelism}"
+            )
+        self.sigma = float(sigma)
+        self.parallelism_from_alpha = bool(parallelism_from_alpha)
+        self.fixed_parallelism = float(fixed_parallelism)
+
+    def _avg_parallelism(self, alpha: float, P: int) -> float:
+        if not self.parallelism_from_alpha:
+            return min(self.fixed_parallelism, float(max(P, 1)))
+        if alpha <= 0.0:
+            return float(P)
+        return max(1.0, min(1.0 / alpha, float(P)))
+
+    def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
+        self._check_p(p, cluster)
+        seq = cluster.sequential_time(task.work)
+        A = self._avg_parallelism(task.alpha, cluster.num_processors)
+        return seq / float(downey_speedup(p, A, self.sigma))
+
+    def build_table(self, ptg: "PTG", cluster: "Cluster") -> np.ndarray:
+        P = cluster.num_processors
+        n = np.arange(1, P + 1, dtype=np.float64)
+        seq = ptg.work / cluster.speed_flops
+        out = np.empty((ptg.num_tasks, P), dtype=np.float64)
+        for v in range(ptg.num_tasks):
+            A = self._avg_parallelism(float(ptg.alpha[v]), P)
+            out[v] = seq[v] / downey_speedup(n, A, self.sigma)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DowneyModel(sigma={self.sigma}, parallelism_from_alpha="
+            f"{self.parallelism_from_alpha})"
+        )

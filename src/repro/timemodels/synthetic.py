@@ -1,0 +1,121 @@
+"""Model 2 — synthetic non-monotone model (paper Section IV-B, Algorithm 1).
+
+Model 2 starts from Amdahl's law (Model 1) and penalizes "awkward"
+processor counts to imitate the PDGEMM behaviour of Figure 1, where
+execution time is *not* monotonically decreasing in the number of
+processors.
+
+The paper presents the model twice and the two presentations disagree:
+
+* **Algorithm 1 (pseudo code)**::
+
+      T(v, p) = Model 1
+      if p > 1:
+          if p % 2 == 1:        T *= 1.3        # odd counts
+          elif sqrt(p) integer: T *= 1.1        # even perfect squares
+
+* **Prose**: "slightly increases the execution time … if the number of
+  processors is not a multiple of 2 **or if this number has no integer
+  square root**" — i.e. the 1.1 penalty should hit even *non*-squares.
+
+We implement the pseudo code literally by default (it is the only fully
+specified definition) and expose ``prose_variant=True`` for the prose
+reading (penalize even non-squares instead).  Both are non-monotone and
+both defeat the monotonicity assumption of the CPA-family heuristics in
+the same qualitative way, which is all the experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .amdahl import AmdahlModel
+from .base import ExecutionTimeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph import PTG, Task
+    from ..platform import Cluster
+
+__all__ = ["SyntheticModel", "penalty_factors"]
+
+#: Multiplicative penalty for an odd processor count (> 1).
+ODD_PENALTY = 1.3
+#: Multiplicative penalty applied to the square-root branch.
+SQUARE_PENALTY = 1.1
+
+
+def _is_perfect_square(p: np.ndarray) -> np.ndarray:
+    root = np.rint(np.sqrt(p.astype(np.float64))).astype(np.int64)
+    return root * root == p
+
+
+def penalty_factors(
+    max_p: int, prose_variant: bool = False
+) -> np.ndarray:
+    """Model 2 penalty factor for every ``p`` in ``1..max_p``.
+
+    Returns an array ``f`` of length ``max_p`` with ``f[p-1]`` the factor
+    multiplied onto the Model 1 time.
+    """
+    p = np.arange(1, max_p + 1, dtype=np.int64)
+    f = np.ones(max_p, dtype=np.float64)
+    parallel = p > 1
+    odd = parallel & (p % 2 == 1)
+    f[odd] = ODD_PENALTY
+    square = _is_perfect_square(p)
+    if prose_variant:
+        # prose: penalize even counts *without* an integer square root
+        target = parallel & ~odd & ~square
+    else:
+        # Algorithm 1 as printed: penalize even perfect squares
+        target = parallel & ~odd & square
+    f[target] = SQUARE_PENALTY
+    return f
+
+
+class SyntheticModel(ExecutionTimeModel):
+    """The paper's Model 2: Amdahl plus block-size penalties.
+
+    Parameters
+    ----------
+    prose_variant:
+        Select the prose reading of the 1.1 penalty (see module docstring).
+    """
+
+    monotone = False
+
+    def __init__(self, prose_variant: bool = False) -> None:
+        self.prose_variant = bool(prose_variant)
+        self.name = (
+            "model2-synthetic-prose"
+            if self.prose_variant
+            else "model2-synthetic"
+        )
+        self._amdahl = AmdahlModel()
+
+    def penalty(self, p: int) -> float:
+        """The Model 2 penalty factor for one processor count."""
+        if p <= 1:
+            return 1.0
+        if p % 2 == 1:
+            return ODD_PENALTY
+        is_square = int(np.rint(np.sqrt(p))) ** 2 == p
+        if self.prose_variant:
+            return SQUARE_PENALTY if not is_square else 1.0
+        return SQUARE_PENALTY if is_square else 1.0
+
+    def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
+        base = self._amdahl.time(task, p, cluster)
+        return base * self.penalty(p)
+
+    def build_table(self, ptg: "PTG", cluster: "Cluster") -> np.ndarray:
+        base = self._amdahl.build_table(ptg, cluster)
+        factors = penalty_factors(
+            cluster.num_processors, self.prose_variant
+        )
+        return base * factors[None, :]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SyntheticModel(prose_variant={self.prose_variant})"

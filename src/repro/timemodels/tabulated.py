@@ -1,0 +1,151 @@
+"""Tabulated (empirical) execution-time models.
+
+The key claim of the paper is that EMTS "can be used with any underlying
+model for predicting the execution time of moldable tasks".  The strongest
+demonstration of that claim is a model that is not a formula at all but a
+lookup table of *measured* runtimes — exactly what one obtains from
+benchmarking a real code such as PDGEMM at several processor counts.
+
+:class:`TabulatedModel` stores per-``kind`` measurement series and
+interpolates between measured processor counts.  Measurements scale with
+the task's sequential time so one measured curve can serve many task
+sizes: the stored series is interpreted as *normalized* time
+``T(p)/T(1)`` (an "inefficiency curve").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .base import ExecutionTimeModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph import Task
+    from ..platform import Cluster
+
+__all__ = ["TabulatedModel", "MeasurementSeries"]
+
+
+class MeasurementSeries:
+    """One normalized measurement curve ``p -> T(p)/T(1)``.
+
+    Parameters
+    ----------
+    procs:
+        Strictly increasing processor counts; must start at 1.
+    normalized_times:
+        ``T(p)/T(1)`` at each measured count; ``normalized_times[0]`` must
+        be 1 (the sequential reference).
+    """
+
+    __slots__ = ("procs", "values")
+
+    def __init__(
+        self, procs: Sequence[int], normalized_times: Sequence[float]
+    ) -> None:
+        procs_arr = np.asarray(procs, dtype=np.int64)
+        vals = np.asarray(normalized_times, dtype=np.float64)
+        if procs_arr.ndim != 1 or procs_arr.shape != vals.shape:
+            raise ModelError(
+                "procs and normalized_times must be 1-D arrays of equal "
+                "length"
+            )
+        if procs_arr.size == 0:
+            raise ModelError("measurement series must be non-empty")
+        if procs_arr[0] != 1:
+            raise ModelError(
+                "measurement series must include the sequential point p=1"
+            )
+        if np.any(np.diff(procs_arr) <= 0):
+            raise ModelError("processor counts must be strictly increasing")
+        if not np.isclose(vals[0], 1.0):
+            raise ModelError(
+                f"normalized time at p=1 must be 1.0, got {vals[0]}"
+            )
+        if np.any(vals <= 0) or not np.all(np.isfinite(vals)):
+            raise ModelError("normalized times must be finite and positive")
+        self.procs = procs_arr
+        self.values = vals
+
+    def interpolate(self, p: np.ndarray | int) -> np.ndarray | float:
+        """Piecewise-linear interpolation of the normalized time at ``p``.
+
+        Beyond the last measured point the curve is extended flat (the
+        conservative assumption: no further speedup).
+        """
+        return np.interp(
+            p, self.procs.astype(np.float64), self.values
+        )
+
+    @classmethod
+    def from_absolute(
+        cls, procs: Sequence[int], times: Sequence[float]
+    ) -> "MeasurementSeries":
+        """Build a series from absolute measured times (normalizes by T(1))."""
+        times_arr = np.asarray(times, dtype=np.float64)
+        if times_arr.size == 0 or times_arr[0] <= 0:
+            raise ModelError("need a positive sequential measurement first")
+        return cls(procs, times_arr / times_arr[0])
+
+
+class TabulatedModel(ExecutionTimeModel):
+    """Empirical model built from measured normalized curves.
+
+    Parameters
+    ----------
+    series:
+        Mapping from task ``kind`` to its :class:`MeasurementSeries`.
+    default:
+        Series used for kinds not present in ``series``; if ``None``,
+        unknown kinds raise :class:`ModelError`.
+    monotone:
+        Declare whether the supplied curves are monotone; purely
+        informational (heuristics may consult it for warnings).
+    """
+
+    def __init__(
+        self,
+        series: Mapping[str, MeasurementSeries],
+        default: MeasurementSeries | None = None,
+        monotone: bool = False,
+        name: str = "tabulated",
+    ) -> None:
+        if not series and default is None:
+            raise ModelError("need at least one measurement series")
+        self.series = dict(series)
+        self.default = default
+        self.monotone = bool(monotone)
+        self.name = name
+
+    def _series_for(self, kind: str) -> MeasurementSeries:
+        s = self.series.get(kind, self.default)
+        if s is None:
+            known = ", ".join(sorted(self.series))
+            raise ModelError(
+                f"no measurement series for task kind {kind!r} and no "
+                f"default (known kinds: {known})"
+            )
+        return s
+
+    def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
+        self._check_p(p, cluster)
+        seq = cluster.sequential_time(task.work)
+        return seq * float(self._series_for(task.kind).interpolate(p))
+
+    def build_table(self, ptg, cluster: "Cluster") -> np.ndarray:
+        P = cluster.num_processors
+        p = np.arange(1, P + 1, dtype=np.float64)
+        seq = ptg.work / cluster.speed_flops
+        # group tasks by kind so each curve is interpolated only once
+        curves: dict[str, np.ndarray] = {}
+        out = np.empty((ptg.num_tasks, P), dtype=np.float64)
+        for v, task in enumerate(ptg.tasks):
+            if task.kind not in curves:
+                curves[task.kind] = np.asarray(
+                    self._series_for(task.kind).interpolate(p)
+                )
+            out[v] = seq[v] * curves[task.kind]
+        return out

@@ -1,0 +1,138 @@
+"""Task-complexity sampling (paper Section IV-C, "Choosing Task
+Complexities").
+
+A task operates on a dataset of ``d`` doubles (8 bytes each), e.g. a
+``sqrt(d) x sqrt(d)`` matrix.  All processors have at least 1 GB of
+memory, which bounds ``d`` by 125e6.  The FLOP count of a task follows one
+of three computational patterns:
+
+1. ``a * d``            — stencil computation,
+2. ``a * d * log2(d)``  — sorting an array,
+3. ``d^{3/2}``          — multiplying two ``sqrt(d) x sqrt(d)`` matrices,
+
+where ``a`` is drawn uniformly from ``[2^6, 2^9]`` to model multiple
+iterations.  The non-parallelizable fraction ``alpha`` is drawn uniformly
+from ``[0, 0.25]`` ("very scalable tasks").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_generator
+
+__all__ = [
+    "ComplexityPattern",
+    "TaskSpec",
+    "MAX_DATA_SIZE",
+    "ALPHA_MAX",
+    "A_MIN",
+    "A_MAX",
+    "flop_count",
+    "sample_task_spec",
+    "sample_task_specs",
+]
+
+#: Upper bound on the dataset size in doubles (1 GB of 8-byte doubles).
+MAX_DATA_SIZE = 125e6
+
+#: Smallest dataset the generators draw; keeps log2(d) well-defined and
+#: tasks non-trivial.  (The paper only specifies the upper bound.)
+MIN_DATA_SIZE = 1e4
+
+#: Upper bound of the uniform alpha distribution ("very scalable tasks").
+ALPHA_MAX = 0.25
+
+#: Iteration-count multiplier range [2^6, 2^9].
+A_MIN = 2.0**6
+A_MAX = 2.0**9
+
+
+class ComplexityPattern(enum.Enum):
+    """The three computational patterns of Section IV-C."""
+
+    STENCIL = "stencil"  # a * d
+    SORT = "sort"  # a * d * log2(d)
+    MATMUL = "matmul"  # d^{3/2}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def flop_count(pattern: ComplexityPattern, d: float, a: float) -> float:
+    """FLOP count for dataset size ``d`` under ``pattern``.
+
+    ``a`` is ignored for the MATMUL pattern (the paper applies the
+    iteration factor only to the first two patterns; ``d^{3/2}`` is used
+    as-is).
+    """
+    if d <= 1:
+        raise ValueError(f"data size must be > 1, got {d}")
+    if pattern is ComplexityPattern.STENCIL:
+        return a * d
+    if pattern is ComplexityPattern.SORT:
+        return a * d * math.log2(d)
+    if pattern is ComplexityPattern.MATMUL:
+        return d**1.5
+    raise ValueError(f"unknown pattern {pattern!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Sampled cost parameters for one task."""
+
+    pattern: ComplexityPattern
+    data_size: float
+    a: float
+    alpha: float
+
+    @property
+    def work(self) -> float:
+        """FLOP count implied by the sampled parameters."""
+        return flop_count(self.pattern, self.data_size, self.a)
+
+    @property
+    def kind(self) -> str:
+        """Task kind label carried into the PTG."""
+        return self.pattern.value
+
+
+def sample_task_spec(
+    rng: np.random.Generator | int | None = None,
+    pattern: ComplexityPattern | None = None,
+    max_data_size: float = MAX_DATA_SIZE,
+    min_data_size: float = MIN_DATA_SIZE,
+) -> TaskSpec:
+    """Draw one task specification.
+
+    ``pattern=None`` picks one of the three patterns uniformly.  ``d`` is
+    drawn log-uniformly between the bounds (datasets span four orders of
+    magnitude; a linear draw would make almost every task huge), ``a``
+    uniformly from ``[2^6, 2^9]`` and ``alpha`` uniformly from
+    ``[0, 0.25]``.
+    """
+    rng = ensure_generator(rng, "workloads", "complexities")
+    if pattern is None:
+        pattern = rng.choice(list(ComplexityPattern))
+    d = float(
+        np.exp(
+            rng.uniform(np.log(min_data_size), np.log(max_data_size))
+        )
+    )
+    a = float(rng.uniform(A_MIN, A_MAX))
+    alpha = float(rng.uniform(0.0, ALPHA_MAX))
+    return TaskSpec(pattern=pattern, data_size=d, a=a, alpha=alpha)
+
+
+def sample_task_specs(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    pattern: ComplexityPattern | None = None,
+) -> list[TaskSpec]:
+    """Draw ``n`` independent task specifications."""
+    rng = ensure_generator(rng, "workloads", "complexities")
+    return [sample_task_spec(rng, pattern=pattern) for _ in range(n)]

@@ -1,0 +1,193 @@
+"""The paper's experimental PTG corpora (Section IV-C).
+
+The evaluation uses four PTG classes:
+
+* **FFT** — 400 graphs, 100 each of sizes 2/4/8/16 (5/15/39/95 tasks);
+* **Strassen** — 100 graphs (23 tasks each);
+* **layered** — 108 random DAGGEN graphs: sizes {20, 50, 100} x width
+  {0.2, 0.5, 0.8} x regularity {0.2, 0.8} x density {0.2, 0.8} x jump {0},
+  3 instances per combination (3*3*2*2*1*3 = 108);
+* **irregular** — 324 random DAGGEN graphs: the same grid with jump
+  {1, 2, 4}, 3 instances per combination (3*3*2*2*3*3 = 324).
+
+``scale`` shrinks every corpus proportionally for test/CI runs while
+preserving the parameter coverage (at ``scale < 1`` at least one instance
+per parameter combination survives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..graph import PTG
+from .daggen import DaggenParams, generate_daggen
+from .fft import FFT_LEVELS, generate_fft
+from .strassen import generate_strassen
+
+__all__ = [
+    "Corpus",
+    "fft_corpus",
+    "strassen_corpus",
+    "layered_corpus",
+    "irregular_corpus",
+    "paper_corpus",
+    "SIZES",
+    "WIDTHS",
+    "REGULARITIES",
+    "DENSITIES",
+    "LAYERED_JUMPS",
+    "IRREGULAR_JUMPS",
+]
+
+SIZES = (20, 50, 100)
+WIDTHS = (0.2, 0.5, 0.8)
+REGULARITIES = (0.2, 0.8)
+DENSITIES = (0.2, 0.8)
+LAYERED_JUMPS = (0,)
+IRREGULAR_JUMPS = (1, 2, 4)
+_INSTANCES_PER_COMBO = 3
+
+
+@dataclass
+class Corpus:
+    """A named collection of PTGs grouped by class."""
+
+    fft: list[PTG] = field(default_factory=list)
+    strassen: list[PTG] = field(default_factory=list)
+    layered: list[PTG] = field(default_factory=list)
+    irregular: list[PTG] = field(default_factory=list)
+
+    def by_class(self, cls: str) -> list[PTG]:
+        """The PTGs of one class (``fft``/``strassen``/``layered``/``irregular``)."""
+        try:
+            return getattr(self, cls)
+        except AttributeError:
+            raise KeyError(f"unknown PTG class {cls!r}") from None
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """All class labels, in the paper's figure order."""
+        return ("fft", "strassen", "layered", "irregular")
+
+    def __len__(self) -> int:
+        return (
+            len(self.fft)
+            + len(self.strassen)
+            + len(self.layered)
+            + len(self.irregular)
+        )
+
+    def summary(self) -> str:
+        """One-line size description."""
+        return (
+            f"Corpus(fft={len(self.fft)}, strassen={len(self.strassen)}, "
+            f"layered={len(self.layered)}, irregular={len(self.irregular)})"
+        )
+
+
+def _count(full: int, scale: float) -> int:
+    return max(1, int(round(full * scale)))
+
+
+def fft_corpus(
+    rng: np.random.Generator | int | None = None, scale: float = 1.0
+) -> list[PTG]:
+    """FFT graphs: ``scale * 100`` instances per size in {2, 4, 8, 16}."""
+    rng = ensure_generator(rng, "corpus", "fft")
+    per_size = _count(100, scale)
+    out: list[PTG] = []
+    for n in FFT_LEVELS:
+        for i in range(per_size):
+            out.append(generate_fft(n, rng=rng, name=f"fft-{n}-{i}"))
+    return out
+
+
+def strassen_corpus(
+    rng: np.random.Generator | int | None = None, scale: float = 1.0
+) -> list[PTG]:
+    """Strassen graphs: ``scale * 100`` instances."""
+    rng = ensure_generator(rng, "corpus", "strassen")
+    return [
+        generate_strassen(rng=rng, name=f"strassen-{i}")
+        for i in range(_count(100, scale))
+    ]
+
+
+def _daggen_corpus(
+    jumps: tuple[int, ...],
+    label: str,
+    rng: np.random.Generator,
+    scale: float,
+    sizes: tuple[int, ...] = SIZES,
+) -> list[PTG]:
+    instances = _count(_INSTANCES_PER_COMBO, scale)
+    out: list[PTG] = []
+    for n in sizes:
+        for w in WIDTHS:
+            for r in REGULARITIES:
+                for d in DENSITIES:
+                    for j in jumps:
+                        params = DaggenParams(
+                            num_tasks=n,
+                            width=w,
+                            regularity=r,
+                            density=d,
+                            jump=j,
+                        )
+                        for i in range(instances):
+                            out.append(
+                                generate_daggen(
+                                    params,
+                                    rng=rng,
+                                    name=(
+                                        f"{label}-{params.label()}-{i}"
+                                    ),
+                                )
+                            )
+    return out
+
+
+def layered_corpus(
+    rng: np.random.Generator | int | None = None,
+    scale: float = 1.0,
+    sizes: tuple[int, ...] = SIZES,
+) -> list[PTG]:
+    """Layered random graphs (jump = 0); 108 instances at full scale."""
+    rng = ensure_generator(rng, "corpus", "layered")
+    return _daggen_corpus(LAYERED_JUMPS, "layered", rng, scale, sizes)
+
+
+def irregular_corpus(
+    rng: np.random.Generator | int | None = None,
+    scale: float = 1.0,
+    sizes: tuple[int, ...] = SIZES,
+) -> list[PTG]:
+    """Irregular random graphs (jump in {1, 2, 4}); 324 at full scale."""
+    rng = ensure_generator(rng, "corpus", "irregular")
+    return _daggen_corpus(IRREGULAR_JUMPS, "irregular", rng, scale, sizes)
+
+
+def paper_corpus(
+    seed: int | None = None, scale: float = 1.0
+) -> Corpus:
+    """The full evaluation corpus of the paper (932 PTGs at scale 1).
+
+    ``scale < 1`` shrinks each class proportionally, preserving coverage
+    of every parameter combination — used by tests and quick benchmark
+    runs.
+    """
+    return Corpus(
+        fft=fft_corpus(ensure_generator(seed, "corpus", "fft"), scale),
+        strassen=strassen_corpus(
+            ensure_generator(seed, "corpus", "strassen"), scale
+        ),
+        layered=layered_corpus(
+            ensure_generator(seed, "corpus", "layered"), scale
+        ),
+        irregular=irregular_corpus(
+            ensure_generator(seed, "corpus", "irregular"), scale
+        ),
+    )

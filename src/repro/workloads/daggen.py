@@ -1,0 +1,199 @@
+"""DAGGEN-style random parallel task graphs (paper Section IV-C).
+
+The paper generates synthetic PTGs with Suter's DAGGEN tool, parameterized
+by four shape controls.  DAGGEN itself is an external C program; we
+reimplement its generation process (documented in DESIGN.md as a
+substitution) with the semantics the paper describes:
+
+``width`` (0, 1]
+    Maximum task parallelism: "a small value leads to a chain of tasks and
+    large values lead to fork-join graphs".  We draw the mean number of
+    tasks per precedence level as ``max(1, round(width * n / levels_ref))``
+    using DAGGEN's convention that the expected level width is
+    ``width * sqrt(n)``.
+``regularity`` [0, 1]
+    Uniformity of the number of tasks per level: per-level counts are
+    perturbed around the mean by up to ``(1 - regularity) * 100 %``.
+``density`` [0, 1]
+    Number of edges between two levels: each task draws its number of
+    parents as ``1 + Binomial(w_prev - 1, density)`` where ``w_prev`` is
+    the size of the eligible parent pool.
+``jump`` {0, 1, 2, 4}
+    Maximum number of levels an edge may *skip*.  ``jump = 0`` produces
+    **layered** graphs (edges only between adjacent levels and similar
+    task cost per layer); ``jump >= 1`` produces **irregular** graphs
+    whose edges may span up to ``jump + 1`` levels.
+
+Every task receives a random complexity from
+:mod:`repro.workloads.complexities`.  For layered graphs the paper
+additionally requires "the number of operations of tasks in one layer is
+similar": we draw one dataset size per layer and jitter it by ±10 % per
+task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..exceptions import GraphError
+from ..graph import PTG, PTGBuilder
+from .complexities import (
+    ComplexityPattern,
+    MAX_DATA_SIZE,
+    MIN_DATA_SIZE,
+    sample_task_spec,
+)
+
+__all__ = ["DaggenParams", "generate_daggen"]
+
+
+@dataclass(frozen=True)
+class DaggenParams:
+    """Shape parameters for one random PTG (see module docstring)."""
+
+    num_tasks: int
+    width: float = 0.5
+    regularity: float = 0.5
+    density: float = 0.5
+    jump: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise GraphError(
+                f"num_tasks must be >= 1, got {self.num_tasks}"
+            )
+        if not (0.0 < self.width <= 1.0):
+            raise GraphError(f"width must lie in (0, 1], got {self.width}")
+        if not (0.0 <= self.regularity <= 1.0):
+            raise GraphError(
+                f"regularity must lie in [0, 1], got {self.regularity}"
+            )
+        if not (0.0 <= self.density <= 1.0):
+            raise GraphError(
+                f"density must lie in [0, 1], got {self.density}"
+            )
+        if self.jump < 0:
+            raise GraphError(f"jump must be >= 0, got {self.jump}")
+
+    @property
+    def layered(self) -> bool:
+        """True when edges may only connect adjacent levels."""
+        return self.jump == 0
+
+    def label(self) -> str:
+        """Compact textual form used in graph names and reports."""
+        return (
+            f"n{self.num_tasks}-w{self.width:g}-r{self.regularity:g}"
+            f"-d{self.density:g}-j{self.jump}"
+        )
+
+
+def _level_sizes(
+    params: DaggenParams, rng: np.random.Generator
+) -> list[int]:
+    """Partition ``num_tasks`` into per-level counts.
+
+    Mean level width follows DAGGEN's ``width * sqrt(n)`` convention,
+    perturbed per level by the regularity parameter.
+    """
+    n = params.num_tasks
+    mean_width = max(1.0, params.width * np.sqrt(n))
+    spread = 1.0 - params.regularity
+    sizes: list[int] = []
+    remaining = n
+    while remaining > 0:
+        jitter = rng.uniform(1.0 - spread, 1.0 + spread)
+        w = int(round(mean_width * jitter))
+        w = max(1, min(w, remaining))
+        sizes.append(w)
+        remaining -= w
+    if len(sizes) == 1 and n > 1:
+        # degenerate single-level graph: force at least two levels so the
+        # graph has dependencies at all
+        head = sizes[0] // 2
+        sizes = [head, sizes[0] - head]
+    return sizes
+
+
+def generate_daggen(
+    params: DaggenParams,
+    rng: np.random.Generator | int | None = None,
+    name: str | None = None,
+) -> PTG:
+    """Generate one random PTG according to ``params``.
+
+    Guarantees: exactly ``params.num_tasks`` tasks; every non-first-level
+    task has at least one parent (the graph is a single connected DAG per
+    level chain); for ``jump = 0`` every edge connects adjacent levels.
+    """
+    rng = ensure_generator(rng, "workloads", "daggen")
+    sizes = _level_sizes(params, rng)
+    b = PTGBuilder(name or f"daggen-{params.label()}")
+
+    levels: list[list[int]] = []
+    for li, size in enumerate(sizes):
+        if params.layered:
+            # one dataset size per layer, jittered +-10% per task, so all
+            # tasks of a layer have similar cost (paper's layered property)
+            layer_d = float(
+                np.exp(
+                    rng.uniform(
+                        np.log(MIN_DATA_SIZE), np.log(MAX_DATA_SIZE)
+                    )
+                )
+            )
+            layer_pattern = rng.choice(list(ComplexityPattern))
+        row: list[int] = []
+        for ti in range(size):
+            if params.layered:
+                spec = sample_task_spec(rng, pattern=layer_pattern)
+                d = layer_d * float(rng.uniform(0.9, 1.1))
+                spec = type(spec)(
+                    pattern=spec.pattern,
+                    data_size=d,
+                    a=spec.a,
+                    alpha=spec.alpha,
+                )
+            else:
+                spec = sample_task_spec(rng)
+            row.append(
+                b.add_task(
+                    f"t{li}-{ti}",
+                    work=spec.work,
+                    alpha=spec.alpha,
+                    data_size=spec.data_size,
+                    kind=spec.kind,
+                )
+            )
+        levels.append(row)
+
+    # --- edges ------------------------------------------------------------
+    max_span = 1 + params.jump  # how many levels an edge may cross
+    has_child: set[int] = set()
+    for li in range(1, len(levels)):
+        lo = max(0, li - max_span)
+        pool = [v for lj in range(lo, li) for v in levels[lj]]
+        for v in levels[li]:
+            n_parents = 1 + int(
+                rng.binomial(max(0, len(pool) - 1), params.density)
+            )
+            n_parents = min(n_parents, len(pool))
+            chosen = rng.choice(
+                len(pool), size=n_parents, replace=False
+            )
+            for c in set(int(x) for x in chosen):
+                b.add_edge(pool[c], v)
+                has_child.add(pool[c])
+        # Keep the level structure honest: every task of the previous
+        # level must have at least one child, otherwise it would be a
+        # spurious extra sink.  (DAGGEN enforces the same property.)
+        for u in levels[li - 1]:
+            if u not in has_child:
+                v = levels[li][int(rng.integers(len(levels[li])))]
+                b.add_edge(u, v)
+                has_child.add(u)
+
+    return b.build()

@@ -1,0 +1,112 @@
+"""FFT parallel task graphs (paper Section IV-C).
+
+The Fast Fourier Transform PTG (Hall et al.; Cormen et al.) of input size
+``n`` (a power of two) consists of two parts:
+
+1. a binary *recursive-call tree* with ``2n - 1`` tasks: the source splits
+   the problem, each internal node splits further, down to ``n`` leaves;
+2. ``log2(n)`` *butterfly layers* of ``n`` tasks each; butterfly stage
+   ``k`` (1-based) node ``j`` depends on nodes ``j`` and ``j XOR 2^{k-1}``
+   of the previous stage (the first stage reads from the tree leaves).
+
+Total task count: ``(2n - 1) + n log2(n)``, matching the paper exactly —
+"FFT PTGs with 2, 4, 8, and 16 levels … lead to 5, 15, 39, or 95 tasks":
+
+>>> from repro.workloads.fft import fft_task_count
+>>> [fft_task_count(n) for n in (2, 4, 8, 16)]
+[5, 15, 39, 95]
+
+Each task receives a random dataset size and parallelization factor from
+:mod:`repro.workloads.complexities`, so two generated FFT PTGs share a
+shape but differ in task complexities, exactly as the paper's DAG
+generator does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..exceptions import GraphError
+from ..graph import PTG, PTGBuilder
+from .complexities import ComplexityPattern, sample_task_spec
+
+__all__ = ["fft_task_count", "generate_fft", "FFT_LEVELS"]
+
+#: The FFT sizes used in the paper's evaluation.
+FFT_LEVELS = (2, 4, 8, 16)
+
+
+def _check_size(n: int) -> int:
+    n = int(n)
+    if n < 2 or (n & (n - 1)) != 0:
+        raise GraphError(
+            f"FFT size must be a power of two >= 2, got {n}"
+        )
+    return n
+
+
+def fft_task_count(n: int) -> int:
+    """Number of tasks of the FFT PTG of size ``n``: (2n-1) + n*log2(n)."""
+    n = _check_size(n)
+    return (2 * n - 1) + n * int(np.log2(n))
+
+
+def generate_fft(
+    n: int,
+    rng: np.random.Generator | int | None = None,
+    name: str | None = None,
+) -> PTG:
+    """Generate one FFT PTG of size ``n`` with random task complexities.
+
+    Parameters
+    ----------
+    n:
+        FFT input size (power of two); the paper calls this the number of
+        "levels" (2, 4, 8 or 16).
+    rng:
+        Random source for the per-task complexity draws.
+    name:
+        Graph label; defaults to ``fft-<n>``.
+    """
+    n = _check_size(n)
+    rng = ensure_generator(rng, "workloads", "fft")
+    stages = int(np.log2(n))
+    b = PTGBuilder(name or f"fft-{n}")
+
+    def add(node_name: str, kind: str) -> int:
+        spec = sample_task_spec(rng)
+        return b.add_task(
+            node_name,
+            work=spec.work,
+            alpha=spec.alpha,
+            data_size=spec.data_size,
+            kind=kind,
+        )
+
+    # --- recursive-call tree: level r has 2^r nodes, r = 0..stages -------
+    tree: list[list[int]] = []
+    for r in range(stages + 1):
+        row = [
+            add(f"split-{r}-{j}", "fft-split") for j in range(2**r)
+        ]
+        tree.append(row)
+        if r > 0:
+            for j, node in enumerate(row):
+                b.add_edge(tree[r - 1][j // 2], node)
+
+    # --- butterfly stages: each of size n --------------------------------
+    prev = tree[stages]  # the n leaves feed the first butterfly stage
+    for k in range(1, stages + 1):
+        stride = 2 ** (k - 1)
+        row = [
+            add(f"bfly-{k}-{j}", "fft-butterfly") for j in range(n)
+        ]
+        for j, node in enumerate(row):
+            b.add_edge(prev[j], node)
+            b.add_edge(prev[j ^ stride], node)
+        prev = row
+
+    ptg = b.build()
+    assert ptg.num_tasks == fft_task_count(n)
+    return ptg

@@ -1,0 +1,207 @@
+"""Strassen matrix-multiplication parallel task graphs (Section IV-C).
+
+One level of Strassen's algorithm multiplies two matrices split into four
+blocks each via seven block multiplications:
+
+.. code-block:: text
+
+    M1 = (A11 + A22)(B11 + B22)     M5 = (A11 + A12) B22
+    M2 = (A21 + A22) B11            M6 = (A21 - A11)(B11 + B12)
+    M3 =  A11 (B12 - B22)           M7 = (A12 - A22)(B21 + B22)
+    M4 =  A22 (B21 - B11)
+
+    C11 = M1 + M4 - M5 + M7         C12 = M3 + M5
+    C21 = M2 + M4                   C22 = M1 - M2 + M3 + M6
+
+The resulting PTG has a partition source, ten block additions
+(S1..S10), seven multiplications (M1..M7), four combinations (C11..C22)
+and an assembly sink — 23 tasks over 5 precedence levels.  A recursive
+variant replaces each multiplication task with a nested Strassen DAG
+(``depth > 1``), used by scalability studies.
+
+Costs follow the block sizes: with a dataset of ``d`` doubles per input
+matrix, each block holds ``d/4`` doubles; additions cost ``a * d/4`` FLOP
+(stencil pattern), multiplications ``(d/4)^{3/2}`` FLOP (matmul pattern).
+The parallelization factor ``alpha`` is drawn per task as usual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..exceptions import GraphError
+from ..graph import PTG, PTGBuilder
+from .complexities import (
+    ALPHA_MAX,
+    A_MAX,
+    A_MIN,
+    MAX_DATA_SIZE,
+    MIN_DATA_SIZE,
+)
+
+__all__ = ["generate_strassen", "strassen_task_count"]
+
+#: (multiplication, [operand add-tasks]) structure; indices into the S list.
+_MULT_OPERANDS = {
+    "M1": ["S1", "S2"],
+    "M2": ["S3"],  # uses raw B11
+    "M3": ["S4"],  # uses raw A11
+    "M4": ["S5"],  # uses raw A22
+    "M5": ["S6"],  # uses raw B22
+    "M6": ["S7", "S8"],
+    "M7": ["S9", "S10"],
+}
+
+_COMBINE_TERMS = {
+    "C11": ["M1", "M4", "M5", "M7"],
+    "C12": ["M3", "M5"],
+    "C21": ["M2", "M4"],
+    "C22": ["M1", "M2", "M3", "M6"],
+}
+
+
+def strassen_task_count(depth: int = 1) -> int:
+    """Tasks of the Strassen PTG with ``depth`` recursion levels.
+
+    ``count(1) = 23``; each extra level replaces every multiplication task
+    with a full sub-DAG: ``count(k) = 16 + 7 * count(k-1)``.
+    """
+    if depth < 1:
+        raise GraphError(f"depth must be >= 1, got {depth}")
+    count = 23
+    for _ in range(depth - 1):
+        count = 16 + 7 * count
+    return count
+
+
+def _add_strassen_level(
+    b: PTGBuilder,
+    prefix: str,
+    entry: int,
+    d: float,
+    depth: int,
+    rng: np.random.Generator,
+) -> int:
+    """Build one Strassen level below ``entry``; returns the sink index."""
+
+    def draw_alpha() -> float:
+        return float(rng.uniform(0.0, ALPHA_MAX))
+
+    def draw_a() -> float:
+        return float(rng.uniform(A_MIN, A_MAX))
+
+    block_d = max(2.0, d / 4.0)
+
+    adds: dict[str, int] = {}
+    for i in range(1, 11):
+        name = f"S{i}"
+        adds[name] = b.add_task(
+            f"{prefix}{name}",
+            work=draw_a() * block_d,
+            alpha=draw_alpha(),
+            data_size=block_d,
+            kind="strassen-add",
+        )
+        b.add_edge(entry, adds[name])
+
+    mults: dict[str, int] = {}
+    for mname, operands in _MULT_OPERANDS.items():
+        if depth > 1:
+            # recursive variant: the multiplication is itself a Strassen DAG
+            head = b.add_task(
+                f"{prefix}{mname}-split",
+                work=draw_a() * block_d,
+                alpha=draw_alpha(),
+                data_size=block_d,
+                kind="strassen-split",
+            )
+            for sname in operands:
+                b.add_edge(adds[sname], head)
+            b.add_edge(entry, head)
+            tail = _add_strassen_level(
+                b, f"{prefix}{mname}.", head, block_d, depth - 1, rng
+            )
+            mults[mname] = tail
+        else:
+            mults[mname] = b.add_task(
+                f"{prefix}{mname}",
+                work=block_d**1.5,
+                alpha=draw_alpha(),
+                data_size=block_d,
+                kind="strassen-mult",
+            )
+            for sname in operands:
+                b.add_edge(adds[sname], mults[mname])
+            # multiplications that consume a raw input block depend on the
+            # partition task directly
+            if len(operands) < 2:
+                b.add_edge(entry, mults[mname])
+
+    combines: dict[str, int] = {}
+    for cname, terms in _COMBINE_TERMS.items():
+        combines[cname] = b.add_task(
+            f"{prefix}{cname}",
+            work=draw_a() * block_d,
+            alpha=draw_alpha(),
+            data_size=block_d,
+            kind="strassen-combine",
+        )
+        for mname in terms:
+            b.add_edge(mults[mname], combines[cname])
+
+    sink = b.add_task(
+        f"{prefix}assemble",
+        work=draw_a() * d,
+        alpha=draw_alpha(),
+        data_size=d,
+        kind="strassen-assemble",
+    )
+    for cname in combines:
+        b.add_edge(combines[cname], sink)
+    return sink
+
+
+def generate_strassen(
+    rng: np.random.Generator | int | None = None,
+    depth: int = 1,
+    data_size: float | None = None,
+    name: str | None = None,
+) -> PTG:
+    """Generate one Strassen PTG with random task complexities.
+
+    Parameters
+    ----------
+    rng:
+        Random source for dataset size, iteration factors and alphas.
+    depth:
+        Recursion depth; the paper's evaluation uses one level (23 tasks).
+    data_size:
+        Total input dataset in doubles; drawn log-uniformly up to the
+        paper's 125e6 bound when omitted.
+    """
+    if depth < 1:
+        raise GraphError(f"depth must be >= 1, got {depth}")
+    rng = ensure_generator(rng, "workloads", "strassen")
+    if data_size is None:
+        data_size = float(
+            np.exp(
+                rng.uniform(
+                    np.log(MIN_DATA_SIZE), np.log(MAX_DATA_SIZE)
+                )
+            )
+        )
+    b = PTGBuilder(name or f"strassen-d{depth}")
+    a0 = float(rng.uniform(A_MIN, A_MAX))
+    entry = b.add_task(
+        "partition",
+        work=a0 * data_size,
+        alpha=float(rng.uniform(0.0, ALPHA_MAX)),
+        data_size=data_size,
+        kind="strassen-split",
+    )
+    _add_strassen_level(b, "", entry, data_size, depth, rng)
+    ptg = b.build()
+    if depth == 1:
+        assert ptg.num_tasks == strassen_task_count(1)
+    return ptg

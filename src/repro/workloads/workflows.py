@@ -1,0 +1,128 @@
+"""Scientific-workflow-shaped PTGs.
+
+The paper's introduction motivates PTG scheduling with scientific
+workflows ("parallel task graphs arise when parallel programs are
+combined to larger applications, e.g., scientific workflows").  Its
+evaluation uses FFT/Strassen/DAGGEN graphs; this module adds generators
+for the two canonical workflow shapes from the workflow-scheduling
+literature, so downstream users can evaluate schedulers on
+realistically-shaped applications:
+
+* :func:`generate_montage` — a Montage-like mosaicking workflow:
+  a wide fan of per-tile projection tasks, a quadratic-ish layer of
+  pairwise background-fit tasks, a concentration phase (model fitting),
+  a second fan of background corrections, and a final co-addition
+  reduce.  Shape: wide → wider → narrow → wide → 1.
+* :func:`generate_pipeline_ensemble` — an ensemble of independent
+  k-stage pipelines with a common setup source and a final aggregation
+  sink (parameter sweeps, uncertainty quantification).  Shape: 1 →
+  m parallel chains of depth k → 1.
+
+Task complexities follow the paper's sampling rules
+(:mod:`repro.workloads.complexities`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_generator
+from ..exceptions import GraphError
+from ..graph import PTG, PTGBuilder
+from .complexities import ComplexityPattern, sample_task_spec
+
+__all__ = ["generate_montage", "generate_pipeline_ensemble"]
+
+
+def _add(b: PTGBuilder, rng, name: str, kind: str, pattern=None) -> int:
+    spec = sample_task_spec(rng, pattern=pattern)
+    return b.add_task(
+        name,
+        work=spec.work,
+        alpha=spec.alpha,
+        data_size=spec.data_size,
+        kind=kind,
+    )
+
+
+def generate_montage(
+    tiles: int = 8,
+    rng: np.random.Generator | int | None = None,
+    name: str | None = None,
+) -> PTG:
+    """A Montage-like mosaicking workflow over ``tiles`` input tiles.
+
+    Structure (per the Montage application DAG): ``tiles`` projection
+    tasks feed overlap-difference tasks (one per adjacent tile pair),
+    which concentrate into a single background-model fit; per-tile
+    background corrections then fan out again and a final co-addition
+    collects everything.  Total tasks: ``3 * tiles + 1``.
+    """
+    if tiles < 2:
+        raise GraphError(f"montage needs >= 2 tiles, got {tiles}")
+    rng = ensure_generator(rng, "workloads", "montage")
+    b = PTGBuilder(name or f"montage-{tiles}")
+
+    project = [
+        _add(b, rng, f"mProject-{i}", "montage-project",
+             ComplexityPattern.STENCIL)
+        for i in range(tiles)
+    ]
+    # pairwise difference of adjacent tiles (ring of overlaps)
+    diffs = []
+    for i in range(tiles - 1):
+        d = _add(b, rng, f"mDiff-{i}", "montage-diff",
+                 ComplexityPattern.STENCIL)
+        b.add_edge(project[i], d)
+        b.add_edge(project[i + 1], d)
+        diffs.append(d)
+    fit = _add(b, rng, "mBgModel", "montage-fit",
+               ComplexityPattern.SORT)
+    for d in diffs:
+        b.add_edge(d, fit)
+    corrections = []
+    for i in range(tiles):
+        c = _add(b, rng, f"mBackground-{i}", "montage-correct",
+                 ComplexityPattern.STENCIL)
+        b.add_edge(fit, c)
+        b.add_edge(project[i], c)
+        corrections.append(c)
+    add = _add(b, rng, "mAdd", "montage-coadd",
+               ComplexityPattern.MATMUL)
+    for c in corrections:
+        b.add_edge(c, add)
+    return b.build()
+
+
+def generate_pipeline_ensemble(
+    pipelines: int = 6,
+    depth: int = 4,
+    rng: np.random.Generator | int | None = None,
+    name: str | None = None,
+) -> PTG:
+    """An ensemble of ``pipelines`` independent ``depth``-stage chains.
+
+    One setup source fans out to every pipeline; a final aggregation
+    task joins them.  Total tasks: ``pipelines * depth + 2``.
+    """
+    if pipelines < 1:
+        raise GraphError(
+            f"need >= 1 pipeline, got {pipelines}"
+        )
+    if depth < 1:
+        raise GraphError(f"depth must be >= 1, got {depth}")
+    rng = ensure_generator(rng, "workloads", "ensemble")
+    b = PTGBuilder(name or f"ensemble-{pipelines}x{depth}")
+    setup = _add(b, rng, "setup", "ensemble-setup")
+    ends = []
+    for p in range(pipelines):
+        prev = setup
+        for s in range(depth):
+            t = _add(b, rng, f"p{p}-s{s}", "ensemble-stage")
+            b.add_edge(prev, t)
+            prev = t
+        ends.append(prev)
+    agg = _add(b, rng, "aggregate", "ensemble-aggregate")
+    for e in ends:
+        b.add_edge(e, agg)
+    return b.build()

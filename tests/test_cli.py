@@ -1,0 +1,315 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import load_ptg
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--kind", "fft", "--size", "8", "out.json"]
+        )
+        assert args.kind == "fft"
+        assert args.size == 8
+
+
+class TestGenerate:
+    def test_fft_json(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        rc = main(
+            [
+                "generate",
+                "--kind",
+                "fft",
+                "--size",
+                "4",
+                "--seed",
+                "1",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        g = load_ptg(out)
+        assert g.num_tasks == 15
+        assert "15 tasks" in capsys.readouterr().out
+
+    def test_daggen_dot(self, tmp_path):
+        out = tmp_path / "g.dot"
+        rc = main(
+            [
+                "generate",
+                "--kind",
+                "daggen",
+                "--size",
+                "20",
+                "--seed",
+                "2",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_strassen(self, tmp_path):
+        out = tmp_path / "s.json"
+        main(
+            ["generate", "--kind", "strassen", "--seed", "3", str(out)]
+        )
+        assert load_ptg(out).num_tasks == 23
+
+
+class TestSchedule:
+    def test_heuristic_on_generated(self, capsys):
+        rc = main(
+            [
+                "schedule",
+                "--kind",
+                "fft",
+                "--size",
+                "4",
+                "--seed",
+                "1",
+                "--platform",
+                "chti",
+                "--algorithm",
+                "mcpa",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mcpa" in out
+        assert "makespan" in out
+
+    def test_emts_on_file(self, tmp_path, capsys):
+        ptg_file = tmp_path / "g.json"
+        main(
+            [
+                "generate",
+                "--kind",
+                "fft",
+                "--size",
+                "4",
+                "--seed",
+                "1",
+                str(ptg_file),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "schedule",
+                "--ptg",
+                str(ptg_file),
+                "--algorithm",
+                "emts5",
+                "--seed",
+                "4",
+                "--model",
+                "model2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seed mcpa" in out
+        assert "opt. time" in out
+
+    def test_gantt_flag(self, capsys):
+        main(
+            [
+                "schedule",
+                "--kind",
+                "strassen",
+                "--seed",
+                "2",
+                "--platform",
+                "chti",
+                "--algorithm",
+                "serial",
+                "--gantt",
+            ]
+        )
+        assert "P  0 |" in capsys.readouterr().out
+
+    def test_svg_output(self, tmp_path, capsys):
+        svg = tmp_path / "g.svg"
+        main(
+            [
+                "schedule",
+                "--kind",
+                "strassen",
+                "--seed",
+                "2",
+                "--algorithm",
+                "mcpa",
+                "--svg",
+                str(svg),
+            ]
+        )
+        assert svg.read_text().startswith("<svg")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(
+                [
+                    "schedule",
+                    "--kind",
+                    "fft",
+                    "--size",
+                    "4",
+                    "--algorithm",
+                    "nope",
+                ]
+            )
+
+    def test_unknown_model(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(
+                [
+                    "schedule",
+                    "--kind",
+                    "fft",
+                    "--size",
+                    "4",
+                    "--model",
+                    "nope",
+                ]
+            )
+
+
+class TestFigures:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        assert "non-monotone" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "individual I" in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert (
+            main(["figure", "3", "--samples", "20000"]) == 0
+        )
+        assert "shrink mass" in capsys.readouterr().out
+
+    def test_figure6_with_svg_output(self, tmp_path, capsys):
+        rc = main(
+            [
+                "figure",
+                "6",
+                "--seed",
+                "3",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "relative makespan" in out
+        assert (tmp_path / "figure6_mcpa.svg").exists()
+        assert (tmp_path / "figure6_emts10.svg").exists()
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit, match="no figure"):
+            main(["figure", "9"])
+
+    def test_non_numeric_figure(self):
+        with pytest.raises(SystemExit, match="1-6 or 'all'"):
+            main(["figure", "seven"])
+
+
+class TestRuntime:
+    def test_runtime_table(self, capsys):
+        rc = main(["runtime", "--repetitions", "1", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "paper mean" in out
+        assert "emts10" in out
+
+
+class TestExtensionCommands:
+    def test_scalability(self, capsys):
+        rc = main(
+            [
+                "scalability",
+                "--size",
+                "15",
+                "--instances",
+                "2",
+                "--sizes",
+                "4,16",
+                "--seed",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "T_mcpa/T_emts5" in out
+        assert "trend" in out
+
+    def test_convergence(self, capsys):
+        rc = main(
+            [
+                "convergence",
+                "--size",
+                "15",
+                "--instances",
+                "2",
+                "--seed",
+                "1",
+                "--platform",
+                "chti",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best/seed (emts5)" in out
+        assert "final mean improvement" in out
+
+    def test_cpr_algorithm_available(self, capsys):
+        rc = main(
+            [
+                "schedule",
+                "--kind",
+                "strassen",
+                "--seed",
+                "2",
+                "--platform",
+                "chti",
+                "--algorithm",
+                "cpr",
+            ]
+        )
+        assert rc == 0
+        assert "cpr" in capsys.readouterr().out
+
+
+class TestCorpus:
+    def test_summary(self, capsys):
+        rc = main(["corpus", "--scale", "0.01", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fft=4" in out
+
+    def test_save(self, tmp_path, capsys):
+        out_file = tmp_path / "corpus.json"
+        main(
+            [
+                "corpus",
+                "--scale",
+                "0.01",
+                "--seed",
+                "1",
+                "--output",
+                str(out_file),
+            ]
+        )
+        doc = json.loads(out_file.read_text())
+        assert doc["format"] == "repro-ptg-corpus"

@@ -1,0 +1,164 @@
+"""Unit tests for EMTS's Eq. 1 mutation operator and the annealed
+mutation count (paper Sections III-C/III-D, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationMutation,
+    adjustment_pmf,
+    mutation_count,
+    sample_adjustments,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMutationCount:
+    def test_paper_formula(self):
+        # m = (1 - u/U) * fm * V, rounded
+        assert mutation_count(V=100, u=0, U=5, fm=0.33) == 33
+        assert mutation_count(V=100, u=1, U=5, fm=0.33) == 26
+        assert mutation_count(V=100, u=4, U=5, fm=0.33) == 7
+
+    def test_floor_at_one(self):
+        assert mutation_count(V=100, u=5, U=5, fm=0.33) == 1
+        assert mutation_count(V=3, u=2, U=3, fm=0.1) == 1
+
+    def test_cap_at_V(self):
+        assert mutation_count(V=2, u=0, U=5, fm=1.0) == 2
+
+    def test_annealing_non_increasing(self):
+        counts = [
+            mutation_count(V=100, u=u, U=10, fm=0.33)
+            for u in range(11)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(V=0, u=0, U=5, fm=0.33),
+            dict(V=10, u=0, U=0, fm=0.33),
+            dict(V=10, u=6, U=5, fm=0.33),
+            dict(V=10, u=-1, U=5, fm=0.33),
+            dict(V=10, u=0, U=5, fm=0.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            mutation_count(**kwargs)
+
+
+class TestSampleAdjustments:
+    def test_never_zero(self, rng):
+        c = sample_adjustments(10_000, rng)
+        assert np.all(c != 0)
+
+    def test_magnitude_at_least_one(self, rng):
+        c = sample_adjustments(10_000, rng)
+        assert np.all(np.abs(c) >= 1)
+
+    def test_shrink_probability(self, rng):
+        c = sample_adjustments(
+            100_000, rng, shrink_probability=0.2
+        )
+        assert np.mean(c < 0) == pytest.approx(0.2, abs=0.01)
+
+    def test_stretch_more_likely_than_shrink(self, rng):
+        """Paper constraint: shrinking less likely than stretching."""
+        c = sample_adjustments(50_000, rng, shrink_probability=0.2)
+        assert np.sum(c > 0) > np.sum(c < 0)
+
+    def test_small_steps_more_likely_than_large(self, rng):
+        """Paper constraint: changing by few processors more likely
+        than by many."""
+        c = np.abs(sample_adjustments(100_000, rng))
+        small = np.mean(c <= 3)
+        large = np.mean(c >= 10)
+        assert small > large * 3
+
+    def test_sigma_controls_spread(self, rng):
+        narrow = sample_adjustments(
+            50_000, rng, sigma_stretch=1.0, sigma_shrink=1.0
+        )
+        wide = sample_adjustments(
+            50_000, rng, sigma_stretch=10.0, sigma_shrink=10.0
+        )
+        assert np.abs(wide).mean() > np.abs(narrow).mean()
+
+
+class TestAdjustmentPmf:
+    def test_zero_has_no_mass(self):
+        assert adjustment_pmf(np.array([0]))[0] == 0.0
+
+    def test_sums_to_one(self):
+        k = np.arange(-200, 201)
+        assert adjustment_pmf(k).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_branch_masses(self):
+        k = np.arange(-200, 201)
+        pmf = adjustment_pmf(k, shrink_probability=0.2)
+        assert pmf[k < 0].sum() == pytest.approx(0.2, abs=1e-9)
+        assert pmf[k > 0].sum() == pytest.approx(0.8, abs=1e-9)
+
+    def test_matches_empirical(self, rng):
+        draws = sample_adjustments(200_000, rng)
+        k = np.arange(-15, 16)
+        pmf = adjustment_pmf(k)
+        emp = np.array(
+            [np.mean(draws == kk) for kk in k]
+        )
+        assert np.max(np.abs(pmf - emp)) < 0.01
+
+    def test_asymmetry_figure3(self):
+        """Figure 3's visual: positive side taller than negative side."""
+        assert adjustment_pmf(np.array([1]))[0] > adjustment_pmf(
+            np.array([-1])
+        )[0]
+
+
+class TestAllocationMutation:
+    def test_clamps_to_platform(self, rng):
+        op = AllocationMutation(P=8, fm=1.0)
+        g = np.full(50, 8, dtype=np.int64)
+        for gen in range(1, 6):
+            child = op.mutate(g, rng, gen, 5)
+            assert child.min() >= 1
+            assert child.max() <= 8
+
+    def test_changes_expected_positions_gen0(self, rng):
+        op = AllocationMutation(P=1000, fm=0.33)
+        g = np.full(100, 500, dtype=np.int64)
+        child = op.mutate(g, rng, 0, 5)
+        # at generation 0: 33 positions mutated, all by a nonzero step
+        assert np.count_nonzero(child != g) == 33
+
+    def test_final_generation_mutates_one(self, rng):
+        op = AllocationMutation(P=1000, fm=0.33)
+        g = np.full(100, 500, dtype=np.int64)
+        child = op.mutate(g, rng, 5, 5)
+        assert np.count_nonzero(child != g) == 1
+
+    def test_parent_untouched(self, rng):
+        op = AllocationMutation(P=8, fm=0.5)
+        g = np.full(20, 4, dtype=np.int64)
+        op.mutate(g, rng, 1, 5)
+        assert np.all(g == 4)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AllocationMutation(P=0)
+        with pytest.raises(ConfigurationError):
+            AllocationMutation(P=8, fm=0.0)
+        with pytest.raises(ConfigurationError):
+            AllocationMutation(P=8, sigma_stretch=0.0)
+        with pytest.raises(ConfigurationError):
+            AllocationMutation(P=8, shrink_probability=2.0)
+
+    def test_mostly_stretches(self, rng):
+        op = AllocationMutation(P=100, fm=1.0, shrink_probability=0.2)
+        g = np.full(1000, 50, dtype=np.int64)
+        child = op.mutate(g, rng, 0, 5)
+        grew = np.sum(child > g)
+        shrank = np.sum(child < g)
+        assert grew > 2 * shrank

@@ -1,0 +1,235 @@
+"""Unit tests for the (mu + lambda) evolution strategy engine.
+
+Uses a simple integer test problem (minimize distance to a target vector)
+so EA behaviour is verifiable independently of the scheduling domain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ea import (
+    EvolutionStrategy,
+    GenerationLimit,
+    Individual,
+    StagnationLimit,
+    UniformIntegerMutation,
+    UniformPointCrossover,
+)
+from repro.exceptions import ConfigurationError
+
+TARGET = np.array([3, 7, 2, 9, 5], dtype=np.int64)
+
+
+def fitness(genome: np.ndarray) -> float:
+    return float(np.abs(genome - TARGET).sum())
+
+
+def initial_pop(n=3):
+    return [
+        Individual(
+            genome=np.full(5, i + 1, dtype=np.int64),
+            origin=f"seed{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def make_strategy(**kwargs):
+    defaults = dict(
+        mu=3,
+        lam=12,
+        mutation=UniformIntegerMutation(low=1, high=10, rate=0.4),
+    )
+    defaults.update(kwargs)
+    return EvolutionStrategy(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mu=0),
+            dict(lam=0),
+            dict(selection="tournament"),
+            dict(selection="comma", mu=5, lam=3),
+            dict(crossover_rate=1.5),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            make_strategy(**kwargs)
+
+
+class TestEvolve:
+    def test_improves_over_initial(self, rng):
+        strat = make_strategy()
+        result = strat.evolve(
+            initial_pop(), fitness, rng, total_generations=15
+        )
+        initial_best = min(fitness(i.genome) for i in initial_pop())
+        assert result.best_fitness <= initial_best
+        assert result.generations == 15
+
+    def test_plus_is_monotone(self, rng):
+        result = make_strategy().evolve(
+            initial_pop(), fitness, rng, total_generations=10
+        )
+        assert result.log.is_monotone()
+
+    def test_population_size_is_mu(self, rng):
+        result = make_strategy(mu=3).evolve(
+            initial_pop(5), fitness, rng, total_generations=2
+        )
+        assert len(result.population) == 3
+
+    def test_evaluation_count(self, rng):
+        result = make_strategy(mu=2, lam=7).evolve(
+            initial_pop(2), fitness, rng, total_generations=4
+        )
+        # 2 initial + 4 * 7 offspring
+        assert result.evaluations == 2 + 28
+
+    def test_comma_selection_runs(self, rng):
+        result = make_strategy(
+            mu=3, lam=12, selection="comma"
+        ).evolve(initial_pop(), fitness, rng, total_generations=5)
+        assert len(result.population) == 3
+
+    def test_crossover_enabled(self, rng):
+        strat = make_strategy(
+            crossover=UniformPointCrossover(), crossover_rate=1.0
+        )
+        result = strat.evolve(
+            initial_pop(), fitness, rng, total_generations=5
+        )
+        origins = {i.origin for i in result.population}
+        # at least some survivors should be crossover products
+        assert result.best_fitness <= 20
+
+    def test_requires_initial_population(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_strategy().evolve([], fitness, rng, total_generations=2)
+
+    def test_requires_termination_or_generations(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_strategy().evolve(initial_pop(), fitness, rng)
+
+    def test_explicit_termination(self, rng):
+        result = make_strategy().evolve(
+            initial_pop(),
+            fitness,
+            rng,
+            termination=GenerationLimit(3),
+        )
+        assert result.generations == 3
+
+    def test_stagnation_termination(self, rng):
+        # a constant fitness stagnates immediately after patience gens
+        result = make_strategy().evolve(
+            initial_pop(),
+            lambda g: 1.0,
+            rng,
+            termination=StagnationLimit(patience=2),
+            total_generations=5,
+        )
+        assert result.generations <= 4
+
+    def test_deterministic_given_seed(self):
+        r1 = make_strategy().evolve(
+            initial_pop(),
+            fitness,
+            np.random.default_rng(7),
+            total_generations=8,
+        )
+        r2 = make_strategy().evolve(
+            initial_pop(),
+            fitness,
+            np.random.default_rng(7),
+            total_generations=8,
+        )
+        assert r1.best_fitness == r2.best_fitness
+        assert np.array_equal(r1.best.genome, r2.best.genome)
+
+    def test_inf_fitness_rejected_individuals(self, rng):
+        """Individuals may be rejected with inf; the EA keeps going."""
+
+        def gated(genome):
+            f = fitness(genome)
+            return float("inf") if f > 15 else f
+
+        init = [
+            Individual(genome=TARGET.copy(), origin="seed")
+        ]  # fitness 0
+        result = make_strategy(mu=1, lam=5).evolve(
+            init, gated, rng, total_generations=3
+        )
+        assert result.best_fitness == 0.0
+
+    def test_finds_optimum_eventually(self):
+        rng = np.random.default_rng(123)
+        strat = make_strategy(mu=5, lam=40)
+        result = strat.evolve(
+            initial_pop(5), fitness, rng, total_generations=60
+        )
+        assert result.best_fitness == 0.0
+
+    def test_initial_individuals_not_mutated_in_place(self, rng):
+        init = initial_pop()
+        genomes_before = [i.genome.copy() for i in init]
+        make_strategy().evolve(init, fitness, rng, total_generations=3)
+        for ind, before in zip(init, genomes_before):
+            assert np.array_equal(ind.genome, before)
+
+    def test_on_generation_start_hook(self, rng):
+        calls = []
+
+        def hook(parents, generation):
+            calls.append(
+                (generation, [p.evaluated_fitness() for p in parents])
+            )
+
+        make_strategy(mu=2).evolve(
+            initial_pop(2),
+            fitness,
+            rng,
+            total_generations=4,
+            on_generation_start=hook,
+        )
+        assert [c[0] for c in calls] == [1, 2, 3, 4]
+        # parents handed to the hook are always evaluated
+        assert all(
+            all(np.isfinite(f) for f in fits) for _, fits in calls
+        )
+
+    def test_hook_bound_rejection_equivalence(self, rng):
+        """Rejecting offspring at the worst-parent cutoff must not
+        change the trajectory (the EMTS rejection-strategy invariant,
+        checked at the engine level)."""
+
+        def run(with_rejection: bool):
+            bound = [float("inf")]
+
+            def hook(parents, generation):
+                if with_rejection:
+                    bound[0] = max(
+                        p.evaluated_fitness() for p in parents
+                    )
+
+            def gated_fitness(genome):
+                f = fitness(genome)
+                if f >= bound[0]:
+                    return float("inf")
+                return f
+
+            return make_strategy().evolve(
+                initial_pop(),
+                gated_fitness,
+                np.random.default_rng(77),
+                total_generations=8,
+                on_generation_start=hook,
+            )
+
+        plain = run(False)
+        gated = run(True)
+        assert plain.best_fitness == gated.best_fitness
+        assert np.array_equal(plain.best.genome, gated.best.genome)

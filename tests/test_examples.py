@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public deliverable; they are executed in a
+subprocess (as a user would) and their headline output is checked.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", "EMTS5 makespan"),
+    ("scientific_workflow.py", "relative makespans"),
+    ("custom_time_model.py", "cluster utilization"),
+    ("gantt_comparison.py", "SVG Gantt charts written"),
+    ("time_budget.py", "T_mcpa/T_emts"),
+    ("convergence_study.py", "final improvement"),
+    ("profile_fitness.py", "cProfile of one EMTS10 run"),
+]
+
+
+@pytest.mark.parametrize(
+    "script,expected", CASES, ids=[c[0] for c in CASES]
+)
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expected in proc.stdout
+
+
+def test_all_examples_are_smoke_tested():
+    """Adding an example without wiring it here should fail loudly."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {c[0] for c in CASES}
+    assert scripts == covered

@@ -1,0 +1,99 @@
+"""Tests for the extension experiments: scalability sweep and
+convergence study."""
+
+import numpy as np
+import pytest
+
+from repro.core import emts5, emts10
+from repro.experiments import (
+    run_convergence_study,
+    run_scalability_sweep,
+)
+from repro.platform import Cluster
+from repro.timemodels import SyntheticModel
+from repro.workloads import DaggenParams, generate_daggen, generate_fft
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [
+        generate_daggen(
+            DaggenParams(
+                num_tasks=30,
+                width=0.5,
+                regularity=0.2,
+                density=0.2,
+                jump=2,
+            ),
+            rng=s,
+        )
+        for s in range(3)
+    ]
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def sweep(self, workload):
+        return run_scalability_sweep(
+            workload, sizes=(8, 32, 96), seed=1
+        )
+
+    def test_structure(self, sweep):
+        assert sweep.sizes == (8, 32, 96)
+        assert set(sweep.cells) == {8, 32, 96}
+        for ci in sweep.cells.values():
+            assert ci.n == 3
+            assert ci.mean >= 1.0 - 1e-9  # EMTS never loses to MCPA
+
+    def test_paper_trend(self, sweep):
+        """Larger platforms -> larger (or equal) gains."""
+        assert sweep.trend_is_nondecreasing(slack=0.1)
+
+    def test_render(self, sweep):
+        out = sweep.render()
+        assert "T_mcpa/T_emts5" in out
+        assert "96" in out
+
+
+class TestConvergence:
+    @pytest.fixture(scope="class")
+    def study(self, workload):
+        cluster = Cluster("c", num_processors=48, speed_gflops=3.1)
+        return run_convergence_study(
+            workload,
+            cluster,
+            SyntheticModel(),
+            [emts5(), emts10(generations=6)],
+            seed=2,
+        )
+
+    def test_structure(self, study):
+        assert set(study.trajectories) == {"emts5", "emts10"}
+        assert len(study.seed_best) == 3
+        assert all(
+            len(t) == 6 for t in study.trajectories["emts5"]
+        )  # init + 5 generations
+
+    def test_trajectories_monotone(self, study):
+        for runs in study.trajectories.values():
+            for traj in runs:
+                assert np.all(np.diff(traj) <= 1e-9)
+
+    def test_relative_curves_start_at_one_or_below(self, study):
+        """Generation 0's best equals the best seed (or a lucky filler
+        mutation beats it), so the curve starts at <= 1 + eps."""
+        curve = study.mean_relative_trajectory("emts5")
+        assert curve[0] <= 1.0 + 1e-9
+        assert np.all(np.diff(curve) <= 1e-9)  # mean of monotones
+
+    def test_final_improvement(self, study):
+        assert study.final_improvement("emts5") >= 1.0
+
+    def test_more_budget_no_worse(self, study):
+        c5 = study.mean_relative_trajectory("emts5")
+        c10 = study.mean_relative_trajectory("emts10")
+        assert c10[-1] <= c5[-1] + 0.02
+
+    def test_render(self, study):
+        out = study.render()
+        assert "best/seed (emts5)" in out

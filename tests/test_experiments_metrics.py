@@ -1,0 +1,82 @@
+"""Unit tests for experiment statistics (means, CIs, relative makespans)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    mean_confidence_interval,
+    relative_makespans,
+)
+
+
+class TestMeanCI:
+    def test_basic(self):
+        ci = mean_confidence_interval(np.array([1.0, 2.0, 3.0]))
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.low < 2.0 < ci.high
+        assert ci.n == 3
+
+    def test_single_value_collapses(self):
+        ci = mean_confidence_interval(np.array([5.0]))
+        assert ci.mean == ci.low == ci.high == 5.0
+
+    def test_zero_variance_collapses(self):
+        ci = mean_confidence_interval(np.full(10, 3.0))
+        assert ci.low == ci.high == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval(np.array([]))
+
+    def test_infs_dropped(self):
+        ci = mean_confidence_interval(
+            np.array([1.0, np.inf, 3.0])
+        )
+        assert ci.n == 2
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_all_inf_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval(np.array([np.inf, np.inf]))
+
+    def test_confidence_width_ordering(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        narrow = mean_confidence_interval(data, confidence=0.5)
+        wide = mean_confidence_interval(data, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_t_interval_value(self):
+        """Check against a hand-computed t interval."""
+        data = np.array([10.0, 12.0, 14.0, 16.0])
+        ci = mean_confidence_interval(data)
+        # mean 13, s = 2.582, sem = 1.291, t_{0.975,3} = 3.1824
+        assert ci.mean == pytest.approx(13.0)
+        assert ci.half_width == pytest.approx(4.109, abs=0.01)
+
+    def test_more_samples_narrower_ci(self, rng):
+        small = mean_confidence_interval(rng.normal(1.2, 0.1, 10))
+        large = mean_confidence_interval(rng.normal(1.2, 0.1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_str(self):
+        ci = mean_confidence_interval(np.array([1.0, 2.0]))
+        assert "n=2" in str(ci)
+
+
+class TestRelativeMakespans:
+    def test_ratio(self):
+        r = relative_makespans(
+            np.array([2.0, 3.0]), np.array([1.0, 2.0])
+        )
+        assert r.tolist() == [2.0, 1.5]
+
+    def test_drops_bad_pairs(self):
+        r = relative_makespans(
+            np.array([2.0, np.inf, 3.0, -1.0]),
+            np.array([1.0, 1.0, np.nan, 1.0]),
+        )
+        assert r.tolist() == [2.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            relative_makespans(np.ones(2), np.ones(3))

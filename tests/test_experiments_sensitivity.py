@@ -1,0 +1,67 @@
+"""Tests for the parameter-sensitivity study."""
+
+import pytest
+
+from repro.experiments import run_sensitivity_study
+from repro.experiments.sensitivity import (
+    DEFAULT_GRIDS,
+    PAPER_VALUES,
+    _config_with,
+)
+from repro.platform import Cluster
+from repro.timemodels import SyntheticModel
+from repro.workloads import generate_fft
+
+
+@pytest.fixture(scope="module")
+def study():
+    ptgs = [generate_fft(4, rng=s) for s in range(2)]
+    cluster = Cluster("c", num_processors=24, speed_gflops=3.0)
+    grids = {"fm": (0.1, 0.33, 0.8), "delta": (0.5, 0.9)}
+    return run_sensitivity_study(
+        ptgs, cluster, SyntheticModel(), grids=grids, seed=3
+    )
+
+
+class TestConfigBuilder:
+    def test_sigma_sets_both(self):
+        c = _config_with("sigma", 9.0)
+        assert c.sigma_stretch == 9.0
+        assert c.sigma_shrink == 9.0
+
+    def test_plain_parameter(self):
+        assert _config_with("fm", 0.5).fm == 0.5
+
+    def test_paper_values_in_default_grids(self):
+        for parameter, value in PAPER_VALUES.items():
+            assert value in DEFAULT_GRIDS[parameter]
+
+
+class TestStudy:
+    def test_profiles_cover_grids(self, study):
+        assert set(study.profiles) == {"fm", "delta"}
+        assert set(study.profile("fm")) == {0.1, 0.33, 0.8}
+
+    def test_values_positive(self, study):
+        for profile in study.profiles.values():
+            for rel in profile.values():
+                assert rel > 0
+
+    def test_paper_value_near_one(self, study):
+        """The paper-default cell re-runs the default config with the
+        same seeds, so its relative value is exactly 1."""
+        assert study.profile("fm")[0.33] == pytest.approx(1.0)
+
+    def test_worst_degradation(self, study):
+        assert study.worst_degradation("fm") >= 1.0 - 1e-9
+
+    def test_flat_within(self, study):
+        assert study.flat_within("fm", slack=10.0)  # trivially true
+        assert not study.flat_within(
+            "fm", slack=-0.5
+        )  # trivially false
+
+    def test_render(self, study):
+        out = study.render()
+        assert "(paper)" in out
+        assert "fm" in out and "delta" in out

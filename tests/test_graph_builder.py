@@ -1,0 +1,116 @@
+"""Unit tests for PTGBuilder and the convenience factories."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import PTGBuilder, chain, fork_join
+
+
+class TestPTGBuilder:
+    def test_add_task_returns_index(self):
+        b = PTGBuilder()
+        assert b.add_task("a", work=1.0) == 0
+        assert b.add_task("b", work=1.0) == 1
+        assert b.num_tasks == 2
+
+    def test_duplicate_name_rejected(self):
+        b = PTGBuilder()
+        b.add_task("a", work=1.0)
+        with pytest.raises(GraphError, match="duplicate"):
+            b.add_task("a", work=2.0)
+
+    def test_edge_by_name(self):
+        b = PTGBuilder()
+        b.add_task("a", work=1.0)
+        b.add_task("b", work=1.0)
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.successors(g.index("a")) == (g.index("b"),)
+
+    def test_edge_by_index(self):
+        b = PTGBuilder()
+        i = b.add_task("a", work=1.0)
+        j = b.add_task("b", work=1.0)
+        b.add_edge(i, j)
+        assert b.build().num_edges == 1
+
+    def test_unknown_name_rejected(self):
+        b = PTGBuilder()
+        b.add_task("a", work=1.0)
+        with pytest.raises(GraphError, match="unknown task name"):
+            b.add_edge("a", "zzz")
+
+    def test_index_out_of_range_rejected(self):
+        b = PTGBuilder()
+        b.add_task("a", work=1.0)
+        with pytest.raises(GraphError, match="out of range"):
+            b.add_edge(0, 5)
+
+    def test_self_loop_rejected_eagerly(self):
+        b = PTGBuilder()
+        b.add_task("a", work=1.0)
+        with pytest.raises(GraphError, match="self-loop"):
+            b.add_edge("a", "a")
+
+    def test_add_edges_bulk(self):
+        b = PTGBuilder()
+        for n in "abc":
+            b.add_task(n, work=1.0)
+        b.add_edges([("a", "b"), ("b", "c")])
+        assert b.build().num_edges == 2
+
+    def test_contains(self):
+        b = PTGBuilder()
+        b.add_task("a", work=1.0)
+        assert "a" in b
+        assert "b" not in b
+
+    def test_build_detects_cycle(self):
+        b = PTGBuilder()
+        for n in "ab":
+            b.add_task(n, work=1.0)
+        b.add_edge("a", "b")
+        b.add_edge("b", "a")
+        from repro.exceptions import CycleError
+
+        with pytest.raises(CycleError):
+            b.build()
+
+    def test_builder_name_propagates(self):
+        b = PTGBuilder("myname")
+        b.add_task("a", work=1.0)
+        assert b.build().name == "myname"
+
+
+class TestFactories:
+    def test_chain_structure(self):
+        g = chain([1.0, 2.0, 3.0])
+        assert g.num_tasks == 3
+        assert g.num_edges == 2
+        assert g.sources == (0,)
+        assert g.sinks == (2,)
+
+    def test_chain_single(self):
+        g = chain([5.0])
+        assert g.num_tasks == 1
+        assert g.num_edges == 0
+
+    def test_fork_join_structure(self):
+        g = fork_join([1.0] * 4, head_work=2.0, tail_work=3.0)
+        assert g.num_tasks == 6
+        assert len(g.sources) == 1
+        assert len(g.sinks) == 1
+        head = g.index("head")
+        tail = g.index("tail")
+        assert len(g.successors(head)) == 4
+        assert len(g.predecessors(tail)) == 4
+
+    def test_fork_join_no_branches(self):
+        g = fork_join([])
+        assert g.num_tasks == 2
+        assert g.num_edges == 1  # head -> tail directly
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(GraphError):
+            chain([])

@@ -1,0 +1,76 @@
+"""Unit tests for PTG serialization (repro.graph.io)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    load_corpus,
+    load_ptg,
+    ptg_from_dict,
+    ptg_to_dict,
+    ptg_to_dot,
+    save_corpus,
+    save_ptg,
+)
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_graph(self, diamond_ptg):
+        assert ptg_from_dict(ptg_to_dict(diamond_ptg)) == diamond_ptg
+
+    def test_roundtrip_preserves_attributes(self, fft8_ptg):
+        back = ptg_from_dict(ptg_to_dict(fft8_ptg))
+        for orig, restored in zip(fft8_ptg.tasks, back.tasks):
+            assert orig == restored
+
+    def test_name_preserved(self, diamond_ptg):
+        assert ptg_from_dict(ptg_to_dict(diamond_ptg)).name == "diamond"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(GraphError, match="format"):
+            ptg_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, diamond_ptg):
+        doc = ptg_to_dict(diamond_ptg)
+        doc["version"] = 999
+        with pytest.raises(GraphError, match="version"):
+            ptg_from_dict(doc)
+
+    def test_dict_is_json_serializable(self, fft8_ptg):
+        json.dumps(ptg_to_dict(fft8_ptg))
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, diamond_ptg, tmp_path):
+        path = tmp_path / "g.json"
+        save_ptg(diamond_ptg, path)
+        assert load_ptg(path) == diamond_ptg
+
+    def test_corpus_roundtrip(self, diamond_ptg, fft8_ptg, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus([diamond_ptg, fft8_ptg], path)
+        back = load_corpus(path)
+        assert len(back) == 2
+        assert back[0] == diamond_ptg
+        assert back[1] == fft8_ptg
+
+    def test_corpus_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(GraphError, match="corpus"):
+            load_corpus(path)
+
+
+class TestDot:
+    def test_dot_contains_all_nodes_and_edges(self, diamond_ptg):
+        dot = ptg_to_dot(diamond_ptg)
+        assert dot.startswith("digraph")
+        for i in range(diamond_ptg.num_tasks):
+            assert f"n{i} " in dot
+        assert dot.count("->") == diamond_ptg.num_edges
+
+    def test_dot_without_work_labels(self, diamond_ptg):
+        dot = ptg_to_dot(diamond_ptg, label_work=False)
+        assert "FLOP" not in dot

@@ -1,0 +1,198 @@
+"""Unit tests for the PTG data model (repro.graph.ptg)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CycleError, GraphError
+from repro.graph import PTG, Task
+
+
+class TestTask:
+    def test_valid_task(self):
+        t = Task("t", work=1e9, alpha=0.2, data_size=1e6, kind="matmul")
+        assert t.name == "t"
+        assert t.work == 1e9
+        assert t.kind == "matmul"
+
+    def test_defaults(self):
+        t = Task("t", work=1.0)
+        assert t.alpha == 0.0
+        assert t.data_size == 0.0
+        assert t.kind == "task"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError, match="non-empty"):
+            Task("", work=1.0)
+
+    @pytest.mark.parametrize("work", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_work_rejected(self, work):
+        with pytest.raises(GraphError, match="work"):
+            Task("t", work=work)
+
+    @pytest.mark.parametrize("alpha", [-0.01, 1.01, 5.0])
+    def test_alpha_out_of_range_rejected(self, alpha):
+        with pytest.raises(GraphError, match="alpha"):
+            Task("t", work=1.0, alpha=alpha)
+
+    def test_negative_data_size_rejected(self):
+        with pytest.raises(GraphError, match="data_size"):
+            Task("t", work=1.0, data_size=-1.0)
+
+    def test_with_updates(self):
+        t = Task("t", work=1.0, alpha=0.1)
+        t2 = t.with_updates(work=2.0)
+        assert t2.work == 2.0
+        assert t2.alpha == 0.1
+        assert t.work == 1.0  # original untouched
+
+    def test_frozen(self):
+        t = Task("t", work=1.0)
+        with pytest.raises(AttributeError):
+            t.work = 2.0
+
+
+class TestPTGConstruction:
+    def test_basic(self, diamond_ptg):
+        assert diamond_ptg.num_tasks == 4
+        assert diamond_ptg.num_edges == 4
+        assert len(diamond_ptg) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError, match="at least one task"):
+            PTG([], [])
+
+    def test_duplicate_names_rejected(self):
+        tasks = [Task("x", work=1.0), Task("x", work=2.0)]
+        with pytest.raises(GraphError, match="duplicate"):
+            PTG(tasks, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            PTG([Task("a", work=1.0)], [(0, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            PTG([Task("a", work=1.0)], [(0, 0)])
+
+    def test_cycle_rejected(self):
+        tasks = [Task(n, work=1.0) for n in "abc"]
+        with pytest.raises(CycleError, match="cycle"):
+            PTG(tasks, [(0, 1), (1, 2), (2, 0)])
+
+    def test_two_node_cycle_rejected(self):
+        tasks = [Task(n, work=1.0) for n in "ab"]
+        with pytest.raises(CycleError):
+            PTG(tasks, [(0, 1), (1, 0)])
+
+    def test_parallel_edges_deduplicated(self):
+        tasks = [Task(n, work=1.0) for n in "ab"]
+        g = PTG(tasks, [(0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_non_task_node_rejected(self):
+        with pytest.raises(GraphError, match="not a Task"):
+            PTG(["not-a-task"], [])
+
+
+class TestPTGAccessors:
+    def test_index_and_task(self, diamond_ptg):
+        i = diamond_ptg.index("c")
+        assert diamond_ptg.task(i).name == "c"
+
+    def test_index_unknown_raises(self, diamond_ptg):
+        with pytest.raises(GraphError, match="no task named"):
+            diamond_ptg.index("zzz")
+
+    def test_contains(self, diamond_ptg):
+        assert "a" in diamond_ptg
+        assert "zzz" not in diamond_ptg
+
+    def test_predecessors_successors(self, diamond_ptg):
+        a = diamond_ptg.index("a")
+        d = diamond_ptg.index("d")
+        assert diamond_ptg.predecessors(a) == ()
+        assert set(diamond_ptg.successors(a)) == {
+            diamond_ptg.index("b"),
+            diamond_ptg.index("c"),
+        }
+        assert diamond_ptg.successors(d) == ()
+        assert len(diamond_ptg.predecessors(d)) == 2
+
+    def test_sources_sinks(self, diamond_ptg):
+        assert diamond_ptg.sources == (diamond_ptg.index("a"),)
+        assert diamond_ptg.sinks == (diamond_ptg.index("d"),)
+
+    def test_work_array(self, diamond_ptg):
+        assert diamond_ptg.work.shape == (4,)
+        assert diamond_ptg.work[diamond_ptg.index("c")] == 4e9
+
+    def test_total_work(self, diamond_ptg):
+        assert diamond_ptg.total_work == pytest.approx(8e9)
+
+    def test_iteration_yields_tasks(self, diamond_ptg):
+        names = [t.name for t in diamond_ptg]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_repr(self, diamond_ptg):
+        assert "diamond" in repr(diamond_ptg)
+        assert "4" in repr(diamond_ptg)
+
+
+class TestTopologicalOrder:
+    def test_is_permutation(self, irregular_ptg):
+        order = irregular_ptg.topological_order
+        assert sorted(order) == list(range(irregular_ptg.num_tasks))
+
+    def test_respects_edges(self, irregular_ptg):
+        pos = np.argsort(irregular_ptg.topological_order)
+        for u, v in irregular_ptg.edges:
+            assert pos[u] < pos[v]
+
+    def test_single_node(self, single_task_ptg):
+        assert list(single_task_ptg.topological_order) == [0]
+
+
+class TestEqualityAndHash:
+    def test_equal_graphs(self):
+        tasks = [Task("a", work=1.0), Task("b", work=2.0)]
+        g1 = PTG(tasks, [(0, 1)], name="one")
+        g2 = PTG(tasks, [(0, 1)], name="two")  # name not part of equality
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+    def test_different_edges_unequal(self):
+        tasks = [Task("a", work=1.0), Task("b", work=2.0)]
+        assert PTG(tasks, [(0, 1)]) != PTG(tasks, [])
+
+    def test_not_equal_to_other_types(self, diamond_ptg):
+        assert diamond_ptg != "diamond"
+
+
+class TestNetworkxRoundTrip:
+    def test_roundtrip(self, diamond_ptg):
+        g = diamond_ptg.to_networkx()
+        back = PTG.from_networkx(g, name="diamond")
+        assert back == diamond_ptg
+
+    def test_missing_work_attribute(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_node(0)
+        with pytest.raises(GraphError, match="work"):
+            PTG.from_networkx(g)
+
+    def test_node_count_preserved(self, fft8_ptg):
+        assert fft8_ptg.to_networkx().number_of_nodes() == 39
+        assert (
+            fft8_ptg.to_networkx().number_of_edges()
+            == fft8_ptg.num_edges
+        )
+
+
+class TestRelabeled:
+    def test_relabeled_name_only(self, diamond_ptg):
+        g2 = diamond_ptg.relabeled("other")
+        assert g2.name == "other"
+        assert g2 == diamond_ptg
+        assert diamond_ptg.name == "diamond"

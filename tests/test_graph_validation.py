@@ -1,0 +1,104 @@
+"""Unit tests for PTG validation (repro.graph.validation)."""
+
+import pytest
+
+from repro.graph import (
+    PTG,
+    PTGBuilder,
+    Task,
+    chain,
+    is_connected,
+    is_layered,
+    validate_ptg,
+)
+
+
+class TestIsConnected:
+    def test_chain_connected(self):
+        assert is_connected(chain([1.0, 1.0]))
+
+    def test_single_node_connected(self, single_task_ptg):
+        assert is_connected(single_task_ptg)
+
+    def test_two_components_disconnected(self):
+        g = PTG(
+            [Task("a", work=1.0), Task("b", work=1.0)], []
+        )
+        assert not is_connected(g)
+
+    def test_undirected_connectivity(self):
+        # a -> c <- b : weakly connected despite two sources
+        g = PTG(
+            [Task(n, work=1.0) for n in "abc"],
+            [(0, 2), (1, 2)],
+        )
+        assert is_connected(g)
+
+
+class TestIsLayered:
+    def test_chain_is_layered(self):
+        assert is_layered(chain([1.0] * 3))
+
+    def test_skip_edge_not_layered(self):
+        g = PTG(
+            [Task(n, work=1.0) for n in "abc"],
+            [(0, 1), (1, 2), (0, 2)],  # a->c skips a level
+        )
+        assert not is_layered(g)
+
+    def test_generated_layered_corpus_property(self):
+        from repro.workloads import DaggenParams, generate_daggen
+
+        for seed in range(5):
+            g = generate_daggen(
+                DaggenParams(
+                    num_tasks=30,
+                    width=0.5,
+                    regularity=0.5,
+                    density=0.5,
+                    jump=0,
+                ),
+                rng=seed,
+            )
+            assert is_layered(g)
+
+
+class TestValidatePtg:
+    def test_healthy_graph_ok(self, diamond_ptg):
+        rep = validate_ptg(diamond_ptg)
+        assert rep.ok
+        assert str(rep) == "OK"
+
+    def test_data_size_bound(self):
+        b = PTGBuilder()
+        b.add_task("big", work=1.0, data_size=2e8)
+        g = b.build()
+        rep = validate_ptg(g, max_data_size=125e6)
+        assert not rep.ok
+        assert "data_size" in rep.errors[0]
+
+    def test_disconnected_warning_vs_error(self):
+        g = PTG(
+            [Task("a", work=1.0), Task("b", work=1.0)], []
+        )
+        assert validate_ptg(g).ok  # warning only
+        assert not validate_ptg(g, require_connected=True).ok
+
+    def test_raise_if_failed(self):
+        g = PTG(
+            [Task("a", work=1.0), Task("b", work=1.0)], []
+        )
+        rep = validate_ptg(g, require_connected=True)
+        with pytest.raises(ValueError, match="validation failed"):
+            rep.raise_if_failed()
+
+    def test_ok_report_does_not_raise(self, diamond_ptg):
+        validate_ptg(diamond_ptg).raise_if_failed()
+
+    def test_many_sources_warned(self):
+        tasks = [Task(f"s{i}", work=1.0) for i in range(6)]
+        tasks.append(Task("sink", work=1.0))
+        edges = [(i, 6) for i in range(6)]
+        rep = validate_ptg(PTG(tasks, edges))
+        assert rep.ok
+        assert any("sources" in w for w in rep.warnings)

@@ -1,0 +1,77 @@
+"""Unit tests for Gantt rendering (ASCII + SVG)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import chain
+from repro.mapping import (
+    ascii_gantt,
+    map_allocations,
+    save_svg_gantt,
+    svg_gantt,
+)
+from repro.platform import Cluster
+from repro.timemodels import AmdahlModel, TimeTable
+
+
+@pytest.fixture
+def schedule():
+    ptg = chain([1e9, 2e9, 1e9], name="gantt-chain")
+    cluster = Cluster("c", num_processors=4, speed_gflops=1.0)
+    table = TimeTable.build(AmdahlModel(), ptg, cluster)
+    return map_allocations(ptg, table, np.array([1, 2, 4]))
+
+
+class TestAsciiGantt:
+    def test_contains_header(self, schedule):
+        out = ascii_gantt(schedule)
+        assert "gantt-chain" in out
+        assert "makespan" in out
+
+    def test_one_row_per_processor(self, schedule):
+        out = ascii_gantt(schedule)
+        for p in range(4):
+            assert f"P{p:>3} |" in out
+
+    def test_processor_cap(self, schedule):
+        out = ascii_gantt(schedule, max_processors=2)
+        assert "P  0" in out
+        assert "P  3" not in out
+        assert "2 more processors not shown" in out
+
+    def test_respects_width(self, schedule):
+        out = ascii_gantt(schedule, width=60)
+        lines = [l for l in out.splitlines() if l.startswith("P")]
+        assert all(len(l) <= 62 for l in lines)
+
+    def test_busy_processors_have_glyphs(self, schedule):
+        out = ascii_gantt(schedule)
+        row0 = [l for l in out.splitlines() if l.startswith("P  0")][0]
+        # P0 runs all three tasks back to back: nearly full row
+        interior = row0.split("|")[1]
+        assert interior.count(" ") < len(interior) * 0.2
+
+
+class TestSvgGantt:
+    def test_valid_svg_document(self, schedule):
+        svg = svg_gantt(schedule)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_one_rect_per_processor_occupation(self, schedule):
+        svg = svg_gantt(schedule)
+        # t0: 1 proc, t1: 2 procs, t2: 4 procs -> 7 rectangles
+        assert svg.count("<rect") == 7
+
+    def test_task_names_in_tooltips(self, schedule):
+        svg = svg_gantt(schedule)
+        for name in ("t0", "t1", "t2"):
+            assert name in svg
+
+    def test_custom_title(self, schedule):
+        assert "MYTITLE" in svg_gantt(schedule, title="MYTITLE")
+
+    def test_save(self, schedule, tmp_path):
+        path = tmp_path / "g.svg"
+        save_svg_gantt(schedule, path)
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,72 @@
+"""Unit tests for processor-availability bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.mapping import ProcessorState
+
+
+class TestEarliestStart:
+    def test_idle_machine(self):
+        st = ProcessorState(4)
+        assert st.earliest_start(2, ready=0.0) == 0.0
+
+    def test_ready_time_dominates(self):
+        st = ProcessorState(4)
+        assert st.earliest_start(2, ready=5.0) == 5.0
+
+    def test_kth_smallest_free_time(self):
+        st = ProcessorState(3)
+        st.free[:] = [1.0, 3.0, 5.0]
+        assert st.earliest_start(1, 0.0) == 1.0
+        assert st.earliest_start(2, 0.0) == 3.0
+        assert st.earliest_start(3, 0.0) == 5.0
+
+    def test_invalid_allocation(self):
+        st = ProcessorState(2)
+        with pytest.raises(ScheduleError):
+            st.earliest_start(0, 0.0)
+        with pytest.raises(ScheduleError):
+            st.earliest_start(3, 0.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ScheduleError):
+            ProcessorState(0)
+
+
+class TestAssign:
+    def test_first_fit_by_index(self):
+        st = ProcessorState(4)
+        st.free[:] = [0.0, 2.0, 0.0, 0.0]
+        chosen = st.assign(2, start=0.0, finish=1.0)
+        # P1 is busy until 2: first fit picks P0 and P2
+        assert chosen.tolist() == [0, 2]
+        assert st.free.tolist() == [1.0, 2.0, 1.0, 0.0]
+
+    def test_not_enough_processors(self):
+        st = ProcessorState(2)
+        st.free[:] = [5.0, 5.0]
+        with pytest.raises(ScheduleError, match="free at"):
+            st.assign(1, start=0.0, finish=1.0)
+
+    def test_assign_all(self):
+        st = ProcessorState(3)
+        chosen = st.assign(3, start=0.0, finish=2.0)
+        assert chosen.tolist() == [0, 1, 2]
+        assert np.all(st.free == 2.0)
+
+    def test_sequential_assignments(self):
+        st = ProcessorState(2)
+        st.assign(1, 0.0, 1.0)
+        st.assign(1, 0.0, 2.0)  # second processor
+        assert st.free.tolist() == [1.0, 2.0]
+        chosen = st.assign(1, 1.0, 3.0)  # P0 is free again at 1.0
+        assert chosen.tolist() == [0]
+
+    def test_reset(self):
+        st = ProcessorState(3)
+        st.assign(2, 0.0, 9.0)
+        st.reset()
+        assert np.all(st.free == 0.0)
+        assert st.num_processors == 3

@@ -1,0 +1,183 @@
+"""Unit tests for the Schedule data model and its invariant checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.graph import chain
+from repro.mapping import Schedule
+from repro.platform import Cluster
+
+
+@pytest.fixture
+def cluster():
+    return Cluster("c", num_processors=3, speed_gflops=1.0)
+
+
+@pytest.fixture
+def valid_schedule(cluster):
+    """chain of 2 tasks: t0 on P0 [0,1), t1 on P0+P1 [1,3)."""
+    ptg = chain([1e9, 4e9], name="c2")
+    return Schedule(
+        ptg,
+        cluster,
+        start=np.array([0.0, 1.0]),
+        finish=np.array([1.0, 3.0]),
+        proc_sets=[np.array([0]), np.array([0, 1])],
+    )
+
+
+class TestBasics:
+    def test_makespan(self, valid_schedule):
+        assert valid_schedule.makespan == 3.0
+
+    def test_allocations(self, valid_schedule):
+        assert valid_schedule.allocations.tolist() == [1, 2]
+
+    def test_utilization(self, valid_schedule):
+        # busy area = 1*1 + 2*2 = 5 of 3*3 = 9
+        assert valid_schedule.utilization == pytest.approx(5 / 9)
+
+    def test_task_view(self, valid_schedule):
+        st = valid_schedule.task(1)
+        assert st.name == "t1"
+        assert st.processors == (0, 1)
+        assert st.duration == pytest.approx(2.0)
+        assert st.allocation == 2
+
+    def test_tasks_by_start(self, valid_schedule):
+        names = [t.name for t in valid_schedule.tasks_by_start()]
+        assert names == ["t0", "t1"]
+
+    def test_shape_mismatch_rejected(self, cluster):
+        ptg = chain([1e9], name="c1")
+        with pytest.raises(ScheduleError, match="shape"):
+            Schedule(
+                ptg,
+                cluster,
+                start=np.zeros(2),
+                finish=np.zeros(2),
+                proc_sets=[np.array([0])] * 2,
+            )
+
+    def test_proc_set_count_mismatch(self, cluster):
+        ptg = chain([1e9], name="c1")
+        with pytest.raises(ScheduleError, match="processor sets"):
+            Schedule(
+                ptg,
+                cluster,
+                start=np.zeros(1),
+                finish=np.ones(1),
+                proc_sets=[],
+            )
+
+
+class TestValidation:
+    def test_valid_passes(self, valid_schedule):
+        valid_schedule.validate()
+
+    def test_valid_with_times(self, valid_schedule):
+        valid_schedule.validate(times=np.array([1.0, 2.0]))
+
+    def test_wrong_duration_detected(self, valid_schedule):
+        with pytest.raises(ScheduleError, match="duration"):
+            valid_schedule.validate(times=np.array([1.0, 5.0]))
+
+    def test_negative_start_detected(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([-1.0]),
+            finish=np.array([0.5]),
+            proc_sets=[np.array([0])],
+        )
+        with pytest.raises(ScheduleError, match="negative"):
+            s.validate()
+
+    def test_finish_before_start_detected(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([2.0]),
+            finish=np.array([1.0]),
+            proc_sets=[np.array([0])],
+        )
+        with pytest.raises(ScheduleError, match="before it starts"):
+            s.validate()
+
+    def test_precedence_violation_detected(self, cluster):
+        ptg = chain([1e9, 1e9], name="c2")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0, 0.5]),  # t1 starts before t0 ends
+            finish=np.array([1.0, 1.5]),
+            proc_sets=[np.array([0]), np.array([1])],
+        )
+        with pytest.raises(ScheduleError, match="precedence"):
+            s.validate()
+
+    def test_double_booking_detected(self, cluster):
+        from repro.graph import PTG, Task
+
+        ptg = PTG(
+            [Task("a", work=1e9), Task("b", work=1e9)], []
+        )
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0, 0.5]),
+            finish=np.array([1.0, 1.5]),
+            proc_sets=[np.array([0]), np.array([0])],  # overlap on P0
+        )
+        with pytest.raises(ScheduleError, match="double-booked"):
+            s.validate()
+
+    def test_empty_proc_set_detected(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0]),
+            finish=np.array([1.0]),
+            proc_sets=[np.array([], dtype=np.int64)],
+        )
+        with pytest.raises(ScheduleError, match="no processors"):
+            s.validate()
+
+    def test_duplicate_processor_detected(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0]),
+            finish=np.array([1.0]),
+            proc_sets=[np.array([1, 1])],
+        )
+        with pytest.raises(ScheduleError, match="twice"):
+            s.validate()
+
+    def test_unknown_processor_detected(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0]),
+            finish=np.array([1.0]),
+            proc_sets=[np.array([7])],
+        )
+        with pytest.raises(ScheduleError, match="unknown processor"):
+            s.validate()
+
+    def test_back_to_back_on_same_processor_ok(self, cluster):
+        ptg = chain([1e9, 1e9], name="c2")
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0, 1.0]),
+            finish=np.array([1.0, 2.0]),
+            proc_sets=[np.array([0]), np.array([0])],
+        )
+        s.validate()  # touching intervals are fine

@@ -1,0 +1,89 @@
+"""Tests covering remaining small public paths: report panels, figure
+row export, degenerate Gantt input, EMTS with every registered seed,
+and the figure-5 single-row variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import SEED_REGISTRY, EMTSConfig, EMTS
+from repro.experiments import format_panel
+from repro.graph import chain
+from repro.mapping import Schedule, ascii_gantt
+from repro.platform import Cluster
+from repro.timemodels import SyntheticModel, TimeTable
+from repro.workloads import generate_fft
+
+
+class TestFormatPanel:
+    def test_title_and_body(self):
+        out = format_panel("My Panel", "content here")
+        lines = out.splitlines()
+        assert lines[0] == "My Panel"
+        assert set(lines[1]) == {"="}
+        assert "content here" in out
+
+
+class TestFigureRowExport:
+    def test_to_rows(self):
+        from repro.experiments.figures import (
+            run_relative_makespan_figure,
+        )
+        from repro.core import emts5
+        from repro.timemodels import AmdahlModel
+
+        panels = {"fft": [generate_fft(4, rng=0)]}
+        fig = run_relative_makespan_figure(
+            AmdahlModel(),
+            emts5(generations=2),
+            seed=1,
+            panels=panels,
+        )
+        rows = fig.to_rows()
+        # 1 panel x 2 platforms x 2 baselines
+        assert len(rows) == 4
+        assert {r["platform"] for r in rows} == {"chti", "grelon"}
+        assert all(r["mean"] >= 1.0 - 1e-9 for r in rows)
+        assert all(r["emts"] == "emts5" for r in rows)
+
+    def test_figure5_without_emts10(self):
+        from repro.experiments.figures import generate_figure5
+
+        panels = {"fft": [generate_fft(4, rng=0)]}
+        fig = generate_figure5(
+            seed=1, panels=panels, include_emts10=False
+        )
+        # the EMTS10 row falls back to the EMTS5 row
+        assert fig.emts10_row is fig.emts5_row
+
+
+class TestDegenerateGantt:
+    def test_empty_schedule_rendering(self):
+        ptg = chain([1e9], name="degenerate")
+        cluster = Cluster("c", num_processors=2, speed_gflops=1.0)
+        s = Schedule(
+            ptg,
+            cluster,
+            start=np.array([0.0]),
+            finish=np.array([0.0]),  # zero-duration placement
+            proc_sets=[np.array([0])],
+        )
+        assert "empty schedule" in ascii_gantt(s)
+
+
+class TestAllSeedsEndToEnd:
+    def test_emts_accepts_every_registered_seed(self):
+        """Every allocator in the registry works as an EMTS seed."""
+        ptg = generate_fft(4, rng=5)
+        cluster = Cluster("c", num_processors=12, speed_gflops=2.0)
+        table = TimeTable.build(SyntheticModel(), ptg, cluster)
+        config = EMTSConfig(
+            mu=len(SEED_REGISTRY),
+            lam=10,
+            generations=2,
+            seed_heuristics=tuple(sorted(SEED_REGISTRY)),
+        )
+        result = EMTS(config).schedule(ptg, cluster, table, rng=5)
+        assert set(result.seed_makespans) == set(SEED_REGISTRY)
+        assert result.makespan <= min(
+            result.seed_makespans.values()
+        ) + 1e-9

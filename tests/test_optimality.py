@@ -1,0 +1,109 @@
+"""Cross-validation against brute force on tiny instances.
+
+For PTGs small enough to enumerate every allocation vector (P^V
+combinations), the best achievable list-schedule makespan is computable
+exactly.  These tests pin the whole stack against that ground truth:
+
+* EMTS with enough budget finds the brute-force optimum;
+* no algorithm ever reports a makespan below the optimum (which would
+  indicate a scheduler bug);
+* the heuristics land within a bounded factor of the optimum.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    BicpaAllocator,
+    CpaAllocator,
+    CprAllocator,
+    DeltaCriticalAllocator,
+    HcpaAllocator,
+    McpaAllocator,
+)
+from repro.core import EMTS, EMTSConfig
+from repro.graph import PTG, PTGBuilder, Task, chain, fork_join
+from repro.mapping import makespan_of
+from repro.platform import Cluster
+from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable
+
+
+def brute_force_optimum(ptg, table) -> float:
+    """Exact best list-schedule makespan over all allocation vectors."""
+    P = table.num_processors
+    V = ptg.num_tasks
+    best = np.inf
+    for combo in itertools.product(range(1, P + 1), repeat=V):
+        ms = makespan_of(
+            ptg, table, np.asarray(combo, dtype=np.int64)
+        )
+        if ms < best:
+            best = ms
+    return best
+
+
+def tiny_problems():
+    """(name, ptg, cluster) instances with P^V <= ~7k."""
+    diamond = PTGBuilder("tiny-diamond")
+    a = diamond.add_task("a", work=2e9, alpha=0.1)
+    b = diamond.add_task("b", work=6e9, alpha=0.05)
+    c = diamond.add_task("c", work=3e9, alpha=0.2)
+    d = diamond.add_task("d", work=1e9, alpha=0.0)
+    diamond.add_edges([(a, b), (a, c), (b, d), (c, d)])
+
+    return [
+        ("chain3", chain([2e9, 5e9, 1e9], name="c3"),
+         Cluster("p6", num_processors=6, speed_gflops=1.0)),
+        ("diamond", diamond.build(),
+         Cluster("p4", num_processors=4, speed_gflops=1.0)),
+        ("indep4", PTG(
+            [Task(f"t{i}", work=(i + 1) * 1e9) for i in range(4)],
+            [],
+            name="i4",
+        ), Cluster("p3", num_processors=3, speed_gflops=1.0)),
+        ("forkjoin", fork_join([4e9, 2e9], head_work=1e9,
+                               tail_work=1e9, name="fj2"),
+         Cluster("p4b", num_processors=4, speed_gflops=1.0)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "model", [AmdahlModel(), SyntheticModel()], ids=["m1", "m2"]
+)
+@pytest.mark.parametrize(
+    "case", tiny_problems(), ids=[c[0] for c in tiny_problems()]
+)
+class TestAgainstBruteForce:
+    @pytest.fixture
+    def setup(self, case, model):
+        _, ptg, cluster = case
+        table = TimeTable.build(model, ptg, cluster)
+        return ptg, cluster, table, brute_force_optimum(ptg, table)
+
+    def test_no_algorithm_beats_the_optimum(self, setup):
+        ptg, cluster, table, optimum = setup
+        for alg in (
+            CpaAllocator(),
+            CprAllocator(),
+            HcpaAllocator(),
+            McpaAllocator(),
+            BicpaAllocator(),
+            DeltaCriticalAllocator(),
+        ):
+            ms = makespan_of(ptg, table, alg.allocate(ptg, table))
+            assert ms >= optimum - 1e-9, alg.name
+
+    def test_emts_reaches_the_optimum(self, setup):
+        ptg, cluster, table, optimum = setup
+        config = EMTSConfig(mu=8, lam=40, generations=30, fm=1.0)
+        result = EMTS(config).schedule(ptg, cluster, table, rng=4)
+        assert result.makespan == pytest.approx(optimum, rel=1e-9)
+
+    def test_heuristics_within_bounded_factor(self, setup):
+        ptg, cluster, table, optimum = setup
+        for alg in (CprAllocator(), McpaAllocator()):
+            ms = makespan_of(ptg, table, alg.allocate(ptg, table))
+            # tiny instances: the heuristics stay within 2.5x of optimal
+            assert ms <= optimum * 2.5, alg.name

@@ -1,0 +1,138 @@
+"""Unit tests for the platform model (repro.platform)."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform import (
+    Cluster,
+    by_name,
+    chti,
+    cluster_from_dict,
+    cluster_to_dict,
+    format_platform_text,
+    grelon,
+    load_cluster,
+    paper_platforms,
+    parse_platform_text,
+    save_cluster,
+)
+
+
+class TestCluster:
+    def test_basic(self):
+        c = Cluster("x", num_processors=8, speed_gflops=2.0)
+        assert c.speed_flops == 2.0e9
+        assert c.peak_flops == 16.0e9
+
+    def test_sequential_time(self):
+        c = Cluster("x", num_processors=1, speed_gflops=2.0)
+        assert c.sequential_time(4e9) == pytest.approx(2.0)
+
+    def test_sequential_time_negative_work_rejected(self):
+        with pytest.raises(PlatformError):
+            chti().sequential_time(-1.0)
+
+    @pytest.mark.parametrize("procs", [0, -1])
+    def test_invalid_processor_count(self, procs):
+        with pytest.raises(PlatformError, match="num_processors"):
+            Cluster("x", num_processors=procs, speed_gflops=1.0)
+
+    @pytest.mark.parametrize("speed", [0.0, -2.0])
+    def test_invalid_speed(self, speed):
+        with pytest.raises(PlatformError, match="speed"):
+            Cluster("x", num_processors=1, speed_gflops=speed)
+
+    def test_valid_allocation(self):
+        c = Cluster("x", num_processors=4, speed_gflops=1.0)
+        assert c.valid_allocation(1)
+        assert c.valid_allocation(4)
+        assert not c.valid_allocation(0)
+        assert not c.valid_allocation(5)
+
+    def test_clamp_allocation(self):
+        c = Cluster("x", num_processors=4, speed_gflops=1.0)
+        assert c.clamp_allocation(0) == 1
+        assert c.clamp_allocation(99) == 4
+        assert c.clamp_allocation(3) == 3
+
+    def test_scaled(self):
+        c = chti().scaled(3)
+        assert c.num_processors == 60
+        assert c.speed_gflops == 4.3
+        assert "x3" in c.name
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(PlatformError):
+            chti().scaled(0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            chti().num_processors = 5
+
+    def test_str(self):
+        assert "20" in str(chti())
+
+
+class TestPresets:
+    def test_chti_matches_paper(self):
+        c = chti()
+        assert c.num_processors == 20
+        assert c.speed_gflops == 4.3
+
+    def test_grelon_matches_paper(self):
+        g = grelon()
+        assert g.num_processors == 120
+        assert g.speed_gflops == 3.1
+
+    def test_paper_platforms_order(self):
+        small, large = paper_platforms()
+        assert small.name == "chti"
+        assert large.name == "grelon"
+
+    def test_by_name_case_insensitive(self):
+        assert by_name("GRELON").num_processors == 120
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            by_name("nonexistent")
+
+
+class TestPlatformIO:
+    def test_dict_roundtrip(self):
+        c = grelon()
+        assert cluster_from_dict(cluster_to_dict(c)) == c
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "p.json"
+        save_cluster(chti(), path)
+        assert load_cluster(path) == chti()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(PlatformError, match="format"):
+            cluster_from_dict({"format": "nope"})
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(PlatformError, match="missing"):
+            cluster_from_dict({"format": "repro-platform", "name": "x"})
+
+    def test_text_roundtrip(self):
+        clusters = [chti(), grelon()]
+        text = format_platform_text(clusters)
+        assert parse_platform_text(text) == clusters
+
+    def test_text_comments_and_blanks(self):
+        text = "# heading\n\nchti 20 4.3  # inline comment\n"
+        parsed = parse_platform_text(text)
+        assert parsed == [chti()]
+
+    def test_text_bad_field_count(self):
+        with pytest.raises(PlatformError, match="line 1"):
+            parse_platform_text("chti 20\n")
+
+    def test_text_bad_number(self):
+        with pytest.raises(PlatformError, match="line 1"):
+            parse_platform_text("chti twenty 4.3\n")
+
+    def test_text_empty_rejected(self):
+        with pytest.raises(PlatformError, match="no cluster"):
+            parse_platform_text("# nothing here\n")

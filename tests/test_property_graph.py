@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the graph substrate.
+
+Strategy: generate random DAGs by drawing a node count and an edge mask
+over the strictly-upper-triangular adjacency (guaranteeing acyclicity),
+then check the analysis invariants that every scheduler relies on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    PTG,
+    Task,
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    level_members,
+    precedence_levels,
+    top_levels,
+)
+
+
+@st.composite
+def random_dags(draw, max_nodes=12):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    tasks = [
+        Task(
+            f"t{i}",
+            work=draw(
+                st.floats(
+                    min_value=1e6,
+                    max_value=1e12,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            ),
+            alpha=draw(st.floats(min_value=0.0, max_value=1.0)),
+        )
+        for i in range(n)
+    ]
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v))
+    return PTG(tasks, edges, name="hypothesis-dag")
+
+
+@st.composite
+def dags_with_times(draw):
+    ptg = draw(random_dags())
+    times = np.array(
+        [
+            draw(
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+            for _ in range(ptg.num_tasks)
+        ]
+    )
+    return ptg, times
+
+
+@given(dags_with_times())
+@settings(max_examples=60, deadline=None)
+def test_bottom_level_dominates_own_time(case):
+    ptg, times = case
+    bl = bottom_levels(ptg, times)
+    assert np.all(bl >= times - 1e-9)
+
+
+@given(dags_with_times())
+@settings(max_examples=60, deadline=None)
+def test_bottom_level_parent_exceeds_child(case):
+    """bl(u) >= times[u] + bl(v) for every edge u -> v."""
+    ptg, times = case
+    bl = bottom_levels(ptg, times)
+    for u, v in ptg.edges:
+        assert bl[u] >= times[u] + bl[v] - 1e-6
+
+
+@given(dags_with_times())
+@settings(max_examples=60, deadline=None)
+def test_tl_plus_bl_bounded_by_cp(case):
+    ptg, times = case
+    tl = top_levels(ptg, times)
+    bl = bottom_levels(ptg, times)
+    t_cp = critical_path_length(ptg, times)
+    assert np.all(tl + bl <= t_cp + max(1e-9, 1e-12 * t_cp) + 1e-6)
+
+
+@given(dags_with_times())
+@settings(max_examples=60, deadline=None)
+def test_critical_path_realizes_cp_length(case):
+    ptg, times = case
+    path = critical_path(ptg, times)
+    total = sum(times[v] for v in path)
+    assert total == pytest_approx(critical_path_length(ptg, times))
+
+
+def pytest_approx(x, rel=1e-6):
+    import pytest
+
+    return pytest.approx(x, rel=rel, abs=1e-9)
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_precedence_levels_strictly_increase_on_edges(ptg):
+    lv = precedence_levels(ptg)
+    for u, v in ptg.edges:
+        assert lv[v] >= lv[u] + 1
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_level_members_partition_nodes(ptg):
+    members = level_members(ptg)
+    seen = sorted(
+        int(v) for level in members for v in level
+    )
+    assert seen == list(range(ptg.num_tasks))
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_respects_edges(ptg):
+    pos = {int(v): i for i, v in enumerate(ptg.topological_order)}
+    for u, v in ptg.edges:
+        assert pos[u] < pos[v]
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_serialization_roundtrip(ptg):
+    from repro.graph import ptg_from_dict, ptg_to_dict
+
+    assert ptg_from_dict(ptg_to_dict(ptg)) == ptg

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the execution-time models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Task
+from repro.platform import Cluster
+from repro.timemodels import (
+    AmdahlModel,
+    DowneyModel,
+    SyntheticModel,
+    amdahl_time,
+    downey_speedup,
+    penalty_factors,
+)
+
+works = st.floats(min_value=1e6, max_value=1e13)
+alphas = st.floats(min_value=0.0, max_value=1.0)
+procs = st.integers(min_value=1, max_value=256)
+
+
+@given(works, alphas, procs)
+@settings(max_examples=150, deadline=None)
+def test_amdahl_bounded_by_serial_and_alpha_floor(work, alpha, p):
+    seq = work / 1e9
+    t = amdahl_time(seq, alpha, p)
+    assert t <= seq * (1 + 1e-12)
+    assert t >= alpha * seq * (1 - 1e-12)
+
+
+@given(works, alphas, st.integers(min_value=2, max_value=128))
+@settings(max_examples=150, deadline=None)
+def test_amdahl_monotone_in_p(work, alpha, p):
+    seq = work / 1e9
+    assert amdahl_time(seq, alpha, p) <= amdahl_time(
+        seq, alpha, p - 1
+    ) * (1 + 1e-12)
+
+
+@given(works, alphas, procs, st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_synthetic_within_penalty_envelope(work, alpha, p, prose):
+    """Model 2 sits between 1x and 1.3x of Model 1, always positive."""
+    cluster = Cluster("c", num_processors=256, speed_gflops=1.0)
+    task = Task("t", work=work, alpha=alpha)
+    base = AmdahlModel().time(task, p, cluster)
+    t = SyntheticModel(prose_variant=prose).time(task, p, cluster)
+    assert base * (1 - 1e-12) <= t <= base * 1.3 * (1 + 1e-12)
+    assert t > 0
+
+
+@given(st.integers(min_value=1, max_value=512), st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_penalty_factors_in_set(max_p, prose):
+    f = penalty_factors(max_p, prose_variant=prose)
+    assert set(np.round(f, 10)) <= {1.0, 1.1, 1.3}
+    assert f[0] == 1.0  # p=1 never penalized
+
+
+@given(
+    procs,
+    st.floats(min_value=1.0, max_value=128.0),
+    st.floats(min_value=0.0, max_value=4.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_downey_speedup_bounds(n, A, sigma):
+    s = downey_speedup(n, A, sigma)
+    assert 1.0 - 1e-12 <= s <= max(A, 1.0) * (1 + 1e-9)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=64.0),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_downey_speedup_monotone_in_n(A, sigma):
+    n = np.arange(1, 129)
+    s = downey_speedup(n, A, sigma)
+    assert np.all(np.diff(s) >= -1e-9)
+
+
+@given(works, alphas)
+@settings(max_examples=60, deadline=None)
+def test_table_entries_positive_all_models(work, alpha):
+    from repro.graph import PTG
+    from repro.timemodels import TimeTable
+
+    ptg = PTG([Task("t", work=work, alpha=alpha)], [])
+    cluster = Cluster("c", num_processors=16, speed_gflops=2.5)
+    for model in (
+        AmdahlModel(),
+        SyntheticModel(),
+        DowneyModel(),
+    ):
+        table = TimeTable.build(model, ptg, cluster)
+        assert np.all(table.array > 0)
+        assert np.all(np.isfinite(table.array))

@@ -1,0 +1,78 @@
+"""Unit tests for reproducible RNG-stream management."""
+
+import numpy as np
+import pytest
+
+from repro._rng import (
+    DEFAULT_SEED,
+    ensure_generator,
+    iter_seeds,
+    key_to_int,
+    spawn,
+    spawn_children,
+)
+
+
+class TestSpawn:
+    def test_same_path_same_stream(self):
+        a = spawn(1, "x", "y").random(5)
+        b = spawn(1, "x", "y").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = spawn(1, "x").random(5)
+        b = spawn(1, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn(1, "x").random(5)
+        b = spawn(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_uses_default(self):
+        a = spawn(None, "x").random(3)
+        b = spawn(DEFAULT_SEED, "x").random(3)
+        assert np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        a = spawn(1, "x", "y").random(3)
+        b = spawn(1, "y", "x").random(3)
+        assert not np.array_equal(a, b)
+
+
+class TestKeyToInt:
+    def test_stable(self):
+        assert key_to_int("workloads") == key_to_int("workloads")
+
+    def test_32bit(self):
+        assert 0 <= key_to_int("anything") < 2**32
+
+
+class TestEnsureGenerator:
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_generator(g) is g
+
+    def test_int_seed(self):
+        a = ensure_generator(5, "k").random(3)
+        b = ensure_generator(5, "k").random(3)
+        assert np.array_equal(a, b)
+
+
+class TestChildren:
+    def test_spawn_children_independent(self):
+        parent = np.random.default_rng(3)
+        kids = spawn_children(parent, 3)
+        draws = [k.random(4) for k in kids]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_children_negative(self):
+        with pytest.raises(ValueError):
+            spawn_children(np.random.default_rng(0), -1)
+
+    def test_iter_seeds_stream(self):
+        it = iter_seeds(np.random.default_rng(1))
+        seeds = [next(it) for _ in range(5)]
+        assert len(set(seeds)) == 5
+        assert all(isinstance(s, int) for s in seeds)

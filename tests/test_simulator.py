@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event schedule simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.graph import chain
+from repro.mapping import Schedule, map_allocations
+from repro.platform import Cluster
+from repro.simulator import (
+    SimulationTrace,
+    TaskFinished,
+    TaskStarted,
+    simulate,
+)
+from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable
+
+
+@pytest.fixture
+def cluster():
+    return Cluster("c", num_processors=4, speed_gflops=1.0)
+
+
+def make_schedule(ptg, cluster, start, finish, proc_sets):
+    return Schedule(
+        ptg,
+        cluster,
+        np.asarray(start, dtype=float),
+        np.asarray(finish, dtype=float),
+        [np.asarray(p) for p in proc_sets],
+    )
+
+
+class TestSimulateValid:
+    def test_chain(self, cluster):
+        ptg = chain([1e9, 2e9], name="c2")
+        s = make_schedule(
+            ptg, cluster, [0, 1], [1, 3], [[0], [0, 1]]
+        )
+        result = simulate(s)
+        assert result.makespan == pytest.approx(3.0)
+        assert result.trace.num_tasks_completed == 2
+
+    def test_trace_event_order(self, cluster):
+        ptg = chain([1e9, 1e9], name="c2")
+        s = make_schedule(ptg, cluster, [0, 1], [1, 2], [[0], [1]])
+        events = simulate(s).trace.events
+        kinds = [type(e).__name__ for e in events]
+        # t0 starts, t0 finishes, t1 starts, t1 finishes
+        assert kinds == [
+            "TaskStarted",
+            "TaskFinished",
+            "TaskStarted",
+            "TaskFinished",
+        ]
+
+    def test_duration_check_against_table(self, cluster):
+        ptg = chain([1e9, 2e9], name="c2")
+        table = TimeTable.build(AmdahlModel(), ptg, cluster)
+        sched = map_allocations(
+            ptg, table, np.array([1, 2], dtype=np.int64)
+        )
+        simulate(sched, table)  # must not raise
+
+    def test_mapped_schedules_always_simulate(
+        self, irregular_ptg, rng
+    ):
+        cluster = Cluster("c", num_processors=8, speed_gflops=2.0)
+        table = TimeTable.build(
+            SyntheticModel(), irregular_ptg, cluster
+        )
+        for _ in range(5):
+            alloc = rng.integers(
+                1, 9, size=irregular_ptg.num_tasks, dtype=np.int64
+            )
+            sched = map_allocations(irregular_ptg, table, alloc)
+            result = simulate(sched, table)
+            assert result.makespan == pytest.approx(sched.makespan)
+
+
+class TestSimulateDetectsViolations:
+    def test_precedence_violation(self, cluster):
+        ptg = chain([1e9, 1e9], name="c2")
+        s = make_schedule(
+            ptg, cluster, [0, 0.5], [1, 1.5], [[0], [1]]
+        )
+        with pytest.raises(SimulationError, match="before predecessor"):
+            simulate(s)
+
+    def test_busy_processor(self, cluster):
+        from repro.graph import PTG, Task
+
+        ptg = PTG(
+            [Task("a", work=1e9), Task("b", work=1e9)], []
+        )
+        s = make_schedule(
+            ptg, cluster, [0, 0.5], [1, 1.5], [[0], [0]]
+        )
+        with pytest.raises(SimulationError, match="busy processor"):
+            simulate(s)
+
+    def test_duration_mismatch_with_table(self, cluster):
+        ptg = chain([1e9], name="c1")
+        table = TimeTable.build(AmdahlModel(), ptg, cluster)
+        s = make_schedule(ptg, cluster, [0], [5.0], [[0]])  # T(1)=1
+        with pytest.raises(SimulationError, match="disagrees"):
+            simulate(s, table)
+
+    def test_back_to_back_is_fine(self, cluster):
+        ptg = chain([1e9, 1e9], name="c2")
+        s = make_schedule(ptg, cluster, [0, 1], [1, 2], [[0], [0]])
+        simulate(s)  # release at t=1 happens before the start at t=1
+
+
+class TestTrace:
+    def test_busy_time(self, cluster):
+        ptg = chain([1e9, 2e9], name="c2")
+        s = make_schedule(
+            ptg, cluster, [0, 1], [1, 3], [[0], [0, 1]]
+        )
+        busy = simulate(s).trace.busy_time_per_processor()
+        assert busy.tolist() == [3.0, 2.0, 0.0, 0.0]
+
+    def test_utilization(self, cluster):
+        ptg = chain([1e9, 2e9], name="c2")
+        s = make_schedule(
+            ptg, cluster, [0, 1], [1, 3], [[0], [0, 1]]
+        )
+        # busy 5 of 4 procs * 3 s
+        assert simulate(s).utilization == pytest.approx(5 / 12)
+
+    def test_concurrency_profile(self, cluster):
+        ptg = chain([1e9, 2e9], name="c2")
+        s = make_schedule(
+            ptg, cluster, [0, 1], [1, 3], [[0], [0, 1]]
+        )
+        profile = simulate(s).trace.concurrency_profile()
+        # 1 busy from 0, 2 busy from 1, 0 busy at 3
+        assert profile[0] == (0.0, 1)
+        assert profile[-1] == (3.0, 0)
+
+    def test_events_for_task(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = make_schedule(ptg, cluster, [0], [1], [[0]])
+        trace = simulate(s).trace
+        events = trace.events_for_task(0)
+        assert len(events) == 2
+
+    def test_out_of_order_record_rejected(self):
+        trace = SimulationTrace(num_processors=1)
+        trace.record(
+            TaskStarted(time=5.0, task=0, task_name="a", processors=(0,))
+        )
+        with pytest.raises(ValueError, match="arrived after"):
+            trace.record(
+                TaskFinished(
+                    time=1.0, task=0, task_name="a", processors=(0,)
+                )
+            )
+
+    def test_empty_trace(self):
+        trace = SimulationTrace(num_processors=2)
+        assert trace.makespan == 0.0
+        assert trace.utilization() == 0.0
+        assert len(trace) == 0
+
+    def test_str_rendering(self, cluster):
+        ptg = chain([1e9], name="c1")
+        s = make_schedule(ptg, cluster, [0], [1], [[0]])
+        out = str(simulate(s).trace)
+        assert "TaskStarted" in out
+        assert "t0" in out

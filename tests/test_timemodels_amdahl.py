@@ -1,0 +1,89 @@
+"""Unit tests for Model 1 (Amdahl) — repro.timemodels.amdahl."""
+
+import numpy as np
+import pytest
+
+from repro.graph import PTGBuilder, Task, PTG
+from repro.platform import Cluster
+from repro.timemodels import AmdahlModel, TimeTable, amdahl_time
+
+
+@pytest.fixture
+def unit_cluster():
+    return Cluster("unit", num_processors=16, speed_gflops=1.0)
+
+
+class TestAmdahlTime:
+    def test_sequential_unchanged(self):
+        assert amdahl_time(10.0, 0.5, 1) == pytest.approx(10.0)
+
+    def test_fully_parallel(self):
+        assert amdahl_time(10.0, 0.0, 10) == pytest.approx(1.0)
+
+    def test_fully_serial(self):
+        assert amdahl_time(10.0, 1.0, 16) == pytest.approx(10.0)
+
+    def test_formula(self):
+        # (0.25 + 0.75/4) * 8 = 0.4375 * 8 = 3.5
+        assert amdahl_time(8.0, 0.25, 4) == pytest.approx(3.5)
+
+    def test_asymptote_is_alpha_fraction(self):
+        assert amdahl_time(10.0, 0.2, 10**9) == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_vectorized_over_p(self):
+        p = np.array([1, 2, 4])
+        out = amdahl_time(8.0, 0.0, p)
+        assert np.allclose(out, [8.0, 4.0, 2.0])
+
+
+class TestAmdahlModel:
+    def test_time_uses_cluster_speed(self, unit_cluster):
+        t = Task("t", work=2e9, alpha=0.0)
+        m = AmdahlModel()
+        assert m.time(t, 1, unit_cluster) == pytest.approx(2.0)
+        assert m.time(t, 2, unit_cluster) == pytest.approx(1.0)
+
+    def test_monotone_flag(self):
+        assert AmdahlModel().monotone
+
+    def test_out_of_range_p_rejected(self, unit_cluster):
+        from repro.exceptions import ModelError
+
+        t = Task("t", work=1e9)
+        with pytest.raises(ModelError):
+            AmdahlModel().time(t, 0, unit_cluster)
+        with pytest.raises(ModelError):
+            AmdahlModel().time(t, 17, unit_cluster)
+
+    def test_table_matches_scalar(self, unit_cluster):
+        b = PTGBuilder()
+        b.add_task("a", work=3e9, alpha=0.1)
+        b.add_task("b", work=5e9, alpha=0.3)
+        b.add_edge("a", "b")
+        ptg = b.build()
+        m = AmdahlModel()
+        table = m.build_table(ptg, unit_cluster)
+        for v, task in enumerate(ptg.tasks):
+            for p in (1, 2, 7, 16):
+                assert table[v, p - 1] == pytest.approx(
+                    m.time(task, p, unit_cluster)
+                )
+
+    def test_table_monotone_decreasing(self, fft8_ptg, grelon_cluster):
+        table = TimeTable.build(AmdahlModel(), fft8_ptg, grelon_cluster)
+        assert table.is_monotone()
+
+    def test_different_alpha_different_curves(self, unit_cluster):
+        ptg = PTG(
+            [
+                Task("fast", work=1e9, alpha=0.0),
+                Task("slow", work=1e9, alpha=0.5),
+            ],
+            [],
+        )
+        table = AmdahlModel().build_table(ptg, unit_cluster)
+        # same sequential time, diverging parallel behaviour
+        assert table[0, 0] == pytest.approx(table[1, 0])
+        assert table[0, 15] < table[1, 15]

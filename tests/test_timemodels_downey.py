@@ -1,0 +1,98 @@
+"""Unit tests for Downey's speedup model — repro.timemodels.downey."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.graph import Task
+from repro.platform import Cluster
+from repro.timemodels import DowneyModel, TimeTable, downey_speedup
+
+
+@pytest.fixture
+def cluster():
+    return Cluster("c", num_processors=64, speed_gflops=1.0)
+
+
+class TestDowneySpeedup:
+    def test_single_processor_no_speedup(self):
+        assert downey_speedup(1, A=16.0, sigma=0.5) == pytest.approx(1.0)
+
+    def test_speedup_caps_at_A_low_variance(self):
+        A = 8.0
+        assert downey_speedup(64, A=A, sigma=0.5) == pytest.approx(A)
+
+    def test_speedup_caps_at_A_high_variance(self):
+        A = 8.0
+        assert downey_speedup(1000, A=A, sigma=2.0) == pytest.approx(A)
+
+    def test_linear_speedup_when_sigma_zero(self):
+        # sigma = 0: perfectly parallel up to A processors
+        for n in (1, 2, 4, 8):
+            assert downey_speedup(n, A=8.0, sigma=0.0) == pytest.approx(
+                float(n)
+            )
+
+    def test_monotone_nondecreasing(self):
+        n = np.arange(1, 65)
+        for sigma in (0.0, 0.5, 1.0, 2.0):
+            s = downey_speedup(n, A=16.0, sigma=sigma)
+            assert np.all(np.diff(s) >= -1e-12)
+
+    def test_never_below_one(self):
+        n = np.arange(1, 200)
+        s = downey_speedup(n, A=4.0, sigma=5.0)
+        assert np.all(s >= 1.0)
+
+    def test_higher_variance_lower_speedup(self):
+        n = np.arange(2, 17)
+        s_low = downey_speedup(n, A=16.0, sigma=0.2)
+        s_high = downey_speedup(n, A=16.0, sigma=2.0)
+        assert np.all(s_high <= s_low + 1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            downey_speedup(4, A=0.5, sigma=0.5)
+        with pytest.raises(ModelError):
+            downey_speedup(4, A=8.0, sigma=-1.0)
+
+
+class TestDowneyModel:
+    def test_monotone_table(self, fft8_ptg, cluster):
+        table = TimeTable.build(DowneyModel(), fft8_ptg, cluster)
+        assert table.is_monotone()
+
+    def test_alpha_derived_parallelism(self, cluster):
+        # alpha = 0.25 -> A = 4: time bottoms out at seq/4
+        t = Task("t", work=8e9, alpha=0.25)
+        model = DowneyModel(sigma=0.0)
+        assert model.time(t, 64, cluster) == pytest.approx(2.0)
+
+    def test_alpha_zero_means_full_machine(self, cluster):
+        t = Task("t", work=64e9, alpha=0.0)
+        model = DowneyModel(sigma=0.0)
+        assert model.time(t, 64, cluster) == pytest.approx(1.0)
+
+    def test_fixed_parallelism_mode(self, cluster):
+        t = Task("t", work=8e9, alpha=0.9)  # alpha ignored
+        model = DowneyModel(
+            sigma=0.0,
+            parallelism_from_alpha=False,
+            fixed_parallelism=8.0,
+        )
+        assert model.time(t, 64, cluster) == pytest.approx(1.0)
+
+    def test_table_matches_scalar(self, fft8_ptg, cluster):
+        model = DowneyModel(sigma=0.7)
+        table = model.build_table(fft8_ptg, cluster)
+        for v in (0, 20):
+            for p in (1, 5, 64):
+                assert table[v, p - 1] == pytest.approx(
+                    model.time(fft8_ptg.task(v), p, cluster)
+                )
+
+    def test_invalid_config(self):
+        with pytest.raises(ModelError):
+            DowneyModel(sigma=-0.1)
+        with pytest.raises(ModelError):
+            DowneyModel(fixed_parallelism=0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for the PDGEMM-like model (Figure 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.graph import Task
+from repro.platform import Cluster
+from repro.timemodels import (
+    PdgemmLikeModel,
+    TimeTable,
+    best_grid,
+    pdgemm_time,
+)
+
+
+class TestBestGrid:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [
+            (1, (1, 1)),
+            (2, (1, 2)),
+            (4, (2, 2)),
+            (6, (2, 3)),
+            (12, (3, 4)),
+            (16, (4, 4)),
+            (24, (4, 6)),
+            (36, (6, 6)),
+            (120, (10, 12)),
+        ],
+    )
+    def test_squarest_factorization(self, p, expected):
+        assert best_grid(p) == expected
+
+    def test_prime_degenerates(self):
+        assert best_grid(13) == (1, 13)
+        assert best_grid(31) == (1, 31)
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            best_grid(0)
+
+
+class TestPdgemmTime:
+    def test_sequential_is_pure_compute(self):
+        t = pdgemm_time(512, 1, speed_flops=1e9)
+        assert t == pytest.approx(2 * 512**3 / 1e9)
+
+    def test_positive(self):
+        for p in range(1, 33):
+            assert pdgemm_time(1024, p) > 0
+
+    def test_non_monotone_over_range(self):
+        times = np.array([pdgemm_time(1024, p) for p in range(1, 33)])
+        assert np.any(np.diff(times) > 0)
+
+    def test_prime_spike(self):
+        # 7 processors force a 1x7 grid: slower than the 2x3 grid of 6
+        assert pdgemm_time(2048, 7) > pdgemm_time(2048, 6)
+
+    def test_large_scale_still_helps(self):
+        # despite the spikes, 16 procs beat 2 for a big matrix
+        assert pdgemm_time(4096, 16) < pdgemm_time(4096, 2)
+
+    def test_invalid_matrix(self):
+        with pytest.raises(ModelError):
+            pdgemm_time(0, 4)
+
+
+class TestPdgemmLikeModel:
+    def test_usable_as_time_model(self, fft8_ptg):
+        cluster = Cluster("c", num_processors=16, speed_gflops=1.0)
+        table = TimeTable.build(PdgemmLikeModel(), fft8_ptg, cluster)
+        assert table.shape == (39, 16)
+        assert not table.is_monotone()
+
+    def test_work_recovers_dimension(self):
+        cluster = Cluster("c", num_processors=4, speed_gflops=1.0)
+        n = 256
+        task = Task("mm", work=2.0 * n**3)
+        model = PdgemmLikeModel()
+        assert model.time(task, 1, cluster) == pytest.approx(
+            pdgemm_time(n, 1, speed_flops=1e9)
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(ModelError):
+            PdgemmLikeModel(bandwidth=0.0)
+        with pytest.raises(ModelError):
+            PdgemmLikeModel(latency=-1.0)
+        with pytest.raises(ModelError):
+            PdgemmLikeModel(imbalance=-0.1)

@@ -1,0 +1,94 @@
+"""Unit tests for task-complexity sampling (Section IV-C parameters)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ALPHA_MAX,
+    A_MAX,
+    A_MIN,
+    MAX_DATA_SIZE,
+    MIN_DATA_SIZE,
+    ComplexityPattern,
+    flop_count,
+    sample_task_spec,
+    sample_task_specs,
+)
+
+
+class TestFlopCount:
+    def test_stencil(self):
+        assert flop_count(ComplexityPattern.STENCIL, 1e6, 100.0) == 1e8
+
+    def test_sort(self):
+        d = 1024.0
+        assert flop_count(
+            ComplexityPattern.SORT, d, 2.0
+        ) == pytest.approx(2 * d * 10)
+
+    def test_matmul_ignores_a(self):
+        d = 1e6
+        assert flop_count(
+            ComplexityPattern.MATMUL, d, 999.0
+        ) == pytest.approx(d**1.5)
+
+    def test_tiny_d_rejected(self):
+        with pytest.raises(ValueError):
+            flop_count(ComplexityPattern.SORT, 1.0, 2.0)
+
+
+class TestSampling:
+    def test_bounds_hold(self, rng):
+        for _ in range(200):
+            spec = sample_task_spec(rng)
+            assert MIN_DATA_SIZE <= spec.data_size <= MAX_DATA_SIZE
+            assert A_MIN <= spec.a <= A_MAX
+            assert 0.0 <= spec.alpha <= ALPHA_MAX
+            assert spec.work > 0
+
+    def test_paper_constants(self):
+        # the paper's exact parameter ranges
+        assert MAX_DATA_SIZE == 125e6
+        assert A_MIN == 2.0**6
+        assert A_MAX == 2.0**9
+        assert ALPHA_MAX == 0.25
+
+    def test_fixed_pattern_respected(self, rng):
+        for _ in range(20):
+            spec = sample_task_spec(
+                rng, pattern=ComplexityPattern.MATMUL
+            )
+            assert spec.pattern is ComplexityPattern.MATMUL
+            assert spec.kind == "matmul"
+
+    def test_all_patterns_drawn(self, rng):
+        patterns = {
+            sample_task_spec(rng).pattern for _ in range(100)
+        }
+        assert patterns == set(ComplexityPattern)
+
+    def test_work_matches_pattern(self, rng):
+        spec = sample_task_spec(rng, pattern=ComplexityPattern.SORT)
+        assert spec.work == pytest.approx(
+            spec.a * spec.data_size * math.log2(spec.data_size)
+        )
+
+    def test_reproducible_with_seed(self):
+        s1 = sample_task_spec(42)
+        s2 = sample_task_spec(42)
+        assert s1 == s2
+
+    def test_sample_many(self, rng):
+        specs = sample_task_specs(17, rng)
+        assert len(specs) == 17
+        # independent draws: not all identical
+        assert len({s.data_size for s in specs}) > 1
+
+    def test_log_uniform_spread(self, rng):
+        """d spans orders of magnitude (not clustered at the top)."""
+        ds = np.array(
+            [sample_task_spec(rng).data_size for _ in range(300)]
+        )
+        assert np.median(ds) < MAX_DATA_SIZE / 10

@@ -1,0 +1,99 @@
+"""Unit tests for the evaluation-corpus builders (Section IV-C counts)."""
+
+import pytest
+
+from repro.graph import is_layered
+from repro.workloads import (
+    Corpus,
+    fft_corpus,
+    irregular_corpus,
+    layered_corpus,
+    paper_corpus,
+    strassen_corpus,
+)
+
+
+class TestScaledCorpora:
+    """Tests run on reduced corpora; the full sizes are asserted
+    arithmetically (building 932 PTGs here would be wasteful)."""
+
+    def test_fft_classes_present(self):
+        c = fft_corpus(rng=1, scale=0.02)  # 2 per size
+        sizes = sorted({p.num_tasks for p in c})
+        assert sizes == [5, 15, 39, 95]
+        assert len(c) == 8
+
+    def test_strassen_count(self):
+        c = strassen_corpus(rng=1, scale=0.05)
+        assert len(c) == 5
+        assert all(p.num_tasks == 23 for p in c)
+
+    def test_layered_all_layered(self):
+        c = layered_corpus(rng=1, scale=0.34, sizes=(20,))
+        assert c
+        assert all(is_layered(p) for p in c)
+
+    def test_layered_covers_parameter_grid(self):
+        c = layered_corpus(rng=1, scale=0.34)
+        # 3 sizes x 3 widths x 2 regs x 2 densities x 1 instance = 36
+        assert len(c) == 36
+
+    def test_irregular_covers_parameter_grid(self):
+        c = irregular_corpus(rng=1, scale=0.34, sizes=(20,))
+        # 1 size x 3 widths x 2 regs x 2 dens x 3 jumps x 1 inst = 36
+        assert len(c) == 36
+
+    def test_irregular_sizes_match(self):
+        c = irregular_corpus(rng=1, scale=0.34, sizes=(50,))
+        assert all(p.num_tasks == 50 for p in c)
+
+    def test_full_scale_sizes_arithmetic(self):
+        """The paper's corpus sizes, computed without generating."""
+        # 4 FFT sizes x 100 = 400; 100 Strassen
+        # layered: 3*3*2*2*1 combos x 3 = 108
+        # irregular: 3*3*2*2*3 combos x 3 = 324
+        assert 4 * 100 == 400
+        assert 3 * 3 * 2 * 2 * 1 * 3 == 108
+        assert 3 * 3 * 2 * 2 * 3 * 3 == 324
+
+    def test_paper_corpus_scaled(self):
+        corpus = paper_corpus(seed=1, scale=0.01)
+        assert len(corpus.fft) == 4  # 1 per size
+        assert len(corpus.strassen) == 1
+        assert len(corpus.layered) == 36  # 1 instance per combo
+        assert len(corpus.irregular) == 108
+        assert len(corpus) == 4 + 1 + 36 + 108
+
+    def test_corpus_by_class(self):
+        corpus = paper_corpus(seed=1, scale=0.01)
+        assert corpus.by_class("fft") is corpus.fft
+        with pytest.raises(KeyError):
+            corpus.by_class("unknown")
+
+    def test_corpus_classes_order(self):
+        assert Corpus().classes == (
+            "fft",
+            "strassen",
+            "layered",
+            "irregular",
+        )
+
+    def test_summary(self):
+        corpus = paper_corpus(seed=1, scale=0.01)
+        s = corpus.summary()
+        assert "fft=4" in s
+
+    def test_reproducible(self):
+        c1 = paper_corpus(seed=3, scale=0.01)
+        c2 = paper_corpus(seed=3, scale=0.01)
+        assert c1.fft == c2.fft
+        assert c1.irregular == c2.irregular
+
+    def test_unique_names(self):
+        corpus = paper_corpus(seed=1, scale=0.01)
+        names = [
+            p.name
+            for cls in corpus.classes
+            for p in corpus.by_class(cls)
+        ]
+        assert len(names) == len(set(names))

@@ -1,0 +1,155 @@
+"""Unit tests for the DAGGEN-style random PTG generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    is_connected,
+    is_layered,
+    level_members,
+    precedence_levels,
+    validate_ptg,
+)
+from repro.workloads import DaggenParams, generate_daggen
+
+
+class TestParams:
+    def test_defaults(self):
+        p = DaggenParams(num_tasks=10)
+        assert p.layered  # jump defaults to 0
+
+    def test_label(self):
+        p = DaggenParams(
+            num_tasks=50, width=0.2, regularity=0.8, density=0.2, jump=4
+        )
+        assert p.label() == "n50-w0.2-r0.8-d0.2-j4"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_tasks=0),
+            dict(num_tasks=10, width=0.0),
+            dict(num_tasks=10, width=1.5),
+            dict(num_tasks=10, regularity=-0.1),
+            dict(num_tasks=10, density=1.2),
+            dict(num_tasks=10, jump=-1),
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(GraphError):
+            DaggenParams(**kwargs)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("n", [20, 50, 100])
+    def test_exact_task_count(self, n):
+        p = DaggenParams(num_tasks=n, width=0.5)
+        assert generate_daggen(p, rng=1).num_tasks == n
+
+    def test_reproducible(self):
+        p = DaggenParams(num_tasks=30)
+        assert generate_daggen(p, rng=5) == generate_daggen(p, rng=5)
+
+    def test_different_seeds_differ(self):
+        p = DaggenParams(num_tasks=30, width=0.5)
+        assert generate_daggen(p, rng=5) != generate_daggen(p, rng=6)
+
+    def test_connected(self):
+        for seed in range(5):
+            p = DaggenParams(num_tasks=40, width=0.5, density=0.2)
+            assert is_connected(generate_daggen(p, rng=seed))
+
+    def test_single_task(self):
+        g = generate_daggen(DaggenParams(num_tasks=1), rng=1)
+        assert g.num_tasks == 1
+        assert g.num_edges == 0
+
+    def test_two_tasks_connected(self):
+        g = generate_daggen(DaggenParams(num_tasks=2), rng=1)
+        assert g.num_edges >= 1
+
+    def test_validates(self):
+        p = DaggenParams(
+            num_tasks=60, width=0.8, regularity=0.2, density=0.8, jump=4
+        )
+        rep = validate_ptg(
+            generate_daggen(p, rng=2), max_data_size=1.2 * 125e6
+        )
+        assert rep.ok, str(rep)
+
+
+class TestShapeControls:
+    def test_jump_zero_is_layered(self):
+        for seed in range(4):
+            p = DaggenParams(num_tasks=40, width=0.6, jump=0)
+            assert is_layered(generate_daggen(p, rng=seed))
+
+    def test_jump_allows_level_skips(self):
+        # with jump=4 at least one generated instance has a skipping edge
+        found_skip = False
+        for seed in range(10):
+            p = DaggenParams(
+                num_tasks=50, width=0.6, density=0.5, jump=4
+            )
+            g = generate_daggen(p, rng=seed)
+            lv = precedence_levels(g)
+            if any(lv[v] - lv[u] > 1 for u, v in g.edges):
+                found_skip = True
+                break
+        assert found_skip
+
+    def test_width_controls_parallelism(self):
+        narrow = DaggenParams(
+            num_tasks=100, width=0.2, regularity=0.8
+        )
+        wide = DaggenParams(num_tasks=100, width=0.8, regularity=0.8)
+        w_narrow = np.mean(
+            [
+                max(len(m) for m in level_members(
+                    generate_daggen(narrow, rng=s)
+                ))
+                for s in range(5)
+            ]
+        )
+        w_wide = np.mean(
+            [
+                max(len(m) for m in level_members(
+                    generate_daggen(wide, rng=s)
+                ))
+                for s in range(5)
+            ]
+        )
+        assert w_wide > w_narrow
+
+    def test_density_controls_edges(self):
+        sparse = DaggenParams(num_tasks=80, width=0.8, density=0.2)
+        dense = DaggenParams(num_tasks=80, width=0.8, density=0.8)
+        e_sparse = np.mean(
+            [generate_daggen(sparse, rng=s).num_edges for s in range(5)]
+        )
+        e_dense = np.mean(
+            [generate_daggen(dense, rng=s).num_edges for s in range(5)]
+        )
+        assert e_dense > e_sparse
+
+    def test_layered_costs_similar_within_layer(self):
+        p = DaggenParams(num_tasks=60, width=0.8, jump=0)
+        g = generate_daggen(p, rng=3)
+        for members in level_members(g):
+            if len(members) < 2:
+                continue
+            d = g.data_size[members]
+            # the generator jitters one per-layer size by at most +-10%
+            assert d.max() / d.min() < 1.3
+
+    def test_layered_has_no_spurious_sinks(self):
+        # in a layered graph the construction levels equal the precedence
+        # levels, so only the deepest layer may contain sinks
+        p = DaggenParams(num_tasks=50, width=0.8, density=0.2, jump=0)
+        g = generate_daggen(p, rng=4)
+        lv = precedence_levels(g)
+        deepest = lv.max()
+        for v in range(g.num_tasks):
+            if lv[v] < deepest:
+                assert g.successors(v), f"task {v} is a spurious sink"

@@ -1,0 +1,88 @@
+"""Unit tests for the FFT PTG generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import precedence_levels, validate_ptg
+from repro.workloads import FFT_LEVELS, fft_task_count, generate_fft
+
+
+class TestTaskCount:
+    @pytest.mark.parametrize(
+        "n,expected", [(2, 5), (4, 15), (8, 39), (16, 95)]
+    )
+    def test_paper_task_counts(self, n, expected):
+        """The paper: FFT PTGs with 2/4/8/16 levels have 5/15/39/95 tasks."""
+        assert fft_task_count(n) == expected
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 6, 12])
+    def test_non_power_of_two_rejected(self, n):
+        with pytest.raises(GraphError):
+            fft_task_count(n)
+
+    def test_paper_levels_constant(self):
+        assert FFT_LEVELS == (2, 4, 8, 16)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_generated_size_matches(self, n):
+        g = generate_fft(n, rng=1)
+        assert g.num_tasks == fft_task_count(n)
+
+    def test_single_source_single_sink_chain_shape(self):
+        g = generate_fft(8, rng=2)
+        assert len(g.sources) == 1  # the recursion root
+        # sinks are the final butterfly layer: n of them
+        assert len(g.sinks) == 8
+
+    def test_depth(self):
+        # tree: log2(n)+1 levels, butterflies: log2(n) more
+        g = generate_fft(8, rng=3)
+        lv = precedence_levels(g)
+        assert int(lv.max()) == 2 * 3  # 2*log2(8)
+
+    def test_butterfly_has_two_parents(self):
+        g = generate_fft(4, rng=4)
+        butterfly_indices = [
+            i
+            for i, t in enumerate(g.tasks)
+            if t.kind == "fft-butterfly"
+        ]
+        assert len(butterfly_indices) == 8  # n * log2(n)
+        for v in butterfly_indices:
+            assert len(g.predecessors(v)) == 2
+
+    def test_tree_nodes_have_one_parent(self):
+        g = generate_fft(4, rng=5)
+        for i, t in enumerate(g.tasks):
+            if t.kind == "fft-split" and g.predecessors(i):
+                assert len(g.predecessors(i)) == 1
+
+    def test_validates(self):
+        rep = validate_ptg(
+            generate_fft(16, rng=6),
+            max_data_size=125e6,
+            require_connected=True,
+        )
+        assert rep.ok, str(rep)
+
+
+class TestRandomization:
+    def test_same_seed_same_graph(self):
+        assert generate_fft(8, rng=7) == generate_fft(8, rng=7)
+
+    def test_different_seed_same_shape_different_costs(self):
+        g1 = generate_fft(8, rng=8)
+        g2 = generate_fft(8, rng=9)
+        assert g1.edges == g2.edges  # identical shape
+        assert not np.allclose(g1.work, g2.work)  # different costs
+
+    def test_custom_name(self):
+        assert generate_fft(4, rng=1, name="xyz").name == "xyz"
+
+    def test_alpha_within_paper_bounds(self):
+        g = generate_fft(16, rng=10)
+        assert np.all(g.alpha >= 0.0)
+        assert np.all(g.alpha <= 0.25)
