@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage
+-----
+Check a fresh run (exit code 1 on regression)::
+
+    python -m pytest benchmarks/test_kernels.py \
+        --benchmark-json=bench.json
+    python benchmarks/check_perf.py bench.json
+
+Refresh the committed baseline from a run::
+
+    python benchmarks/check_perf.py bench.json --update
+
+A kernel regresses when its mean time exceeds ``baseline * max-ratio``
+(default 2.0, overridable via ``--max-ratio`` or the
+``REPRO_PERF_MAX_RATIO`` environment variable).  Kernels present in the
+run but missing from the baseline are reported and added on
+``--update``; kernels missing from the run are ignored (so the check
+can run on a benchmark subset).
+
+The baseline records *mean seconds per kernel* plus the machine info of
+the host that produced it.  Absolute timings move with hardware, which
+is why the gate is a generous ratio rather than an equality: it catches
+algorithmic regressions (the hot path growing a new O(n) factor), not
+single-digit-percent noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
+DEFAULT_MAX_RATIO = 2.0
+
+
+def load_means(run_path: Path) -> dict[str, float]:
+    """Kernel-name -> mean-seconds from a pytest-benchmark JSON file."""
+    data = json.loads(run_path.read_text(encoding="utf-8"))
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["name"]] = float(bench["stats"]["mean"])
+    if not means:
+        raise SystemExit(
+            f"{run_path}: no benchmarks found — was the run executed "
+            "with --benchmark-json?"
+        )
+    return means
+
+
+def update_baseline(
+    run_path: Path, baseline_path: Path
+) -> None:
+    data = json.loads(run_path.read_text(encoding="utf-8"))
+    baseline = {
+        "comment": (
+            "Committed perf baseline for the CI perf-smoke job; "
+            "refresh with: python benchmarks/check_perf.py "
+            "<run.json> --update"
+        ),
+        "machine_info": {
+            "node": data.get("machine_info", {}).get("node", "unknown"),
+            "cpu_count": os.cpu_count(),
+        },
+        "means": load_means(run_path),
+    }
+    baseline_path.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"wrote {len(baseline['means'])} kernel baselines -> "
+        f"{baseline_path}"
+    )
+
+
+def check(
+    run_path: Path, baseline_path: Path, max_ratio: float
+) -> int:
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path}; create one with --update",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base_means: dict[str, float] = baseline["means"]
+    run_means = load_means(run_path)
+
+    failures: list[str] = []
+    new_kernels: list[str] = []
+    width = max(len(n) for n in run_means)
+    print(
+        f"{'kernel':<{width}}  {'baseline':>12}  {'current':>12}  "
+        f"{'ratio':>7}"
+    )
+    for name in sorted(run_means):
+        current = run_means[name]
+        base = base_means.get(name)
+        if base is None:
+            new_kernels.append(name)
+            print(
+                f"{name:<{width}}  {'(new)':>12}  "
+                f"{current * 1e3:>10.3f}ms  {'-':>7}"
+            )
+            continue
+        ratio = current / base
+        flag = "  << REGRESSION" if ratio > max_ratio else ""
+        print(
+            f"{name:<{width}}  {base * 1e3:>10.3f}ms  "
+            f"{current * 1e3:>10.3f}ms  {ratio:>6.2f}x{flag}"
+        )
+        if ratio > max_ratio:
+            failures.append(name)
+
+    if new_kernels:
+        print(
+            f"\n{len(new_kernels)} kernel(s) missing from the "
+            "baseline; run with --update to record them."
+        )
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} kernel(s) slower than "
+            f"{max_ratio:.1f}x baseline: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: all kernels within {max_ratio:.1f}x of baseline")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "run", type=Path, help="pytest-benchmark JSON output"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline JSON (default: benchmarks/perf_baseline.json)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_PERF_MAX_RATIO", DEFAULT_MAX_RATIO)
+        ),
+        help="fail when current mean exceeds baseline * ratio",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        update_baseline(args.run, args.baseline)
+        return 0
+    return check(args.run, args.baseline, args.max_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

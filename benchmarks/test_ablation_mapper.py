@@ -11,14 +11,13 @@ heaviest-first, over a set of irregular PTGs.
 import numpy as np
 import pytest
 
-from repro._rng import spawn
 from repro.allocation import McpaAllocator
 from repro.mapping import PRIORITIES, makespan_of
 from repro.platform import chti
 from repro.timemodels import AmdahlModel, TimeTable
 from repro.workloads import DaggenParams, generate_daggen
 
-from .conftest import BENCH_SEED, write_result
+from .conftest import write_result
 
 
 @pytest.fixture(scope="module")

@@ -65,12 +65,15 @@ def _make_model(name: str) -> ExecutionTimeModel:
         ) from None
 
 
-def _make_algorithm(name: str):
+def _make_algorithm(
+    name: str, workers: int = 0, fitness_cache: bool = True
+):
     name = name.lower()
+    overrides = dict(workers=workers, fitness_cache=fitness_cache)
     if name == "emts5":
-        return emts5()
+        return emts5(**overrides)
     if name == "emts10":
-        return emts10()
+        return emts10(**overrides)
     if name in SEED_REGISTRY:
         return make_allocator(name)
     known = ", ".join(["emts5", "emts10"] + sorted(SEED_REGISTRY))
@@ -119,7 +122,11 @@ def _cmd_schedule(args) -> int:
     cluster: Cluster = by_name(args.platform)
     model = _make_model(args.model)
     table = TimeTable.build(model, ptg, cluster)
-    algorithm = _make_algorithm(args.algorithm)
+    algorithm = _make_algorithm(
+        args.algorithm,
+        workers=args.workers,
+        fitness_cache=not args.no_fitness_cache,
+    )
 
     if isinstance(algorithm, EMTS):
         result = algorithm.schedule(ptg, cluster, table, rng=args.seed)
@@ -130,6 +137,8 @@ def _cmd_schedule(args) -> int:
         print(f"makespan  : {result.makespan:.6g} s")
         print(f"opt. time : {result.elapsed_seconds:.3f} s")
         print(f"evals     : {result.evaluations}")
+        if result.evaluation_stats is not None:
+            print(f"evaluator : {result.evaluation_stats.summary()}")
     else:
         assert isinstance(algorithm, AllocationHeuristic)
         alloc = algorithm.allocate(ptg, table)
@@ -191,7 +200,10 @@ def _cmd_runtime(args) -> int:
     from .experiments import measure_runtimes
 
     report = measure_runtimes(
-        seed=args.seed, repetitions=args.repetitions
+        seed=args.seed,
+        repetitions=args.repetitions,
+        workers=args.workers,
+        fitness_cache=not args.no_fitness_cache,
     )
     print(report.render())
     return 0
@@ -243,14 +255,19 @@ def _cmd_convergence(args) -> int:
         )
         for i in range(args.instances)
     ]
+    overrides = dict(
+        workers=args.workers,
+        fitness_cache=not args.no_fitness_cache,
+    )
     study = run_convergence_study(
         ptgs,
         by_name(args.platform),
         _make_model(args.model),
-        [emts5(), emts10()],
+        [emts5(**overrides), emts10(**overrides)],
         seed=args.seed,
     )
     print(study.render())
+    print(study.evaluation_summary())
     for variant in ("emts5", "emts10"):
         print(
             f"final mean improvement over seeds ({variant}): "
@@ -311,6 +328,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jump", type=int, default=1)
         p.add_argument("--seed", type=int, default=None)
 
+    def _worker_count(text):
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"worker count must be >= 0, got {value}"
+            )
+        return value
+
+    def add_evaluator_options(p):
+        p.add_argument(
+            "--workers",
+            type=_worker_count,
+            default=0,
+            help=(
+                "fitness-evaluation worker processes "
+                "(0/1 = serial, the default)"
+            ),
+        )
+        p.add_argument(
+            "--no-fitness-cache",
+            action="store_true",
+            help="disable makespan memoization of duplicate offspring",
+        )
+
     g = sub.add_parser("generate", help="generate a PTG file")
     add_ptg_options(g)
     g.add_argument("output", help="output path (.json or .dot)")
@@ -338,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true", help="print an ASCII Gantt chart"
     )
     s.add_argument("--svg", default=None, help="write a Gantt SVG here")
+    add_evaluator_options(s)
     s.set_defaults(func=_cmd_schedule)
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
@@ -360,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument("--seed", type=int, default=None)
     r.add_argument("--repetitions", type=int, default=3)
+    add_evaluator_options(r)
     r.set_defaults(func=_cmd_runtime)
 
     sc = sub.add_parser(
@@ -385,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     cv.add_argument("--instances", type=int, default=3)
     cv.add_argument("--platform", default="grelon")
     cv.add_argument("--model", default="model2")
+    add_evaluator_options(cv)
     cv.set_defaults(func=_cmd_convergence)
 
     c = sub.add_parser("corpus", help="build the evaluation corpus")

@@ -10,11 +10,21 @@ Public API:
   :func:`sample_adjustments`, :func:`adjustment_pmf` — the Eq. 1 mutation
   operator (Figure 3);
 * :func:`seed_population` — heuristic-seeded initial populations;
-* encoding helpers (:func:`clamp_allocations` etc., Figure 2).
+* encoding helpers (:func:`clamp_allocations` etc., Figure 2);
+* the fitness-evaluation engine (:class:`FitnessEvaluator` with serial,
+  process-pool and memoizing backends, :func:`create_evaluator`).
 """
 
 from .config import EMTSConfig, emts5_config, emts10_config
 from .emts import EMTS, EMTSResult, emts5, emts10
+from .evaluator import (
+    EvaluationStats,
+    FitnessEvaluator,
+    MemoizedEvaluator,
+    ProcessPoolEvaluator,
+    SerialEvaluator,
+    create_evaluator,
+)
 from .encoding import (
     clamp_allocations,
     describe_genome,
@@ -48,4 +58,10 @@ __all__ = [
     "seed_population",
     "make_allocator",
     "SEED_REGISTRY",
+    "EvaluationStats",
+    "FitnessEvaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "MemoizedEvaluator",
+    "create_evaluator",
 ]

@@ -17,7 +17,7 @@ parameter              value    meaning
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..exceptions import ConfigurationError
 
@@ -56,6 +56,15 @@ class EMTSConfig:
         cannot beat the incumbent are cut short.
     time_budget_seconds:
         Optional wall-clock cap on the evolutionary search.
+    workers:
+        Fitness-evaluation worker processes.  0 or 1 = serial (the
+        historical behavior); N >= 2 fans offspring batches out to N
+        worker processes.  Results are bit-identical either way.
+    fitness_cache:
+        Memoize makespans by allocation vector so duplicate offspring
+        are never re-scheduled (exact, bounded LRU; on by default).
+    fitness_cache_size:
+        Capacity of the memoization cache (genomes).
     """
 
     mu: int = 5
@@ -74,6 +83,9 @@ class EMTSConfig:
     selection: str = "plus"
     use_rejection: bool = False
     time_budget_seconds: float | None = None
+    workers: int = 0
+    fitness_cache: bool = True
+    fitness_cache_size: int = 65_536
     name: str = "emts"
 
     def __post_init__(self) -> None:
@@ -114,6 +126,15 @@ class EMTSConfig:
             and self.time_budget_seconds <= 0
         ):
             raise ConfigurationError("time budget must be > 0 seconds")
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.fitness_cache_size < 1:
+            raise ConfigurationError(
+                "fitness cache size must be >= 1, got "
+                f"{self.fitness_cache_size}"
+            )
 
     def with_updates(self, **changes) -> "EMTSConfig":
         """A modified copy (frozen dataclass helper)."""

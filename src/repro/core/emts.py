@@ -33,10 +33,11 @@ from ..ea import (
     TimeBudget,
 )
 from ..graph import PTG
-from ..mapping import Schedule, makespan_of, map_allocations
+from ..mapping import Schedule, map_allocations
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable
 from .config import EMTSConfig, emts5_config, emts10_config
+from .evaluator import EvaluationStats, create_evaluator
 from .mutation import AllocationMutation
 from .seeding import seed_population
 
@@ -62,6 +63,10 @@ class EMTSResult:
         Wall-clock time of the whole EMTS run (seeding + evolution +
         final mapping) — the quantity reported in Section V's runtime
         discussion.
+    evaluation_stats:
+        Counters of the fitness-evaluation engine: genomes submitted,
+        mapper calls actually executed, cache hits and evaluation
+        wall-time (see :class:`repro.core.evaluator.EvaluationStats`).
     """
 
     schedule: Schedule
@@ -70,6 +75,7 @@ class EMTSResult:
     log: EvolutionLog
     elapsed_seconds: float
     config: EMTSConfig = field(repr=False)
+    evaluation_stats: EvaluationStats | None = None
 
     @property
     def makespan(self) -> float:
@@ -169,10 +175,13 @@ class EMTS:
             rng=rng,
             delta=cfg.delta,
         )
-        seed_makespans = {
-            name: makespan_of(ptg, table, alloc)
-            for name, alloc in seed_allocs.items()
-        }
+        evaluator = create_evaluator(
+            ptg,
+            table,
+            workers=cfg.workers,
+            cache=cfg.fitness_cache,
+            cache_size=cfg.fitness_cache_size,
+        )
 
         # Rejection strategy (paper Section VI, future work): abort a
         # candidate's mapping once it provably cannot enter the survivor
@@ -182,22 +191,16 @@ class EMTS:
         # already reaches the worst parent's fitness can never be
         # selected (ties go to parents).  Using this bound — rather than
         # the best incumbent — keeps the optimization outcome bit-for-bit
-        # identical to the unrejected run.
-        abort_bound = [np.inf]
-
-        def on_generation_start(parents, generation) -> None:
+        # identical to the unrejected run.  The bound is re-derived each
+        # generation and handed to the evaluator with every dispatched
+        # batch, so worker processes always reject against the current
+        # survivor set.
+        def abort_bound(parents) -> float | None:
             if cfg.use_rejection and cfg.selection == "plus":
-                abort_bound[0] = max(
+                return max(
                     ind.evaluated_fitness() for ind in parents
                 )
-
-        def fitness(genome: np.ndarray) -> float:
-            abort = (
-                abort_bound[0]
-                if np.isfinite(abort_bound[0])
-                else None
-            )
-            return makespan_of(ptg, table, genome, abort_above=abort)
+            return None
 
         termination = GenerationLimit(cfg.generations)
         if cfg.time_budget_seconds is not None:
@@ -211,14 +214,25 @@ class EMTS:
             mutation=mutation,
             selection=cfg.selection,
         )
-        outcome = strategy.evolve(
-            initial,
-            fitness,
-            rng=rng,
-            termination=termination,
-            total_generations=cfg.generations,
-            on_generation_start=on_generation_start,
-        )
+        try:
+            # Seed baselines go through the evaluator too: exact values
+            # that double as cache warm-up for the initial population.
+            seed_names = list(seed_allocs)
+            seed_values = evaluator.evaluate(
+                [seed_allocs[name] for name in seed_names]
+            )
+            seed_makespans = dict(zip(seed_names, seed_values))
+
+            outcome = strategy.evolve(
+                initial,
+                evaluator,
+                rng=rng,
+                termination=termination,
+                total_generations=cfg.generations,
+                abort_bound=abort_bound,
+            )
+        finally:
+            evaluator.close()
 
         best_alloc = np.asarray(outcome.best.genome, dtype=np.int64)
         schedule = map_allocations(ptg, table, best_alloc)
@@ -230,6 +244,7 @@ class EMTS:
             log=outcome.log,
             elapsed_seconds=elapsed,
             config=cfg,
+            evaluation_stats=evaluator.stats,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,501 @@
+"""Pluggable fitness-evaluation engine for the EMTS hot path.
+
+The paper's complexity analysis (Section III-E) identifies fitness
+evaluation — one list-scheduler run per offspring — as the cost driver of
+the whole algorithm: EMTS spends essentially all of its wall-clock time
+inside :func:`repro.mapping.makespan_of`.  This module turns that hot
+path into a swappable component:
+
+* :class:`SerialEvaluator` — the historical behavior: one in-process
+  mapper call per genome, in submission order (the default backend).
+* :class:`ProcessPoolEvaluator` — chunked ``concurrent.futures``
+  fan-out of offspring genomes across worker processes.  The immutable
+  problem description (PTG + time table) is shipped **once per worker**
+  via the pool initializer; per-batch traffic is just a stacked int64
+  genome block per chunk.  The rejection bound (``abort_above``) is
+  re-sent with *every chunk at dispatch time*, so the paper's rejection
+  strategy keeps working under parallelism.
+* :class:`MemoizedEvaluator` — a bounded-LRU genome cache that wraps any
+  backend.  Duplicate offspring (common under the annealed Eq. 1
+  mutation, which mutates ever fewer alleles in late generations) are
+  never re-scheduled.
+
+All backends are **exact**: for the same genome they return bit-identical
+makespans, so swapping backends never changes the optimization outcome
+for a fixed RNG seed.  Fitness is counted in two ways: *evaluations*
+(genomes submitted — the paper's ``U * mu * lambda`` quantity) and
+*mapper calls* (list-scheduler runs actually executed); the difference is
+what the cache saved.
+
+Rejection + memoization soundness
+---------------------------------
+``makespan_of(..., abort_above=b)`` returns ``inf`` for any genome whose
+makespan provably reaches ``b`` — a value that depends on ``b``, not just
+the genome.  The cache therefore stores rejections as ``(inf, b)``
+markers: a later lookup under a bound ``b' <= b`` may reuse the rejection
+(the true makespan is ``>= b >= b'``), while a lookup under a laxer (or
+absent) bound re-evaluates.  Finite cached values are exact makespans and
+are valid under every bound.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..mapping import makespan_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from ..graph import PTG
+    from ..timemodels import TimeTable
+
+__all__ = [
+    "EvaluationStats",
+    "FitnessEvaluator",
+    "SerialEvaluator",
+    "ProcessPoolEvaluator",
+    "MemoizedEvaluator",
+    "create_evaluator",
+]
+
+#: Default capacity of the genome memoization cache.  An EMTS10 run
+#: submits ``10 + 10 * 100`` genomes, so the default never evicts in
+#: practice while still bounding memory for very long searches.
+DEFAULT_CACHE_SIZE = 65_536
+
+
+@dataclass
+class EvaluationStats:
+    """Counters accumulated by a :class:`FitnessEvaluator`.
+
+    Attributes
+    ----------
+    evaluations:
+        Genomes submitted for evaluation (logical fitness evaluations;
+        one per offspring, cache hits included).
+    mapper_calls:
+        List-scheduler runs actually executed (``evaluations`` minus the
+        work the cache saved).
+    cache_hits, cache_misses:
+        Memoization-cache outcomes (both zero without a cache).
+    batches:
+        Number of ``evaluate`` calls (one per EA generation, typically).
+    wall_seconds:
+        Total wall-clock time spent inside ``evaluate``.
+    """
+
+    evaluations: int = 0
+    mapper_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submitted genomes served from the cache."""
+        if self.evaluations == 0:
+            return 0.0
+        return self.cache_hits / self.evaluations
+
+    def copy(self) -> "EvaluationStats":
+        """An independent snapshot of the current counters."""
+        return EvaluationStats(
+            evaluations=self.evaluations,
+            mapper_calls=self.mapper_calls,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            batches=self.batches,
+            wall_seconds=self.wall_seconds,
+        )
+
+    def merge(self, other: "EvaluationStats") -> None:
+        """Add ``other``'s counters into this one (pool aggregation)."""
+        self.evaluations += other.evaluations
+        self.mapper_calls += other.mapper_calls
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.batches += other.batches
+        self.wall_seconds += other.wall_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.evaluations} evaluations "
+            f"({self.mapper_calls} mapper calls, "
+            f"{self.cache_hits} cache hits, "
+            f"{self.hit_rate:.1%} hit rate) "
+            f"in {self.wall_seconds:.3f} s"
+        )
+
+
+class FitnessEvaluator(ABC):
+    """Batch fitness evaluation: allocation genomes → makespans.
+
+    Subclasses implement :meth:`_evaluate_batch`; the public
+    :meth:`evaluate` wrapper adds statistics and timing.  Evaluators are
+    context managers — leaving the ``with`` block releases any worker
+    processes.
+    """
+
+    def __init__(self) -> None:
+        self.stats = EvaluationStats()
+
+    # -- public API ----------------------------------------------------
+    def evaluate(
+        self,
+        genomes: Sequence[np.ndarray],
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Makespan of every genome, in input order.
+
+        ``abort_above`` enables the mapper's rejection strategy: genomes
+        whose makespan provably reaches the bound come back as ``inf``.
+        """
+        genomes = list(genomes)
+        if not genomes:
+            return []
+        t0 = time.perf_counter()
+        values = self._evaluate_batch(genomes, abort_above)
+        self.stats.batches += 1
+        self.stats.evaluations += len(genomes)
+        self.stats.wall_seconds += time.perf_counter() - t0
+        return values
+
+    def __call__(self, genome: np.ndarray) -> float:
+        """Single-genome convenience (drop-in for a fitness closure)."""
+        return self.evaluate([genome])[0]
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "FitnessEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- subclass hook -------------------------------------------------
+    @abstractmethod
+    def _evaluate_batch(
+        self,
+        genomes: list[np.ndarray],
+        abort_above: float | None,
+    ) -> list[float]:
+        """Evaluate one batch; must preserve input order."""
+
+
+class SerialEvaluator(FitnessEvaluator):
+    """In-process evaluation, one mapper call per genome (the default)."""
+
+    def __init__(self, ptg: "PTG", table: "TimeTable") -> None:
+        super().__init__()
+        self.ptg = ptg
+        self.table = table
+
+    def _evaluate_batch(
+        self,
+        genomes: list[np.ndarray],
+        abort_above: float | None,
+    ) -> list[float]:
+        self.stats.mapper_calls += len(genomes)
+        return [
+            makespan_of(self.ptg, self.table, g, abort_above=abort_above)
+            for g in genomes
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SerialEvaluator(ptg={self.ptg.name!r})"
+
+
+# -- worker-process plumbing (module level: must be picklable) ---------
+_WORKER_PROBLEM: tuple["PTG", "TimeTable"] | None = None
+
+
+def _pool_initializer(ptg: "PTG", table: "TimeTable") -> None:
+    """Install the shared problem in a worker process (runs once)."""
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = (ptg, table)
+
+
+def _pool_evaluate_chunk(
+    genome_block: np.ndarray, abort_above: float | None
+) -> list[float]:
+    """Evaluate one chunk of genomes inside a worker process.
+
+    ``abort_above`` arrives with every chunk — the dispatcher's current
+    rejection bound, not a value frozen at pool start-up.
+    """
+    ptg, table = _WORKER_PROBLEM
+    return [
+        makespan_of(ptg, table, genome, abort_above=abort_above)
+        for genome in genome_block
+    ]
+
+
+class ProcessPoolEvaluator(FitnessEvaluator):
+    """Chunked multi-process evaluation via ``concurrent.futures``.
+
+    Parameters
+    ----------
+    ptg, table:
+        The scheduling problem; serialized **once per worker** through
+        the pool initializer, never per batch.
+    workers:
+        Worker-process count (>= 1).  Values above ``os.cpu_count()``
+        are allowed — useful for tests — but add no throughput.
+    chunk_size:
+        Genomes per submitted task.  Default: batch split into about
+        four chunks per worker, so stragglers rebalance.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` uses the platform
+        default.
+    """
+
+    def __init__(
+        self,
+        ptg: "PTG",
+        table: "TimeTable",
+        workers: int,
+        chunk_size: int | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ConfigurationError(
+                f"ProcessPoolEvaluator needs workers >= 1, got {workers}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.ptg = ptg
+        self.table = table
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- pool lifecycle ------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context is not None
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_pool_initializer,
+                initargs=(self.ptg, self.table),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- evaluation ----------------------------------------------------
+    def _chunks(self, genomes: list[np.ndarray]) -> list[np.ndarray]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(genomes) // (self.workers * 4)))
+        block = np.stack(genomes).astype(np.int64, copy=False)
+        return [block[i : i + size] for i in range(0, len(block), size)]
+
+    def _evaluate_batch(
+        self,
+        genomes: list[np.ndarray],
+        abort_above: float | None,
+    ) -> list[float]:
+        executor = self._ensure_executor()
+        self.stats.mapper_calls += len(genomes)
+        futures = [
+            executor.submit(_pool_evaluate_chunk, chunk, abort_above)
+            for chunk in self._chunks(genomes)
+        ]
+        values: list[float] = []
+        for future in futures:  # submission order == input order
+            values.extend(future.result())
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessPoolEvaluator(ptg={self.ptg.name!r}, "
+            f"workers={self.workers})"
+        )
+
+
+class MemoizedEvaluator(FitnessEvaluator):
+    """Bounded-LRU genome cache around any :class:`FitnessEvaluator`.
+
+    The key is the raw byte content of the (int64, read-only) allocation
+    vector.  Exact makespans are cached unconditionally; rejected
+    evaluations (``inf`` under ``abort_above=b``) are cached together
+    with their bound and only reused while still sound (see module
+    docstring).
+    """
+
+    def __init__(
+        self,
+        inner: FitnessEvaluator,
+        max_entries: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        super().__init__()
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.inner = inner
+        self.max_entries = int(max_entries)
+        # key -> (value, bound). bound is None for exact values and the
+        # abort_above under which the rejection was observed otherwise.
+        self._cache: OrderedDict[bytes, tuple[float, float | None]] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def _lookup(
+        self, key: bytes, abort_above: float | None
+    ) -> float | None:
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        value, bound = entry
+        if bound is None:  # exact makespan: valid under any bound
+            if abort_above is not None and value >= abort_above:
+                # the serial-with-rejection path would have aborted
+                self._cache.move_to_end(key)
+                return float("inf")
+            self._cache.move_to_end(key)
+            return value
+        # rejection marker: reusable only under an equal-or-tighter bound
+        if abort_above is not None and abort_above <= bound:
+            self._cache.move_to_end(key)
+            return float("inf")
+        return None  # laxer bound: must re-evaluate
+
+    def _store(
+        self, key: bytes, value: float, abort_above: float | None
+    ) -> None:
+        bound = abort_above if np.isinf(value) else None
+        self._cache[key] = (value, bound)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+
+    def _evaluate_batch(
+        self,
+        genomes: list[np.ndarray],
+        abort_above: float | None,
+    ) -> list[float]:
+        keys = [
+            np.ascontiguousarray(g, dtype=np.int64).tobytes()
+            for g in genomes
+        ]
+        values: list[float | None] = []
+        miss_order: list[bytes] = []  # unique misses, first-seen order
+        miss_genomes: list[np.ndarray] = []
+        pending: set[bytes] = set()
+        for key, genome in zip(keys, genomes):
+            hit = self._lookup(key, abort_above)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                values.append(hit)
+            elif key in pending:
+                # duplicate within this batch: evaluated once below
+                self.stats.cache_hits += 1
+                values.append(None)
+            else:
+                self.stats.cache_misses += 1
+                pending.add(key)
+                miss_order.append(key)
+                miss_genomes.append(genome)
+                values.append(None)
+        if miss_genomes:
+            fresh = self.inner.evaluate(miss_genomes, abort_above)
+            for key, value in zip(miss_order, fresh):
+                self._store(key, value, abort_above)
+        out: list[float] = []
+        for key, value in zip(keys, values):
+            if value is None:
+                value = self._lookup(key, abort_above)
+            out.append(value)
+        return out
+
+    @property
+    def mapper_calls(self) -> int:
+        """Mapper invocations executed by the wrapped backend."""
+        return self.inner.stats.mapper_calls
+
+    def evaluate(
+        self,
+        genomes: Sequence[np.ndarray],
+        abort_above: float | None = None,
+    ) -> list[float]:
+        values = super().evaluate(genomes, abort_above)
+        # mirror the backend's mapper-call count into our own stats so
+        # callers only ever need to read the outermost evaluator
+        self.stats.mapper_calls = self.inner.stats.mapper_calls
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoizedEvaluator({self.inner!r}, "
+            f"entries={len(self)}/{self.max_entries})"
+        )
+
+
+def create_evaluator(
+    ptg: "PTG",
+    table: "TimeTable",
+    workers: int = 0,
+    cache: bool = True,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    mp_context: str | None = None,
+) -> FitnessEvaluator:
+    """Build the evaluator stack for one EMTS run.
+
+    ``workers <= 1`` selects the serial backend (a single-worker pool
+    would only add IPC overhead); larger values fan out across that many
+    worker processes.  ``cache=True`` wraps the backend in the genome
+    memoization cache.  ``os.cpu_count()`` is *not* consulted: the
+    caller's explicit worker count wins, even above the core count.
+    """
+    if workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 0, got {workers}"
+        )
+    backend: FitnessEvaluator
+    if workers <= 1:
+        backend = SerialEvaluator(ptg, table)
+    else:
+        backend = ProcessPoolEvaluator(
+            ptg, table, workers=workers, mp_context=mp_context
+        )
+    if cache:
+        return MemoizedEvaluator(backend, max_entries=cache_size)
+    return backend
+
+
+def recommended_workers() -> int:
+    """A sensible worker count for ``--workers auto``: the core count."""
+    return os.cpu_count() or 1

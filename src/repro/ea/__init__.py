@@ -18,7 +18,7 @@ from .operators import (
 )
 from .selection import best_of, comma_selection, plus_selection
 from .statistics import EvolutionLog, GenerationStats, population_diversity
-from .strategy import EvolutionResult, EvolutionStrategy
+from .strategy import BatchFitness, EvolutionResult, EvolutionStrategy
 from .termination import (
     AnyOf,
     GenerationLimit,
@@ -49,4 +49,5 @@ __all__ = [
     "AnyOf",
     "EvolutionStrategy",
     "EvolutionResult",
+    "BatchFitness",
 ]

@@ -46,6 +46,9 @@ class GenerationStats:
     worst: float
     evaluations: int
     elapsed_seconds: float
+    #: Evaluations served by the fitness-cache (0 without memoization);
+    #: ``evaluations - cache_hits`` mapper calls were actually executed.
+    cache_hits: int = 0
 
     @classmethod
     def from_population(
@@ -54,6 +57,7 @@ class GenerationStats:
         population: list[Individual],
         evaluations: int,
         elapsed_seconds: float,
+        cache_hits: int = 0,
     ) -> "GenerationStats":
         fits = np.array(
             [ind.evaluated_fitness() for ind in population],
@@ -70,6 +74,7 @@ class GenerationStats:
             worst=float(fits.max()),
             evaluations=evaluations,
             elapsed_seconds=elapsed_seconds,
+            cache_hits=cache_hits,
         )
 
 
@@ -92,6 +97,11 @@ class EvolutionLog:
     def total_evaluations(self) -> int:
         """Total fitness evaluations across the run."""
         return sum(e.evaluations for e in self.entries)
+
+    @property
+    def total_cache_hits(self) -> int:
+        """Total fitness-cache hits across the run."""
+        return sum(e.cache_hits for e in self.entries)
 
     @property
     def total_seconds(self) -> float:
@@ -117,17 +127,20 @@ class EvolutionLog:
                 "std": e.std,
                 "worst": e.worst,
                 "evaluations": e.evaluations,
+                "cache_hits": e.cache_hits,
                 "elapsed_seconds": e.elapsed_seconds,
             }
             for e in self.entries
         ]
 
     def __str__(self) -> str:
-        lines = ["gen       best       mean        std  evals   time[s]"]
+        lines = [
+            "gen       best       mean        std  evals   hits   time[s]"
+        ]
         for e in self.entries:
             lines.append(
                 f"{e.generation:>3} {e.best:>10.4g} {e.mean:>10.4g} "
-                f"{e.std:>10.4g} {e.evaluations:>6} "
+                f"{e.std:>10.4g} {e.evaluations:>6} {e.cache_hits:>6} "
                 f"{e.elapsed_seconds:>8.3f}"
             )
         return "\n".join(lines)

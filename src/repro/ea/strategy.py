@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -32,9 +32,29 @@ from .selection import best_of, comma_selection, plus_selection
 from .statistics import EvolutionLog, GenerationStats
 from .termination import GenerationLimit, TerminationCriterion
 
-__all__ = ["EvolutionStrategy", "EvolutionResult"]
+__all__ = ["EvolutionStrategy", "EvolutionResult", "BatchFitness"]
 
 FitnessFunction = Callable[[np.ndarray], float]
+
+
+class BatchFitness(Protocol):
+    """Batch fitness backend (see :mod:`repro.core.evaluator`).
+
+    Anything with an ``evaluate(genomes, abort_above=None) -> list[float]``
+    method qualifies; the engine hands it whole offspring batches so the
+    backend may parallelize or memoize across individuals.
+    """
+
+    def evaluate(
+        self,
+        genomes: Sequence[np.ndarray],
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Fitness of every genome, in input order; ``inf`` rejects."""
+        ...
+
+
+Fitness = Union[FitnessFunction, BatchFitness]
 
 
 @dataclass
@@ -116,23 +136,50 @@ class EvolutionStrategy:
     def _evaluate(
         self,
         individuals: list[Individual],
-        fitness: FitnessFunction,
-    ) -> int:
-        evals = 0
-        for ind in individuals:
-            if not ind.evaluated:
-                ind.fitness = float(fitness(ind.genome))
-                evals += 1
-        return evals
+        fitness: Fitness,
+        abort_above: float | None = None,
+    ) -> tuple[int, int]:
+        """Assign fitness to unevaluated individuals.
+
+        Returns ``(evaluations, cache_hits)``: the number of genomes
+        submitted, and how many of those a memoizing backend served
+        from its cache (0 for plain callables).
+        """
+        todo = [ind for ind in individuals if not ind.evaluated]
+        if not todo:
+            return 0, 0
+        if hasattr(fitness, "evaluate"):
+            stats = getattr(fitness, "stats", None)
+            hits_before = stats.cache_hits if stats is not None else 0
+            values = fitness.evaluate(
+                [ind.genome for ind in todo], abort_above=abort_above
+            )
+            if len(values) != len(todo):
+                raise ConfigurationError(
+                    f"batch evaluator returned {len(values)} values "
+                    f"for {len(todo)} genomes"
+                )
+            for ind, value in zip(todo, values):
+                ind.fitness = float(value)
+            hits = (
+                stats.cache_hits - hits_before
+                if stats is not None
+                else 0
+            )
+            return len(todo), hits
+        for ind in todo:
+            ind.fitness = float(fitness(ind.genome))
+        return len(todo), 0
 
     def evolve(
         self,
         initial: Sequence[Individual],
-        fitness: FitnessFunction,
+        fitness: Fitness,
         rng: np.random.Generator,
         termination: TerminationCriterion | None = None,
         total_generations: int | None = None,
         on_generation_start=None,
+        abort_bound=None,
     ) -> EvolutionResult:
         """Run the strategy from the given starting individuals.
 
@@ -142,7 +189,10 @@ class EvolutionStrategy:
             Starting individuals (EMTS: the heuristic seeds plus mutated
             copies); padded/truncated to ``mu`` after evaluation.
         fitness:
-            Objective to minimize; may return ``inf`` to reject.
+            Objective to minimize — either a plain per-genome callable
+            or a batch evaluator implementing :class:`BatchFitness`
+            (which may parallelize and memoize).  Either form may
+            produce ``inf`` to reject an individual.
         rng:
             Random source for parent choice and operators.
         termination:
@@ -152,9 +202,14 @@ class EvolutionStrategy:
             defaults to the generation limit when one is used.
         on_generation_start:
             Optional hook called with ``(parents, generation)`` before
-            each generation's offspring are created — used by EMTS's
-            rejection strategy to derive a sound fitness abort bound
-            from the current survivor set.
+            each generation's offspring are created.
+        abort_bound:
+            Optional callable ``parents -> float | None`` queried once
+            per generation; a finite return value is forwarded to the
+            batch evaluator as ``abort_above`` (the rejection strategy's
+            cutoff, re-derived from the current survivor set and shipped
+            to worker processes at dispatch time).  Ignored for plain
+            callables, which handle rejection internally.
         """
         if not initial:
             raise ConfigurationError("need at least one initial individual")
@@ -185,11 +240,15 @@ class EvolutionStrategy:
             )
             for ind in initial
         ]
-        evals = self._evaluate(population, fitness)
+        evals, hits = self._evaluate(population, fitness)
         population = plus_selection(population, [], min(self.mu, len(population)))
         log.append(
             GenerationStats.from_population(
-                0, population, evals, time.perf_counter() - t0
+                0,
+                population,
+                evals,
+                time.perf_counter() - t0,
+                cache_hits=hits,
             )
         )
 
@@ -198,6 +257,11 @@ class EvolutionStrategy:
             generation += 1
             if on_generation_start is not None:
                 on_generation_start(population, generation)
+            bound = (
+                abort_bound(population)
+                if abort_bound is not None
+                else None
+            )
             t0 = time.perf_counter()
             offspring: list[Individual] = []
             for _ in range(self.lam):
@@ -222,7 +286,7 @@ class EvolutionStrategy:
                 offspring.append(
                     parent.with_genome(child_genome, origin, generation)
                 )
-            evals = self._evaluate(offspring, fitness)
+            evals, hits = self._evaluate(offspring, fitness, bound)
             if self.selection == "plus":
                 population = plus_selection(
                     population, offspring, self.mu
@@ -237,6 +301,7 @@ class EvolutionStrategy:
                     population,
                     evals,
                     time.perf_counter() - t0,
+                    cache_hits=hits,
                 )
             )
 

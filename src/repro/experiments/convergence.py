@@ -11,7 +11,7 @@ how to spend less time in the evolutionary search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -32,6 +32,11 @@ class ConvergenceResult:
     # variant name -> per-problem trajectories (generation -> best)
     trajectories: dict[str, list[np.ndarray]]
     seed_best: list[float]  # best seed makespan per problem
+    # variant name -> per-problem (evaluations, mapper calls, cache
+    # hits, evaluation wall-seconds) from the fitness engine
+    evaluation_stats: dict[str, list[tuple[int, int, int, float]]] = (
+        field(default_factory=dict)
+    )
 
     def mean_relative_trajectory(self, variant: str) -> np.ndarray:
         """Mean of best(gen)/best-seed over the problems.
@@ -74,6 +79,33 @@ class ConvergenceResult:
             ["gen"] + [f"best/seed ({v})" for v in variants], rows
         )
 
+    def evaluation_summary(self) -> str:
+        """Per-variant fitness-evaluation totals (engine counters)."""
+        if not self.evaluation_stats:
+            return "no evaluation statistics recorded"
+        rows = []
+        for variant in sorted(self.evaluation_stats):
+            cells = self.evaluation_stats[variant]
+            evals = sum(c[0] for c in cells)
+            calls = sum(c[1] for c in cells)
+            hits = sum(c[2] for c in cells)
+            secs = sum(c[3] for c in cells)
+            rate = hits / evals if evals else 0.0
+            rows.append(
+                [variant, evals, calls, hits, f"{rate:.1%}", secs]
+            )
+        return text_table(
+            [
+                "variant",
+                "evaluations",
+                "mapper calls",
+                "cache hits",
+                "hit rate",
+                "eval time[s]",
+            ],
+            rows,
+        )
+
 
 def run_convergence_study(
     ptgs: list[PTG],
@@ -92,6 +124,9 @@ def run_convergence_study(
     trajectories: dict[str, list[np.ndarray]] = {
         v.name: [] for v in variants
     }
+    evaluation_stats: dict[str, list[tuple[int, int, int, float]]] = {
+        v.name: [] for v in variants
+    }
     seed_best: list[float] = []
     stream = ensure_generator(seed, "convergence")
     for ptg in ptgs:
@@ -105,9 +140,21 @@ def run_convergence_study(
             trajectories[variant.name].append(
                 result.log.best_trajectory()
             )
+            stats = result.evaluation_stats
+            if stats is not None:
+                evaluation_stats[variant.name].append(
+                    (
+                        stats.evaluations,
+                        stats.mapper_calls,
+                        stats.cache_hits,
+                        stats.wall_seconds,
+                    )
+                )
             if recorded_seed is None:
                 recorded_seed = min(result.seed_makespans.values())
         seed_best.append(float(recorded_seed))
     return ConvergenceResult(
-        trajectories=trajectories, seed_best=seed_best
+        trajectories=trajectories,
+        seed_best=seed_best,
+        evaluation_stats=evaluation_stats,
     )

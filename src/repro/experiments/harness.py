@@ -39,6 +39,10 @@ class RunRecord:
     emts_makespan: float
     emts_seconds: float
     baseline_makespans: dict[str, float]
+    # fitness-evaluation engine counters (0 for records predating them)
+    emts_evaluations: int = 0
+    emts_mapper_calls: int = 0
+    emts_cache_hits: int = 0
 
     def relative(self, baseline: str) -> float:
         """``T_baseline / T_EMTS`` for this instance."""
@@ -111,6 +115,9 @@ class ComparisonResult:
                 "emts": r.emts_name,
                 "emts_makespan": r.emts_makespan,
                 "emts_seconds": r.emts_seconds,
+                "emts_evaluations": r.emts_evaluations,
+                "emts_mapper_calls": r.emts_mapper_calls,
+                "emts_cache_hits": r.emts_cache_hits,
             }
             for name, ms in r.baseline_makespans.items():
                 row[f"makespan_{name}"] = ms
@@ -128,6 +135,8 @@ def run_comparison(
     emts: EMTS,
     baselines: list[AllocationHeuristic],
     seed: int | None = None,
+    workers: int | None = None,
+    fitness_cache: bool | None = None,
 ) -> ComparisonResult:
     """Schedule every PTG on every platform with EMTS and all baselines.
 
@@ -147,7 +156,18 @@ def run_comparison(
         Root seed; each (class, platform, instance) triple gets its own
         derived stream, so adding a class never perturbs another's
         results.
+    workers, fitness_cache:
+        Optional fitness-evaluation-engine overrides applied on top of
+        ``emts``'s own configuration (``None`` keeps it).  Both are
+        exact optimizations: the recorded makespans do not change.
     """
+    updates = {}
+    if workers is not None:
+        updates["workers"] = workers
+    if fitness_cache is not None:
+        updates["fitness_cache"] = fitness_cache
+    if updates:
+        emts = EMTS(emts.config.with_updates(**updates))
     result = ComparisonResult()
     for cluster in platforms:
         for cls, graphs in ptgs.items():
@@ -168,6 +188,7 @@ def run_comparison(
                     ptg, cluster, table, rng=next(seeds)
                 )
                 seconds = time.perf_counter() - t0
+                stats = emts_result.evaluation_stats
                 result.records.append(
                     RunRecord(
                         ptg_name=ptg.name,
@@ -179,6 +200,15 @@ def run_comparison(
                         emts_makespan=emts_result.makespan,
                         emts_seconds=seconds,
                         baseline_makespans=base_ms,
+                        emts_evaluations=(
+                            stats.evaluations if stats else 0
+                        ),
+                        emts_mapper_calls=(
+                            stats.mapper_calls if stats else 0
+                        ),
+                        emts_cache_hits=(
+                            stats.cache_hits if stats else 0
+                        ),
                     )
                 )
     return result

@@ -52,6 +52,10 @@ class RuntimeCell:
     repetitions: int
     paper_mean_seconds: float
     paper_std_seconds: float
+    # fitness-evaluation engine counters, averaged over the repetitions
+    mean_evaluations: float = 0.0
+    mean_mapper_calls: float = 0.0
+    cache_hit_rate: float = 0.0
 
 
 @dataclass
@@ -72,7 +76,7 @@ class RuntimeReport:
         raise KeyError((variant, platform, workload))
 
     def render(self) -> str:
-        """Side-by-side measured vs paper timings."""
+        """Side-by-side measured vs paper timings plus evaluator stats."""
         rows = [
             [
                 c.variant,
@@ -82,6 +86,8 @@ class RuntimeReport:
                 c.std_seconds,
                 c.paper_mean_seconds,
                 c.paper_std_seconds,
+                c.mean_mapper_calls,
+                f"{c.cache_hit_rate:.1%}",
             ]
             for c in self.cells
         ]
@@ -94,6 +100,8 @@ class RuntimeReport:
                 "sd[s]",
                 "paper mean[s]",
                 "paper sd[s]",
+                "mapper calls",
+                "cache hits",
             ],
             rows,
         )
@@ -104,23 +112,46 @@ def _measure(
     cluster: Cluster,
     ptgs: list,
     seed: int | None,
-) -> tuple[float, float]:
+) -> tuple[float, float, float, float, float]:
     model = SyntheticModel()
     times = []
+    evaluations = []
+    mapper_calls = []
+    hits = []
     stream = iter_seeds(ensure_generator(seed, "runtime", emts.name))
     for ptg in ptgs:
         table = TimeTable.build(model, ptg, cluster)
         t0 = time.perf_counter()
-        emts.schedule(ptg, cluster, table, rng=next(stream))
+        result = emts.schedule(ptg, cluster, table, rng=next(stream))
         times.append(time.perf_counter() - t0)
+        stats = result.evaluation_stats
+        if stats is not None:
+            evaluations.append(stats.evaluations)
+            mapper_calls.append(stats.mapper_calls)
+            hits.append(stats.cache_hits)
     arr = np.asarray(times)
-    return float(arr.mean()), float(arr.std(ddof=1) if arr.size > 1 else 0.0)
+    total_evals = sum(evaluations)
+    return (
+        float(arr.mean()),
+        float(arr.std(ddof=1) if arr.size > 1 else 0.0),
+        float(np.mean(evaluations)) if evaluations else 0.0,
+        float(np.mean(mapper_calls)) if mapper_calls else 0.0,
+        float(sum(hits) / total_evals) if total_evals else 0.0,
+    )
 
 
 def measure_runtimes(
-    seed: int | None = None, repetitions: int = 5
+    seed: int | None = None,
+    repetitions: int = 5,
+    workers: int = 0,
+    fitness_cache: bool = True,
 ) -> RuntimeReport:
-    """Measure the paper's six runtime cells on this host."""
+    """Measure the paper's six runtime cells on this host.
+
+    ``workers`` / ``fitness_cache`` configure the fitness-evaluation
+    engine (see :mod:`repro.core.evaluator`); both leave the computed
+    schedules unchanged and only affect wall-clock time.
+    """
     rng = ensure_generator(seed, "runtime", "workloads")
     small = [
         generate_strassen(rng=rng, name=f"rt-strassen-{i}")
@@ -151,8 +182,10 @@ def measure_runtimes(
     ]
     cells = []
     for factory, cluster, workload, ptgs, p_mean, p_std in plan:
-        emts = factory()
-        mean, std = _measure(emts, cluster, ptgs, seed)
+        emts = factory(workers=workers, fitness_cache=fitness_cache)
+        mean, std, evals, calls, hit_rate = _measure(
+            emts, cluster, ptgs, seed
+        )
         cells.append(
             RuntimeCell(
                 variant=emts.name,
@@ -163,6 +196,9 @@ def measure_runtimes(
                 repetitions=len(ptgs),
                 paper_mean_seconds=p_mean,
                 paper_std_seconds=p_std,
+                mean_evaluations=evals,
+                mean_mapper_calls=calls,
+                cache_hit_rate=hit_rate,
             )
         )
     return RuntimeReport(cells=cells)

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._rng import ensure_generator, iter_seeds
-from ..core import EMTS, EMTSConfig, emts5_config, emts10_config
+from ..core import EMTS, emts5_config, emts10_config
 from ..graph import PTG
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable

@@ -21,7 +21,7 @@ construction (builders live in :mod:`repro.graph.builder`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np

@@ -29,7 +29,7 @@ import numpy as np
 from .._rng import ensure_generator
 from ..exceptions import GraphError
 from ..graph import PTG, PTGBuilder
-from .complexities import ComplexityPattern, sample_task_spec
+from .complexities import sample_task_spec
 
 __all__ = ["fft_task_count", "generate_fft", "FFT_LEVELS"]
 

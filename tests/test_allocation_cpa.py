@@ -8,7 +8,7 @@ from repro.allocation import (
     cpa_quantities,
     critical_path_mask,
 )
-from repro.graph import PTG, PTGBuilder, Task, chain
+from repro.graph import PTG, Task, chain
 from repro.mapping import makespan_of
 from repro.platform import Cluster
 from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable

@@ -1,7 +1,6 @@
 """Unit tests for the CPR one-step baseline."""
 
 import numpy as np
-import pytest
 
 from repro.allocation import CpaAllocator, CprAllocator
 from repro.mapping import makespan_of

@@ -12,7 +12,7 @@ from repro.allocation import (
     McpaAllocator,
     SerialAllocator,
 )
-from repro.graph import bottom_levels, level_members, precedence_levels
+from repro.graph import level_members, precedence_levels
 from repro.mapping import makespan_of
 from repro.platform import Cluster, chti, grelon
 from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable

@@ -11,7 +11,7 @@ from repro.experiments import (
 )
 from repro.platform import Cluster
 from repro.timemodels import SyntheticModel
-from repro.workloads import DaggenParams, generate_daggen, generate_fft
+from repro.workloads import DaggenParams, generate_daggen
 
 
 @pytest.fixture(scope="module")

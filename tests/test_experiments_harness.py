@@ -71,6 +71,52 @@ class TestRunComparison:
         rows = small_result.to_rows()
         assert len(rows) == 3
         assert "makespan_mcpa" in rows[0]
+        assert "emts_mapper_calls" in rows[0]
+
+    def test_evaluation_counters_recorded(self, small_result):
+        for r in small_result.records:
+            # 3 seeds + 5 initial + 2 generations x 25 offspring
+            assert r.emts_evaluations == 3 + 5 + 2 * 25
+            assert (
+                r.emts_mapper_calls + r.emts_cache_hits
+                == r.emts_evaluations
+            )
+
+    def test_legacy_record_defaults(self):
+        r = RunRecord(
+            ptg_name="p",
+            ptg_class="fft",
+            num_tasks=1,
+            platform="mini",
+            model="m",
+            emts_name="emts5",
+            emts_makespan=1.0,
+            emts_seconds=0.1,
+            baseline_makespans={"mcpa": 1.5},
+        )
+        assert r.emts_evaluations == 0
+        assert ComparisonResult([r]).to_rows()[0]["emts_cache_hits"] == 0
+
+    def test_evaluator_overrides_do_not_change_makespans(self):
+        ptgs = {"fft": [generate_fft(4, rng=2)]}
+        platforms = [
+            Cluster("mini", num_processors=8, speed_gflops=2.0)
+        ]
+        kwargs = dict(
+            model=SyntheticModel(),
+            emts=emts5(generations=2),
+            baselines=[McpaAllocator()],
+            seed=3,
+        )
+        plain = run_comparison(ptgs, platforms, **kwargs)
+        tuned = run_comparison(
+            ptgs, platforms, fitness_cache=False, **kwargs
+        )
+        assert (
+            plain.records[0].emts_makespan
+            == tuned.records[0].emts_makespan
+        )
+        assert tuned.records[0].emts_cache_hits == 0
 
     def test_reproducible(self):
         ptgs = {"fft": [generate_fft(4, rng=0)]}

@@ -3,7 +3,6 @@ row export, degenerate Gantt input, EMTS with every registered seed,
 and the figure-5 single-row variant."""
 
 import numpy as np
-import pytest
 
 from repro.core import SEED_REGISTRY, EMTSConfig, EMTS
 from repro.experiments import format_panel
