@@ -38,6 +38,36 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
 DEFAULT_MAX_RATIO = 2.0
 
+# Same-run speedup gates: (fast kernel, reference kernel, committed
+# floor, fresh-run floor).  Both engines are measured in the same run
+# on the same host, so the ratio is robust to hardware differences;
+# the floors sit below the recorded speedup to absorb scheduler noise.
+SPEEDUP_GATES: list[tuple[str, str, float, float]] = [
+    (
+        "test_kernel_fitness_evaluation",
+        "test_kernel_fitness_reference",
+        2.5,
+        2.5,
+    ),
+]
+
+# Pinned speedup gates: (pinned key, kernel, floor).  The ``pinned``
+# section of the baseline freezes a mean measured *before* an
+# optimization landed, on the machine that produced the baseline; the
+# gate asserts the committed baseline's kernel mean keeps the promised
+# speedup against it.  Checked from the committed file alone (no
+# re-measurement), so it cannot flake on slower CI hosts — and it
+# stops a baseline refresh from quietly absorbing a regression.
+# ``pre_pr_fitness_mean`` is test_kernel_fitness_evaluation as
+# committed before the compiled ScheduleKernel existed (reference
+# engine, same benchmark, same machine).
+PINNED_GATES: list[tuple[str, str, float]] = [
+    ("pre_pr_fitness_mean", "test_kernel_fitness_evaluation", 3.0),
+]
+PINNED_DEFAULTS: dict[str, float] = {
+    "pre_pr_fitness_mean": 0.001220367897901581,
+}
+
 
 def load_means(run_path: Path) -> dict[str, float]:
     """Kernel-name -> mean-seconds from a pytest-benchmark JSON file."""
@@ -57,6 +87,12 @@ def update_baseline(
     run_path: Path, baseline_path: Path
 ) -> None:
     data = json.loads(run_path.read_text(encoding="utf-8"))
+    # pinned values survive refreshes: they anchor speedup promises to
+    # pre-optimization measurements and must never track the new run
+    pinned = dict(PINNED_DEFAULTS)
+    if baseline_path.exists():
+        previous = json.loads(baseline_path.read_text(encoding="utf-8"))
+        pinned.update(previous.get("pinned", {}))
     baseline = {
         "comment": (
             "Committed perf baseline for the CI perf-smoke job; "
@@ -68,6 +104,7 @@ def update_baseline(
             "cpu_count": os.cpu_count(),
         },
         "means": load_means(run_path),
+        "pinned": pinned,
     }
     baseline_path.write_text(
         json.dumps(baseline, indent=2, sort_keys=True) + "\n",
@@ -77,6 +114,87 @@ def update_baseline(
         f"wrote {len(baseline['means'])} kernel baselines -> "
         f"{baseline_path}"
     )
+    means = baseline["means"]
+    for fast, ref, committed_floor, _ in SPEEDUP_GATES:
+        if fast in means and ref in means:
+            ratio = means[ref] / means[fast]
+            note = (
+                ""
+                if ratio >= committed_floor
+                else f"  (below the {committed_floor:.1f}x gate — "
+                "CI will reject this baseline)"
+            )
+            print(
+                f"recorded speedup {ref}/{fast}: {ratio:.2f}x{note}"
+            )
+    for key, fast, floor in PINNED_GATES:
+        if key in pinned and fast in means:
+            ratio = pinned[key] / means[fast]
+            note = (
+                ""
+                if ratio >= floor
+                else f"  (below the {floor:.1f}x gate — CI will "
+                "reject this baseline)"
+            )
+            print(
+                f"recorded speedup {key}/{fast}: {ratio:.2f}x{note}"
+            )
+
+
+def check_speedups(
+    base_means: dict[str, float], run_means: dict[str, float]
+) -> list[str]:
+    """Enforce the compiled-kernel speedup gates.
+
+    Returns the list of failed gate labels (empty when all hold).  A
+    gate is skipped — with a notice — when its benchmarks are absent
+    from the respective source, so subset runs stay usable.
+    """
+    failures: list[str] = []
+    for fast, ref, committed_floor, run_floor in SPEEDUP_GATES:
+        label = f"{ref}/{fast}"
+        for means, floor, source in (
+            (base_means, committed_floor, "baseline"),
+            (run_means, run_floor, "this run"),
+        ):
+            if fast not in means or ref not in means:
+                print(
+                    f"speedup gate {label}: not measured in {source}, "
+                    "skipped"
+                )
+                continue
+            ratio = means[ref] / means[fast]
+            ok = ratio >= floor
+            verdict = "ok" if ok else "<< TOO SLOW"
+            print(
+                f"speedup gate {label} ({source}): {ratio:.2f}x "
+                f"(floor {floor:.1f}x) {verdict}"
+            )
+            if not ok:
+                failures.append(f"{label}@{source}")
+    return failures
+
+
+def check_pinned(
+    pinned: dict[str, float], base_means: dict[str, float]
+) -> list[str]:
+    """Enforce the pinned speedup gates on the committed baseline."""
+    failures: list[str] = []
+    for key, fast, floor in PINNED_GATES:
+        label = f"{key}/{fast}"
+        if key not in pinned or fast not in base_means:
+            print(f"pinned gate {label}: not recorded, skipped")
+            continue
+        ratio = pinned[key] / base_means[fast]
+        ok = ratio >= floor
+        verdict = "ok" if ok else "<< TOO SLOW"
+        print(
+            f"pinned gate {label}: {ratio:.2f}x "
+            f"(floor {floor:.1f}x) {verdict}"
+        )
+        if not ok:
+            failures.append(f"{label}@pinned")
+    return failures
 
 
 def check(
@@ -123,14 +241,19 @@ def check(
             f"\n{len(new_kernels)} kernel(s) missing from the "
             "baseline; run with --update to record them."
         )
+    failures += check_speedups(base_means, run_means)
+    failures += check_pinned(baseline.get("pinned", {}), base_means)
     if failures:
         print(
-            f"\nFAIL: {len(failures)} kernel(s) slower than "
-            f"{max_ratio:.1f}x baseline: {', '.join(failures)}",
+            f"\nFAIL: {len(failures)} check(s) failed: "
+            f"{', '.join(failures)}",
             file=sys.stderr,
         )
         return 1
-    print(f"\nOK: all kernels within {max_ratio:.1f}x of baseline")
+    print(
+        f"\nOK: all kernels within {max_ratio:.1f}x of baseline "
+        "and all speedup gates hold"
+    )
     return 0
 
 

@@ -60,10 +60,11 @@ class _VirtualCpa(CpaAllocator):
         times = table.times_for(alloc)
         area = float(times.sum())
         idx = np.arange(V)
-        from .cpa import critical_path_mask, _EPS
+        from .cpa import _EPS, _kernel_if_matching, critical_path_mask
 
+        kernel = _kernel_if_matching(ptg, table)
         for _ in range(V * cap):
-            on_cp, t_cp = critical_path_mask(ptg, times)
+            on_cp, t_cp = critical_path_mask(ptg, times, kernel)
             if t_cp <= area / cap:
                 break
             cand = on_cp & (alloc < cap)

@@ -55,6 +55,33 @@ _MODELS = {
 }
 
 
+def _run_profiled(func, args) -> int:
+    """Run ``func(args)`` under :mod:`cProfile`.
+
+    Binary stats go to ``args.profile`` (loadable with ``pstats`` or
+    ``snakeviz``); the top cumulative-time entries are printed so the
+    hot path is visible without extra tooling.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        rc = func(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(25)
+        print()
+        print(stream.getvalue().rstrip())
+        print(f"wrote profile stats -> {args.profile}")
+    return rc
+
+
 def _make_model(name: str) -> ExecutionTimeModel:
     try:
         return _MODELS[name.lower()]()
@@ -351,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable makespan memoization of duplicate offspring",
         )
+        p.add_argument(
+            "--profile",
+            metavar="PATH",
+            default=None,
+            help=(
+                "run under cProfile, dump binary stats to PATH and "
+                "print the top cumulative-time entries"
+            ),
+        )
 
     g = sub.add_parser("generate", help="generate a PTG file")
     add_ptg_options(g)
@@ -443,6 +479,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", None):
+        return _run_profiled(args.func, args)
     return args.func(args)
 
 

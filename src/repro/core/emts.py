@@ -33,7 +33,7 @@ from ..ea import (
     TimeBudget,
 )
 from ..graph import PTG
-from ..mapping import Schedule, map_allocations
+from ..mapping import Schedule, kernel_for, map_allocations
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable
 from .config import EMTSConfig, emts5_config, emts10_config
@@ -175,6 +175,11 @@ class EMTS:
             rng=rng,
             delta=cfg.delta,
         )
+        # Build the compiled scheduling kernel up front: every fitness
+        # call of the run (seeding included) reuses its CSR arrays and
+        # preallocated buffers, and the construction cost stays out of
+        # the first generation's timing.
+        kernel_for(table)
         evaluator = create_evaluator(
             ptg,
             table,

@@ -51,7 +51,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..mapping import makespan_of
+from ..mapping import ScheduleKernel, makespan_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..graph import PTG
@@ -193,13 +193,42 @@ class FitnessEvaluator(ABC):
         """Evaluate one batch; must preserve input order."""
 
 
+def _kernel_if_matching(
+    ptg: "PTG", table: "TimeTable"
+) -> ScheduleKernel | None:
+    """The table's compiled kernel when it was built for ``ptg``."""
+    from ..mapping import kernel_for
+
+    if ptg is table.ptg or ptg == table.ptg:
+        return kernel_for(table)
+    return None
+
+
+def _genome_bytes(genome: np.ndarray) -> bytes:
+    """Fallback cache key: the genome's canonical int64 byte content."""
+    return np.ascontiguousarray(genome, dtype=np.int64).tobytes()
+
+
 class SerialEvaluator(FitnessEvaluator):
-    """In-process evaluation, one mapper call per genome (the default)."""
+    """In-process evaluation, one mapper call per genome (the default).
+
+    The compiled :class:`~repro.mapping.ScheduleKernel` is built once in
+    the constructor and every fitness call runs directly on its
+    preallocated buffers, skipping the per-call engine dispatch of
+    :func:`repro.mapping.makespan_of` (results are bit-identical).
+    """
 
     def __init__(self, ptg: "PTG", table: "TimeTable") -> None:
         super().__init__()
         self.ptg = ptg
         self.table = table
+        self._kernel = _kernel_if_matching(ptg, table)
+
+    def genome_key(self, genome: np.ndarray) -> bytes:
+        """Canonical cache key (the kernel's validated int64 buffer)."""
+        if self._kernel is not None:
+            return self._kernel.genome_key(genome)
+        return _genome_bytes(genome)
 
     def _evaluate_batch(
         self,
@@ -207,6 +236,11 @@ class SerialEvaluator(FitnessEvaluator):
         abort_above: float | None,
     ) -> list[float]:
         self.stats.mapper_calls += len(genomes)
+        kernel = self._kernel
+        if kernel is not None:
+            # batch entry: validation and the time-table gather are
+            # vectorized across all genomes in one shot
+            return kernel.makespan_batch(genomes, abort_above)
         return [
             makespan_of(self.ptg, self.table, g, abort_above=abort_above)
             for g in genomes
@@ -217,13 +251,30 @@ class SerialEvaluator(FitnessEvaluator):
 
 
 # -- worker-process plumbing (module level: must be picklable) ---------
-_WORKER_PROBLEM: tuple["PTG", "TimeTable"] | None = None
+# Each worker holds one batch-makespan callable: the compiled kernel's
+# batch entry in the common case (the kernel pickles as bare index/time
+# arrays — no PTG or TimeTable object graph crosses the process
+# boundary), or a reference-engine closure as the fallback.
+_WORKER_EVALUATE = None
 
 
-def _pool_initializer(ptg: "PTG", table: "TimeTable") -> None:
+def _pool_initializer(problem) -> None:
     """Install the shared problem in a worker process (runs once)."""
-    global _WORKER_PROBLEM
-    _WORKER_PROBLEM = (ptg, table)
+    global _WORKER_EVALUATE
+    if isinstance(problem, ScheduleKernel):
+        _WORKER_EVALUATE = problem.makespan_batch
+    else:
+        ptg, table = problem
+
+        def _reference_batch(
+            genome_block: np.ndarray, abort_above: float | None
+        ) -> list[float]:
+            return [
+                makespan_of(ptg, table, g, abort_above=abort_above)
+                for g in genome_block
+            ]
+
+        _WORKER_EVALUATE = _reference_batch
 
 
 def _pool_evaluate_chunk(
@@ -234,11 +285,7 @@ def _pool_evaluate_chunk(
     ``abort_above`` arrives with every chunk — the dispatcher's current
     rejection bound, not a value frozen at pool start-up.
     """
-    ptg, table = _WORKER_PROBLEM
-    return [
-        makespan_of(ptg, table, genome, abort_above=abort_above)
-        for genome in genome_block
-    ]
+    return _WORKER_EVALUATE(genome_block, abort_above)
 
 
 class ProcessPoolEvaluator(FitnessEvaluator):
@@ -283,7 +330,14 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self._kernel = _kernel_if_matching(ptg, table)
         self._executor: ProcessPoolExecutor | None = None
+
+    def genome_key(self, genome: np.ndarray) -> bytes:
+        """Canonical cache key (the kernel's validated int64 buffer)."""
+        if self._kernel is not None:
+            return self._kernel.genome_key(genome)
+        return _genome_bytes(genome)
 
     # -- pool lifecycle ------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -295,11 +349,16 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                 if self.mp_context is not None
                 else None
             )
+            problem = (
+                self._kernel
+                if self._kernel is not None
+                else (self.ptg, self.table)
+            )
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=ctx,
                 initializer=_pool_initializer,
-                initargs=(self.ptg, self.table),
+                initargs=(problem,),
             )
         return self._executor
 
@@ -342,11 +401,14 @@ class ProcessPoolEvaluator(FitnessEvaluator):
 class MemoizedEvaluator(FitnessEvaluator):
     """Bounded-LRU genome cache around any :class:`FitnessEvaluator`.
 
-    The key is the raw byte content of the (int64, read-only) allocation
-    vector.  Exact makespans are cached unconditionally; rejected
-    evaluations (``inf`` under ``abort_above=b``) are cached together
-    with their bound and only reused while still sound (see module
-    docstring).
+    The key is the raw byte content of the backend kernel's validated
+    int64 allocation buffer (``ScheduleKernel.genome_key``), so equal
+    genomes share one entry whatever their dtype or layout on arrival;
+    backends without a kernel fall back to canonical int64 bytes — the
+    identical key for every valid genome.  Exact makespans are cached
+    unconditionally; rejected evaluations (``inf`` under
+    ``abort_above=b``) are cached together with their bound and only
+    reused while still sound (see module docstring).
     """
 
     def __init__(
@@ -361,6 +423,7 @@ class MemoizedEvaluator(FitnessEvaluator):
             )
         self.inner = inner
         self.max_entries = int(max_entries)
+        self._key_fn = getattr(inner, "genome_key", _genome_bytes)
         # key -> (value, bound). bound is None for exact values and the
         # abort_above under which the rejection was observed otherwise.
         self._cache: OrderedDict[bytes, tuple[float, float | None]] = (
@@ -407,10 +470,8 @@ class MemoizedEvaluator(FitnessEvaluator):
         genomes: list[np.ndarray],
         abort_above: float | None,
     ) -> list[float]:
-        keys = [
-            np.ascontiguousarray(g, dtype=np.int64).tobytes()
-            for g in genomes
-        ]
+        key_fn = self._key_fn
+        keys = [key_fn(g) for g in genomes]
         values: list[float | None] = []
         miss_order: list[bytes] = []  # unique misses, first-seen order
         miss_genomes: list[np.ndarray] = []

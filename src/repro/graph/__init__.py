@@ -7,14 +7,19 @@ Public API:
 * :func:`bottom_levels`, :func:`top_levels`, :func:`precedence_levels`,
   :func:`critical_path`, :func:`delta_critical_sets` — graph analyses the
   schedulers rely on;
+* :func:`csr_adjacency` / :class:`CSRAdjacency` — the DAG flattened to
+  CSR index arrays (built once per PTG, shared by the compiled
+  scheduling kernel and the level sweeps);
 * :func:`validate_ptg` — soft structural checks;
 * :func:`save_ptg` / :func:`load_ptg` and corpus variants — JSON I/O.
 """
 
 from .analysis import (
+    CSRAdjacency,
     bottom_levels,
     critical_path,
     critical_path_length,
+    csr_adjacency,
     delta_critical_sets,
     graph_width,
     level_members,
@@ -45,6 +50,8 @@ __all__ = [
     "PTGBuilder",
     "chain",
     "fork_join",
+    "CSRAdjacency",
+    "csr_adjacency",
     "bottom_levels",
     "top_levels",
     "precedence_levels",

@@ -24,12 +24,16 @@ EA's fitness function).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..exceptions import ValidationError
 from .ptg import PTG
 
 __all__ = [
+    "CSRAdjacency",
+    "csr_adjacency",
     "bottom_levels",
     "top_levels",
     "precedence_levels",
@@ -39,6 +43,98 @@ __all__ = [
     "delta_critical_sets",
     "graph_width",
 ]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """The PTG's adjacency flattened to CSR index arrays.
+
+    One shared, immutable analysis per PTG (cached on the graph): the
+    compiled scheduling kernel, the layered bottom/top-level sweeps and
+    the CPA-family heuristics all walk the DAG through these arrays
+    instead of per-node Python tuples.
+
+    ``succ_indices[succ_indptr[v]:succ_indptr[v+1]]`` are the successors
+    of task ``v`` (sorted by index); the ``pred_*`` pair is the reverse
+    adjacency.  ``edge_src``/``edge_dst`` list every edge in successor-CSR
+    order (grouped by source, destinations ascending) — a deterministic
+    ordering shared by every consumer.
+    """
+
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+    pred_indptr: np.ndarray
+    pred_indices: np.ndarray
+    in_degree: np.ndarray
+    out_degree: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of nodes ``V``."""
+        return self.in_degree.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``E``."""
+        return self.succ_indices.shape[0]
+
+
+def csr_adjacency(ptg: PTG) -> CSRAdjacency:
+    """The CSR view of ``ptg`` (built once, cached on the graph)."""
+    cached = ptg._csr_cache
+    if cached is not None:
+        return cached
+    n = ptg.num_tasks
+    out_degree = np.fromiter(
+        (len(ptg.successors(v)) for v in range(n)),
+        dtype=np.int64,
+        count=n,
+    )
+    in_degree = np.fromiter(
+        (len(ptg.predecessors(v)) for v in range(n)),
+        dtype=np.int64,
+        count=n,
+    )
+    succ_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(out_degree, out=succ_indptr[1:])
+    pred_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(in_degree, out=pred_indptr[1:])
+    e = int(succ_indptr[-1])
+    succ_indices = np.fromiter(
+        (w for v in range(n) for w in ptg.successors(v)),
+        dtype=np.int64,
+        count=e,
+    )
+    pred_indices = np.fromiter(
+        (u for v in range(n) for u in ptg.predecessors(v)),
+        dtype=np.int64,
+        count=e,
+    )
+    edge_src = np.repeat(np.arange(n, dtype=np.int64), out_degree)
+    csr = CSRAdjacency(
+        succ_indptr=succ_indptr,
+        succ_indices=succ_indices,
+        pred_indptr=pred_indptr,
+        pred_indices=pred_indices,
+        in_degree=in_degree,
+        out_degree=out_degree,
+        edge_src=edge_src,
+        edge_dst=succ_indices,
+    )
+    for arr in (
+        succ_indptr,
+        succ_indices,
+        pred_indptr,
+        pred_indices,
+        in_degree,
+        out_degree,
+        edge_src,
+    ):
+        arr.setflags(write=False)
+    ptg._csr_cache = csr
+    return csr
 
 
 def _check_times(ptg: PTG, times: np.ndarray) -> np.ndarray:
@@ -81,15 +177,12 @@ class _LayerStructure:
             np.flatnonzero(self.depth == k)
             for k in range(self.num_layers)
         ]
-        if ptg.num_edges:
-            src = np.fromiter(
-                (u for u, _ in ptg.edges), dtype=np.int64
-            )
-            dst = np.fromiter(
-                (v for _, v in ptg.edges), dtype=np.int64
-            )
-        else:
-            src = dst = np.empty(0, dtype=np.int64)
+        # edge arrays come from the shared CSR analysis: the compiled
+        # scheduling kernel and the CPA-family heuristics walk the exact
+        # same index arrays (order differences are irrelevant here — the
+        # layer updates below are scatter-*maxima*)
+        csr = csr_adjacency(ptg)
+        src, dst = csr.edge_src, csr.edge_dst
         d_dst = self.depth[dst] if dst.size else dst
         d_src = self.depth[src] if src.size else src
         self.edges_by_dst_layer = [

@@ -121,6 +121,7 @@ class PTG:
         "_data_size",
         "_levels",
         "_layer_cache",
+        "_csr_cache",
     )
 
     def __init__(
@@ -177,6 +178,7 @@ class PTG:
         )
         self._levels: np.ndarray | None = None  # filled lazily by analysis
         self._layer_cache = None  # filled lazily by analysis._layers
+        self._csr_cache = None  # filled lazily by analysis.csr_adjacency
 
     # ------------------------------------------------------------------
     # construction helpers

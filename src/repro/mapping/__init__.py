@@ -6,6 +6,9 @@ Public API:
   first-fit processor sets; returns a validated :class:`Schedule`;
 * :func:`makespan_of` — the same engine, makespan-only (the EA fitness
   fast path), with the optional ``abort_above`` rejection strategy;
+* :class:`ScheduleKernel` / :func:`kernel_for` — the compiled
+  array-based engine behind both of the above: CSR graph, dense time
+  tables and preallocated buffers, built once per (PTG, table) pair;
 * :class:`Schedule`, :class:`ScheduledTask` — schedule data model with
   invariant checking;
 * :class:`ProcessorState` — processor-availability bookkeeping;
@@ -19,6 +22,7 @@ from .io import (
     schedule_from_dict,
     schedule_to_dict,
 )
+from .kernel import ScheduleKernel, kernel_for
 from .list_scheduler import (
     PRIORITIES,
     check_allocation,
@@ -32,6 +36,8 @@ from .schedule import Schedule, ScheduledTask
 __all__ = [
     "map_allocations",
     "makespan_of",
+    "ScheduleKernel",
+    "kernel_for",
     "check_allocation",
     "makespan_lower_bound",
     "PRIORITIES",

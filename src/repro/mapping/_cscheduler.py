@@ -1,0 +1,349 @@
+"""Optional C implementation of the makespan scheduling loop.
+
+The Python/numpy fast path in :mod:`repro.mapping.kernel` spends most
+of its time in per-task numpy call overhead (the arrays hold only
+``P`` elements, so dispatch dominates the actual work).  This module
+compiles the same loop to native code at first use — plain C built
+with the system compiler and loaded through :mod:`cffi`'s ABI mode, so
+no Python headers are required — and caches the shared library under
+the system temp directory keyed by a hash of the source.
+
+Bit-identity with the reference engine is preserved by construction:
+
+* every floating-point operation (the bottom-level ``max`` chains, the
+  ``t_start``/``t_finish`` additions, the ``<= t_start + 1e-12``
+  candidate test) maps to the identical IEEE-754 double operation —
+  there is no reassociation, fused arithmetic, or extended precision
+  (x86-64 SSE2 doubles, no ``-ffast-math``);
+* the ready queue pops tasks in the exact (bottom level descending,
+  index ascending) order — a strict total order, so any correct heap
+  yields the same sequence as :mod:`heapq`;
+* the quickselect only extracts the *value* of the s-th smallest free
+  time, which is independent of selection order, and processors are
+  committed first-fit by index with the same epsilon window.
+
+The property suite in ``tests/test_mapping_kernel.py`` pins the native
+path against the pure-Python reference with exact ``==`` comparisons.
+
+If :mod:`cffi` or a C compiler is unavailable, or compilation fails
+for any reason, :func:`load` returns ``(None, None)`` and the kernel
+silently keeps its numpy fast path.  Set ``REPRO_NO_CKERNEL=1`` to
+force the fallback; set ``REPRO_CKERNEL_CACHE`` to relocate the build
+cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["load", "CDEF"]
+
+CDEF = """
+double schedule_makespan(
+    int V, int P,
+    const double *flat_times,
+    const int64_t *alloc,
+    const int32_t *rev_topo,
+    const int32_t *indptr,
+    const int32_t *indices,
+    const int32_t *indeg,
+    double bound,
+    double *times_ws, double *bl_ws, double *data_ready_ws,
+    int32_t *n_waiting_ws, double *free_ws, double *scratch_ws,
+    int32_t *heap_ws);
+
+void schedule_makespan_batch(
+    int B, int V, int P,
+    const double *flat_times,
+    const int64_t *alloc_rows,
+    const int32_t *rev_topo,
+    const int32_t *indptr,
+    const int32_t *indices,
+    const int32_t *indeg,
+    double bound,
+    double *times_ws, double *bl_ws, double *data_ready_ws,
+    int32_t *n_waiting_ws, double *free_ws, double *scratch_ws,
+    int32_t *heap_ws, double *out);
+"""
+
+_C_SOURCE = r"""
+#include <stddef.h>
+#include <stdint.h>
+#include <math.h>
+
+#define EPS 1e-12
+
+/* Ready-queue ordering: bottom level descending, task index ascending
+ * on ties — the exact total order of the reference mapper's
+ * (-bl[v], v) heapq tuples. */
+static inline int heap_before(const double *bl, int32_t a, int32_t b) {
+    if (bl[a] != bl[b]) return bl[a] > bl[b];
+    return a < b;
+}
+
+static void heap_push(int32_t *heap, int *n, const double *bl,
+                      int32_t v) {
+    int i = (*n)++;
+    heap[i] = v;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (!heap_before(bl, heap[i], heap[parent]))
+            break;
+        int32_t tmp = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = tmp;
+        i = parent;
+    }
+}
+
+static int32_t heap_pop(int32_t *heap, int *n, const double *bl) {
+    int32_t top = heap[0];
+    int32_t last = heap[--(*n)];
+    int m = *n;
+    int i = 0;
+    heap[0] = last;
+    for (;;) {
+        int child = 2 * i + 1;
+        if (child >= m)
+            break;
+        if (child + 1 < m && heap_before(bl, heap[child + 1], heap[child]))
+            child++;
+        if (!heap_before(bl, heap[child], heap[i]))
+            break;
+        int32_t tmp = heap[i];
+        heap[i] = heap[child];
+        heap[child] = tmp;
+        i = child;
+    }
+    return top;
+}
+
+/* Value of the k-th smallest element (0-based) — Hoare quickselect.
+ * Only the value is consumed, which is independent of how ties are
+ * arranged, so any correct selection algorithm is bit-identical to
+ * numpy's introselect partition. */
+static double kth_smallest(double *a, int n, int k) {
+    int lo = 0, hi = n - 1;
+    while (lo < hi) {
+        double pivot = a[lo + (hi - lo) / 2];
+        int i = lo, j = hi;
+        while (i <= j) {
+            while (a[i] < pivot) i++;
+            while (a[j] > pivot) j--;
+            if (i <= j) {
+                double t = a[i];
+                a[i] = a[j];
+                a[j] = t;
+                i++;
+                j--;
+            }
+        }
+        if (k <= j)
+            hi = j;
+        else if (k >= i)
+            lo = i;
+        else
+            return a[k];
+    }
+    return a[lo];
+}
+
+double schedule_makespan(
+    int V, int P,
+    const double *flat_times,
+    const int64_t *alloc,
+    const int32_t *rev_topo,
+    const int32_t *indptr,
+    const int32_t *indices,
+    const int32_t *indeg,
+    double bound,
+    double *t, double *bl, double *data_ready,
+    int32_t *n_waiting, double *free_v, double *scratch,
+    int32_t *heap)
+{
+    /* per-task times from the dense table: T(v, s(v)) */
+    for (int v = 0; v < V; v++)
+        t[v] = flat_times[(size_t)v * P + (alloc[v] - 1)];
+
+    /* bottom levels: reverse-topological sweep, exact max chains */
+    for (int i = 0; i < V; i++) {
+        int32_t v = rev_topo[i];
+        int32_t s = indptr[v], e = indptr[v + 1];
+        if (s == e) {
+            bl[v] = t[v];
+            continue;
+        }
+        double m = bl[indices[s]];
+        for (int32_t j = s + 1; j < e; j++) {
+            double x = bl[indices[j]];
+            if (x > m)
+                m = x;
+        }
+        bl[v] = t[v] + m;
+    }
+
+    int heap_n = 0;
+    for (int v = 0; v < V; v++) {
+        data_ready[v] = 0.0;
+        n_waiting[v] = indeg[v];
+        if (indeg[v] == 0)
+            heap_push(heap, &heap_n, bl, v);
+    }
+    for (int p = 0; p < P; p++)
+        free_v[p] = 0.0;
+
+    double makespan = 0.0;
+    while (heap_n > 0) {
+        int32_t v = heap_pop(heap, &heap_n, bl);
+        int64_t s = alloc[v];
+        double r = data_ready[v];
+        double t_start, t_finish;
+        if (r >= makespan) {
+            /* every processor is free by r: prefix assignment and the
+             * new finish time is the new peak */
+            t_start = r;
+            t_finish = r + t[v];
+            if (t_start + bl[v] >= bound)
+                return INFINITY;
+            for (int64_t p = 0; p < s; p++)
+                free_v[p] = t_finish;
+            makespan = t_finish;
+        } else if (s == P) {
+            double kth = free_v[0];
+            for (int p = 1; p < P; p++)
+                if (free_v[p] > kth)
+                    kth = free_v[p];
+            t_start = r >= kth ? r : kth;
+            t_finish = t_start + t[v];
+            if (t_start + bl[v] >= bound)
+                return INFINITY;
+            for (int p = 0; p < P; p++)
+                free_v[p] = t_finish;
+            if (t_finish > makespan)
+                makespan = t_finish;
+        } else {
+            for (int p = 0; p < P; p++)
+                scratch[p] = free_v[p];
+            double kth = kth_smallest(scratch, P, (int)(s - 1));
+            t_start = r >= kth ? r : kth;
+            t_finish = t_start + t[v];
+            if (t_start + bl[v] >= bound)
+                return INFINITY;
+            /* first-fit by index among processors free at t_start */
+            double limit = t_start + EPS;
+            int64_t left = s;
+            for (int p = 0; p < P && left > 0; p++) {
+                if (free_v[p] <= limit) {
+                    free_v[p] = t_finish;
+                    left--;
+                }
+            }
+            if (t_finish > makespan)
+                makespan = t_finish;
+        }
+        for (int32_t j = indptr[v]; j < indptr[v + 1]; j++) {
+            int32_t w = indices[j];
+            if (t_finish > data_ready[w])
+                data_ready[w] = t_finish;
+            if (--n_waiting[w] == 0)
+                heap_push(heap, &heap_n, bl, w);
+        }
+    }
+    return makespan;
+}
+
+void schedule_makespan_batch(
+    int B, int V, int P,
+    const double *flat_times,
+    const int64_t *alloc_rows,
+    const int32_t *rev_topo,
+    const int32_t *indptr,
+    const int32_t *indices,
+    const int32_t *indeg,
+    double bound,
+    double *t, double *bl, double *data_ready,
+    int32_t *n_waiting, double *free_v, double *scratch,
+    int32_t *heap, double *out)
+{
+    for (int b = 0; b < B; b++)
+        out[b] = schedule_makespan(
+            V, P, flat_times, alloc_rows + (size_t)b * V,
+            rev_topo, indptr, indices, indeg, bound,
+            t, bl, data_ready, n_waiting, free_v, scratch, heap);
+}
+"""
+
+_ffi = None
+_lib = None
+_tried = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CKERNEL_CACHE")
+    if override:
+        return Path(override)
+    uid = os.getuid() if hasattr(os, "getuid") else "any"
+    return Path(tempfile.gettempdir()) / f"repro-ckernel-{uid}"
+
+
+def _build() -> Path:
+    """Compile the shared library (cached by source hash)."""
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    lib_path = cache / f"scheduler-{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    src_path = cache / f"scheduler-{digest}.c"
+    src_path.write_text(_C_SOURCE, encoding="utf-8")
+    tmp_path = cache / f"scheduler-{digest}.{os.getpid()}.tmp.so"
+    compiler = os.environ.get("CC", "cc")
+    subprocess.run(
+        [
+            compiler,
+            "-O2",
+            "-shared",
+            "-fPIC",
+            str(src_path),
+            "-o",
+            str(tmp_path),
+        ],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    # atomic publish: concurrent builders race benignly to the same file
+    os.replace(tmp_path, lib_path)
+    return lib_path
+
+
+def load():
+    """``(ffi, lib)`` for the native scheduler, or ``(None, None)``.
+
+    The first call compiles (or dlopens the cached build); failures of
+    any kind — no cffi, no compiler, sandboxed filesystem — degrade to
+    ``(None, None)`` so callers keep their pure-Python path.
+    """
+    global _ffi, _lib, _tried
+    if _tried:
+        return _ffi, _lib
+    _tried = True
+    if os.environ.get("REPRO_NO_CKERNEL"):
+        return None, None
+    try:
+        from cffi import FFI
+    except ImportError:
+        return None, None
+    try:
+        lib_path = _build()
+        ffi = FFI()
+        ffi.cdef(CDEF)
+        lib = ffi.dlopen(str(lib_path))
+    except Exception:
+        return None, None
+    _ffi, _lib = ffi, lib
+    return _ffi, _lib

@@ -22,6 +22,17 @@ The optional *rejection strategy* sketched in the paper's conclusions is
 implemented via ``abort_above``: while mapping, ``start(v) + bl(v)`` is a
 lower bound on the final makespan, so construction stops early once the
 bound exceeds a known incumbent — the schedule cannot beat it.
+
+Two engines implement the identical algorithm.  The *reference* engine
+(:func:`_run` below) works directly on the PTG/TimeTable objects and
+supports every priority rule; the *compiled* engine
+(:class:`~repro.mapping.kernel.ScheduleKernel`) precomputes CSR index
+arrays and dense buffers once per (PTG, table) pair and is several
+times faster per call.  Both are bit-identical on the paper's
+bottom-level rule, which is why :func:`makespan_of` and
+:func:`map_allocations` route through the kernel automatically; pass
+``compiled=False`` to force the reference path (the property-based
+suite uses it as the oracle).
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ import numpy as np
 from ..exceptions import AllocationError
 from ..graph import PTG, bottom_levels
 from ..timemodels import TimeTable
+from .kernel import ScheduleKernel, check_allocation, kernel_for
 from .processor_state import ProcessorState
 from .schedule import Schedule
 
@@ -68,31 +80,36 @@ def makespan_lower_bound(
     return max(cp, area)
 
 
-def check_allocation(alloc: np.ndarray, ptg: PTG, P: int) -> np.ndarray:
-    """Validate and canonicalize an allocation vector.
+def _select_kernel(
+    ptg: PTG,
+    table: TimeTable,
+    priority: str,
+    compiled: bool | None,
+) -> ScheduleKernel | None:
+    """Pick the compiled kernel when it applies, else ``None``.
 
-    Raises :class:`AllocationError` unless ``alloc`` has shape ``(V,)``
-    with integral entries in ``[1, P]``.
+    The kernel implements the paper's bottom-level rule only, and is
+    keyed to the table's own PTG; ``compiled=None`` auto-selects it
+    whenever both hold, ``compiled=True`` insists (raising otherwise)
+    and ``compiled=False`` forces the reference engine.
     """
-    alloc = np.asarray(alloc)
-    if alloc.shape != (ptg.num_tasks,):
-        raise AllocationError(
-            f"allocation has shape {alloc.shape}, expected "
-            f"({ptg.num_tasks},)"
-        )
-    if not np.issubdtype(alloc.dtype, np.integer):
-        rounded = np.rint(alloc)
-        if not np.allclose(alloc, rounded):
-            raise AllocationError("allocations must be integers")
-        alloc = rounded.astype(np.int64)
-    else:
-        alloc = alloc.astype(np.int64)
-    if alloc.min() < 1 or alloc.max() > P:
-        raise AllocationError(
-            f"allocations must lie in [1, {P}]; got range "
-            f"[{alloc.min()}, {alloc.max()}]"
-        )
-    return alloc
+    if compiled is False:
+        return None
+    if priority != "bottom-level":
+        if compiled:
+            raise AllocationError(
+                "the compiled kernel only implements the "
+                f"'bottom-level' priority, not {priority!r}"
+            )
+        return None
+    if ptg is not table.ptg and ptg != table.ptg:
+        if compiled:
+            raise AllocationError(
+                f"time table was built for PTG {table.ptg.name!r}, "
+                f"not {ptg.name!r}"
+            )
+        return None
+    return kernel_for(table)
 
 
 def _priority_values(
@@ -190,13 +207,20 @@ def makespan_of(
     alloc: np.ndarray,
     abort_above: float | None = None,
     priority: str = "bottom-level",
+    compiled: bool | None = None,
 ) -> float:
     """Makespan of the list schedule for ``alloc`` (fitness fast path).
 
     Returns ``inf`` when ``abort_above`` is given and the partial schedule
     provably cannot beat it.  ``priority`` selects the ready-queue rule
     (see :data:`PRIORITIES`); the paper's mapper uses the default.
+    ``compiled`` selects the engine: ``None`` (default) uses the
+    compiled :class:`~repro.mapping.kernel.ScheduleKernel` whenever it
+    applies — results are bit-identical either way.
     """
+    kernel = _select_kernel(ptg, table, priority, compiled)
+    if kernel is not None:
+        return kernel.makespan(alloc, abort_above)
     makespan, _, _, _ = _run(
         ptg,
         table,
@@ -213,16 +237,28 @@ def map_allocations(
     table: TimeTable,
     alloc: np.ndarray,
     priority: str = "bottom-level",
+    compiled: bool | None = None,
 ) -> Schedule:
-    """Full mapping: allocation vector → concrete :class:`Schedule`."""
-    makespan, start, finish, proc_sets = _run(
-        ptg,
-        table,
-        alloc,
-        build_schedule=True,
-        abort_above=None,
-        priority=priority,
-    )
+    """Full mapping: allocation vector → concrete :class:`Schedule`.
+
+    On the default priority rule the schedule is reconstructed from the
+    compiled kernel's committed start times and processor sets — the
+    same engine that evaluated the allocation's fitness.
+    """
+    kernel = _select_kernel(ptg, table, priority, compiled)
+    if kernel is not None:
+        makespan, start, finish, proc_sets = kernel.run(
+            alloc, build_schedule=True
+        )
+    else:
+        makespan, start, finish, proc_sets = _run(
+            ptg,
+            table,
+            alloc,
+            build_schedule=True,
+            abort_above=None,
+            priority=priority,
+        )
     assert proc_sets is not None
     schedule = Schedule(ptg, table.cluster, start, finish, proc_sets)
     # the two paths share one engine, so this always holds; keep the check

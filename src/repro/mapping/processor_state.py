@@ -29,7 +29,7 @@ _EPS = 1e-12
 class ProcessorState:
     """Free-time vector over ``P`` identical processors."""
 
-    __slots__ = ("free",)
+    __slots__ = ("free", "_scratch")
 
     def __init__(self, num_processors: int) -> None:
         if num_processors < 1:
@@ -37,6 +37,10 @@ class ProcessorState:
                 f"need at least one processor, got {num_processors}"
             )
         self.free = np.zeros(num_processors, dtype=np.float64)
+        # partition workspace: earliest_start is called once per task
+        # inside the mapper loop, so the order statistic must not
+        # allocate a fresh P-vector every call
+        self._scratch = np.empty(num_processors, dtype=np.float64)
 
     @property
     def num_processors(self) -> int:
@@ -49,18 +53,26 @@ class ProcessorState:
         ``s`` processors are simultaneously free from the ``s``-th
         smallest entry of the free-time vector onwards; the task may also
         not start before its data-ready time.
+
+        The whole-cluster (``s == P``) and single-processor (``s == 1``)
+        cases reduce to a max/min reduction — no partitioning; the
+        general case partitions an owned scratch copy in place.  The
+        range check rides on the same dispatch instead of a separate
+        branch per call.
         """
-        P = self.free.shape[0]
-        if not (1 <= s <= P):
-            raise ScheduleError(
-                f"allocation {s} outside [1, {P}]"
-            )
+        free = self.free
+        P = free.shape[0]
         if s == P:
-            kth = self.free.max()
+            kth = free.max()
+        elif 1 < s < P:
+            scratch = self._scratch
+            np.copyto(scratch, free)
+            scratch.partition(s - 1)
+            kth = scratch[s - 1]
         elif s == 1:
-            kth = self.free.min()
+            kth = free.min()
         else:
-            kth = np.partition(self.free, s - 1)[s - 1]
+            raise ScheduleError(f"allocation {s} outside [1, {P}]")
         return max(ready, float(kth))
 
     def assign(

@@ -88,7 +88,7 @@ class TimeTable:
     table, and every algorithm downstream is unchanged.
     """
 
-    __slots__ = ("ptg", "cluster", "model_name", "_table")
+    __slots__ = ("ptg", "cluster", "model_name", "_table", "_kernel")
 
     def __init__(
         self,
@@ -112,6 +112,10 @@ class TimeTable:
         self.model_name = model_name
         self._table = table
         self._table.setflags(write=False)
+        # compiled scheduling kernel, built lazily by
+        # repro.mapping.kernel.kernel_for and reused across every
+        # fitness evaluation against this table
+        self._kernel = None
 
     # ------------------------------------------------------------------
     @classmethod

@@ -194,6 +194,41 @@ class TestSchedule:
         )
         assert svg.read_text().startswith("<svg")
 
+    def test_profile_flag(self, tmp_path, capsys):
+        """--profile dumps loadable cProfile stats and prints the
+        hot-path table without altering the scheduling output."""
+        import pstats
+
+        stats_file = tmp_path / "schedule.prof"
+        rc = main(
+            [
+                "schedule",
+                "--kind",
+                "strassen",
+                "--seed",
+                "2",
+                "--platform",
+                "chti",
+                "--algorithm",
+                "mcpa",
+                "--profile",
+                str(stats_file),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "cumulative time" in out
+        assert f"wrote profile stats -> {stats_file}" in out
+        loaded = pstats.Stats(str(stats_file))
+        assert len(loaded.stats) > 0
+
+    def test_profile_flag_default_off(self):
+        args = build_parser().parse_args(
+            ["schedule", "--kind", "strassen"]
+        )
+        assert args.profile is None
+
     def test_unknown_algorithm(self):
         with pytest.raises(SystemExit, match="unknown algorithm"):
             main(
@@ -271,6 +306,25 @@ class TestRuntime:
         out = capsys.readouterr().out
         assert "paper mean" in out
         assert "emts10" in out
+
+    def test_runtime_profile_flag(self, tmp_path, capsys):
+        stats_file = tmp_path / "runtime.prof"
+        rc = main(
+            [
+                "runtime",
+                "--repetitions",
+                "1",
+                "--seed",
+                "1",
+                "--profile",
+                str(stats_file),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "paper mean" in out
+        assert "cumulative time" in out
+        assert stats_file.exists()
 
 
 class TestExtensionCommands:
