@@ -32,6 +32,7 @@ from . import (
     allocation,
     core,
     ea,
+    exceptions,
     experiments,
     graph,
     mapping,
@@ -40,6 +41,7 @@ from . import (
     timemodels,
     workloads,
 )
+from .exceptions import CheckpointError, EvaluationError, ReproError
 from .allocation import (
     BicpaAllocator,
     CpaAllocator,
@@ -80,6 +82,11 @@ __all__ = [
     "core",
     "simulator",
     "experiments",
+    "exceptions",
+    # error hierarchy
+    "ReproError",
+    "EvaluationError",
+    "CheckpointError",
     # core types
     "Task",
     "PTG",

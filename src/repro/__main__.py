@@ -2,6 +2,13 @@
 
 import sys
 
-from .cli import main
+# An interrupt during interpreter startup (imports) or in a non-EMTS
+# code path has no graceful-shutdown machinery to land in; exit with
+# the conventional 130 instead of a traceback.
+try:
+    from .cli import main
 
-sys.exit(main())
+    sys.exit(main())
+except KeyboardInterrupt:  # pragma: no cover - timing dependent
+    print("interrupted", file=sys.stderr)
+    sys.exit(130)

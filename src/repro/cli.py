@@ -22,10 +22,9 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
-
 from .allocation import AllocationHeuristic
 from .core import EMTS, SEED_REGISTRY, emts5, emts10, make_allocator
+from .exceptions import CheckpointError
 from .graph import PTG, load_ptg, ptg_to_dot, save_ptg
 from .mapping import ascii_gantt, map_allocations, save_svg_gantt
 from .platform import Cluster, by_name
@@ -155,8 +154,31 @@ def _cmd_schedule(args) -> int:
         fitness_cache=not args.no_fitness_cache,
     )
 
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    max_wall_time = getattr(args, "max_wall_time", None)
+    if not isinstance(algorithm, EMTS) and (
+        checkpoint or resume or max_wall_time is not None
+    ):
+        raise SystemExit(
+            "--checkpoint/--resume/--max-wall-time only apply to EMTS "
+            f"algorithms, not {args.algorithm!r}"
+        )
+
     if isinstance(algorithm, EMTS):
-        result = algorithm.schedule(ptg, cluster, table, rng=args.seed)
+        try:
+            result = algorithm.schedule(
+                ptg,
+                cluster,
+                table,
+                rng=args.seed,
+                checkpoint_path=checkpoint,
+                resume_from=resume,
+                max_wall_time=max_wall_time,
+                handle_signals=True,
+            )
+        except CheckpointError as exc:
+            raise SystemExit(f"checkpoint error: {exc}") from exc
         schedule = result.schedule
         print(f"algorithm : {algorithm.name}")
         for name, ms in sorted(result.seed_makespans.items()):
@@ -166,6 +188,18 @@ def _cmd_schedule(args) -> int:
         print(f"evals     : {result.evaluations}")
         if result.evaluation_stats is not None:
             print(f"evaluator : {result.evaluation_stats.summary()}")
+        if result.interrupted:
+            gens = result.log.generations - 1
+            where = (
+                f"; resume with --resume {checkpoint}"
+                if checkpoint
+                else ""
+            )
+            print(
+                f"interrupted: stopped after generation {gens} of "
+                f"{result.config.generations} (best-so-far result)"
+                f"{where}"
+            )
     else:
         assert isinstance(algorithm, AllocationHeuristic)
         alloc = algorithm.allocate(ptg, table)
@@ -415,6 +449,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true", help="print an ASCII Gantt chart"
     )
     s.add_argument("--svg", default=None, help="write a Gantt SVG here")
+    s.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "journal a resumable checkpoint here after every EMTS "
+            "generation (EMTS algorithms only)"
+        ),
+    )
+    s.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help=(
+            "resume an interrupted EMTS run from this checkpoint "
+            "(bit-identical to an uninterrupted run)"
+        ),
+    )
+    s.add_argument(
+        "--max-wall-time",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "hard wall-clock budget; the run stops gracefully at the "
+            "next generation boundary once it expires"
+        ),
+    )
     add_evaluator_options(s)
     s.set_defaults(func=_cmd_schedule)
 
@@ -479,9 +541,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    if getattr(args, "profile", None):
-        return _run_profiled(args.func, args)
-    return args.func(args)
+    try:
+        if getattr(args, "profile", None):
+            return _run_profiled(args.func, args)
+        return args.func(args)
+    except KeyboardInterrupt:  # pragma: no cover - timing dependent
+        # EMTS runs trap SIGINT themselves; anything else (generation,
+        # figures, heuristics) has no partial result worth saving
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,9 +12,19 @@ Public API:
 * :func:`seed_population` — heuristic-seeded initial populations;
 * encoding helpers (:func:`clamp_allocations` etc., Figure 2);
 * the fitness-evaluation engine (:class:`FitnessEvaluator` with serial,
-  process-pool and memoizing backends, :func:`create_evaluator`).
+  process-pool and memoizing backends, :func:`create_evaluator`);
+* resumable run checkpoints (:class:`Checkpoint`,
+  :func:`save_checkpoint`, :func:`load_checkpoint`,
+  :func:`verify_resumable`).
 """
 
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    problem_fingerprint,
+    save_checkpoint,
+    verify_resumable,
+)
 from .config import EMTSConfig, emts5_config, emts10_config
 from .emts import EMTS, EMTSResult, emts5, emts10
 from .evaluator import (
@@ -64,4 +74,9 @@ __all__ = [
     "ProcessPoolEvaluator",
     "MemoizedEvaluator",
     "create_evaluator",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "problem_fingerprint",
+    "verify_resumable",
 ]

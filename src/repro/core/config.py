@@ -65,6 +65,17 @@ class EMTSConfig:
         are never re-scheduled (exact, bounded LRU; on by default).
     fitness_cache_size:
         Capacity of the memoization cache (genomes).
+    eval_max_retries:
+        How often the parallel evaluator rebuilds a crashed worker pool
+        and re-dispatches the failed chunks before falling back to
+        serial evaluation (ignored for ``workers <= 1``).
+    eval_retry_backoff:
+        Base of the exponential backoff (seconds) slept between pool
+        rebuild attempts.
+    eval_timeout:
+        Optional per-chunk wall-clock timeout (seconds) for the parallel
+        evaluator; a hung worker then counts as a retriable failure
+        instead of blocking the run forever.
     """
 
     mu: int = 5
@@ -86,6 +97,9 @@ class EMTSConfig:
     workers: int = 0
     fitness_cache: bool = True
     fitness_cache_size: int = 65_536
+    eval_max_retries: int = 3
+    eval_retry_backoff: float = 0.05
+    eval_timeout: float | None = None
     name: str = "emts"
 
     def __post_init__(self) -> None:
@@ -134,6 +148,20 @@ class EMTSConfig:
             raise ConfigurationError(
                 "fitness cache size must be >= 1, got "
                 f"{self.fitness_cache_size}"
+            )
+        if self.eval_max_retries < 0:
+            raise ConfigurationError(
+                "eval_max_retries must be >= 0, got "
+                f"{self.eval_max_retries}"
+            )
+        if self.eval_retry_backoff < 0:
+            raise ConfigurationError(
+                "eval_retry_backoff must be >= 0 seconds, got "
+                f"{self.eval_retry_backoff}"
+            )
+        if self.eval_timeout is not None and self.eval_timeout <= 0:
+            raise ConfigurationError(
+                f"eval_timeout must be > 0 seconds, got {self.eval_timeout}"
             )
 
     def with_updates(self, **changes) -> "EMTSConfig":

@@ -18,8 +18,12 @@ the model-independence that is the paper's main point.
 
 from __future__ import annotations
 
+import logging
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -27,21 +31,31 @@ from .._rng import ensure_generator
 from ..exceptions import ConfigurationError
 from ..ea import (
     AnyOf,
+    Deadline,
     EvolutionLog,
     EvolutionStrategy,
     GenerationLimit,
+    StopFlag,
     TimeBudget,
 )
 from ..graph import PTG
 from ..mapping import Schedule, kernel_for, map_allocations
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    verify_resumable,
+)
 from .config import EMTSConfig, emts5_config, emts10_config
 from .evaluator import EvaluationStats, create_evaluator
 from .mutation import AllocationMutation
 from .seeding import seed_population
 
 __all__ = ["EMTS", "EMTSResult", "emts5", "emts10"]
+
+_log = logging.getLogger("repro.core.emts")
 
 
 @dataclass
@@ -67,6 +81,11 @@ class EMTSResult:
         Counters of the fitness-evaluation engine: genomes submitted,
         mapper calls actually executed, cache hits and evaluation
         wall-time (see :class:`repro.core.evaluator.EvaluationStats`).
+    interrupted:
+        True when the run ended early at a generation boundary because
+        a deadline (``max_wall_time``) expired or a stop signal/event
+        fired; the result then holds the best-so-far schedule and — if
+        a checkpoint path was given — the run is resumable.
     """
 
     schedule: Schedule
@@ -76,6 +95,7 @@ class EMTSResult:
     elapsed_seconds: float
     config: EMTSConfig = field(repr=False)
     evaluation_stats: EvaluationStats | None = None
+    interrupted: bool = False
 
     @property
     def makespan(self) -> float:
@@ -133,100 +153,241 @@ class EMTS:
         cluster: Cluster,
         model: ExecutionTimeModel | TimeTable,
         rng: np.random.Generator | int | None = None,
+        *,
+        checkpoint_path: str | Path | None = None,
+        resume_from: str | Path | None = None,
+        max_wall_time: float | None = None,
+        stop_event: threading.Event | None = None,
+        handle_signals: bool = False,
+        evaluator_wrapper=None,
     ) -> EMTSResult:
         """Schedule ``ptg`` on ``cluster`` under ``model``.
 
         ``model`` may be an :class:`ExecutionTimeModel` (the table is
         built internally) or an already-built :class:`TimeTable` (reused
         across algorithms in the experiment harness).
+
+        Resilience parameters (all keyword-only, all optional)
+        -----------------------------------------------------
+        checkpoint_path:
+            Journal a resumable :class:`~repro.core.checkpoint.Checkpoint`
+            to this file after every completed generation (atomic
+            write).  Costs one JSON dump per generation; ``None`` (the
+            default) keeps the historical zero-overhead behavior.
+        resume_from:
+            Continue a checkpointed run: population, evolution log, RNG
+            stream and evaluation counters are restored and the search
+            proceeds from the next generation.  The checkpoint must
+            match this run's semantic configuration and problem
+            fingerprint (:func:`~repro.core.checkpoint.verify_resumable`).
+            The resumed run reaches the same final makespan as an
+            uninterrupted one.
+        max_wall_time:
+            Hard wall-clock budget in seconds for the whole run,
+            counted from ``schedule()`` entry and, on resume, including
+            the time already spent by previous segments.  When it
+            expires the run stops at the next generation boundary and
+            returns the best-so-far result with ``interrupted=True``.
+        stop_event:
+            External ``threading.Event``; setting it ends the run
+            gracefully at the next generation boundary.
+        handle_signals:
+            Install SIGINT/SIGTERM handlers (main thread only) that set
+            the stop event, turning Ctrl-C into a graceful shutdown
+            with a final checkpoint instead of a lost run.  Previous
+            handlers are restored before returning.
+        evaluator_wrapper:
+            Callable applied to the freshly built fitness evaluator
+            (e.g. :class:`repro.testing.chaos.ChaosEvaluator` for fault
+            injection); must return an object with the same interface.
         """
         t_start = time.perf_counter()
         cfg = self.config
         rng = ensure_generator(rng, "emts", cfg.name)
-
-        if isinstance(model, TimeTable):
-            table = model
-            if table.ptg != ptg:
-                raise ConfigurationError(
-                    f"time table was built for PTG {table.ptg.name!r}, "
-                    f"not {ptg.name!r}"
-                )
-            if table.cluster != cluster:
-                raise ConfigurationError(
-                    f"time table was built for cluster "
-                    f"{table.cluster.name!r}, not {cluster.name!r}"
-                )
-        else:
-            table = TimeTable.build(model, ptg, cluster)
-
-        mutation = AllocationMutation(
-            P=table.num_processors,
-            fm=cfg.fm,
-            sigma_stretch=cfg.sigma_stretch,
-            sigma_shrink=cfg.sigma_shrink,
-            shrink_probability=cfg.shrink_probability,
-        )
-        initial, seed_allocs = seed_population(
-            ptg,
-            table,
-            heuristics=cfg.seed_heuristics,
-            population_size=cfg.mu,
-            mutation=mutation,
-            rng=rng,
-            delta=cfg.delta,
-        )
-        # Build the compiled scheduling kernel up front: every fitness
-        # call of the run (seeding included) reuses its CSR arrays and
-        # preallocated buffers, and the construction cost stays out of
-        # the first generation's timing.
-        kernel_for(table)
-        evaluator = create_evaluator(
-            ptg,
-            table,
-            workers=cfg.workers,
-            cache=cfg.fitness_cache,
-            cache_size=cfg.fitness_cache_size,
-        )
-
-        # Rejection strategy (paper Section VI, future work): abort a
-        # candidate's mapping once it provably cannot enter the survivor
-        # set.  Under plus selection the cutoff is the *worst current
-        # parent*: every parent survives unless displaced by a strictly
-        # better offspring, so an offspring whose makespan lower bound
-        # already reaches the worst parent's fitness can never be
-        # selected (ties go to parents).  Using this bound — rather than
-        # the best incumbent — keeps the optimization outcome bit-for-bit
-        # identical to the unrejected run.  The bound is re-derived each
-        # generation and handed to the evaluator with every dispatched
-        # batch, so worker processes always reject against the current
-        # survivor set.
-        def abort_bound(parents) -> float | None:
-            if cfg.use_rejection and cfg.selection == "plus":
-                return max(
-                    ind.evaluated_fitness() for ind in parents
-                )
-            return None
-
-        termination = GenerationLimit(cfg.generations)
-        if cfg.time_budget_seconds is not None:
-            termination = AnyOf(
-                termination, TimeBudget(cfg.time_budget_seconds)
+        if max_wall_time is not None and max_wall_time <= 0:
+            raise ConfigurationError(
+                f"max_wall_time must be > 0 seconds, got {max_wall_time}"
             )
 
-        strategy = EvolutionStrategy(
-            mu=cfg.mu,
-            lam=cfg.lam,
-            mutation=mutation,
-            selection=cfg.selection,
-        )
+        # Install signal handlers before any heavy work — seeding a
+        # large problem can take seconds, and an early Ctrl-C should
+        # degrade to a graceful stop at the first generation boundary,
+        # not a KeyboardInterrupt traceback.
+        if handle_signals and stop_event is None:
+            stop_event = threading.Event()
+        previous_handlers: dict = {}
+        if handle_signals:
+
+            def _request_stop(signum, frame):
+                _log.warning(
+                    "received signal %d; stopping at the next "
+                    "generation boundary",
+                    signum,
+                )
+                stop_event.set()
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[sig] = signal.signal(
+                        sig, _request_stop
+                    )
+                except ValueError:
+                    # not the main thread: signals cannot be routed
+                    # here, the stop_event remains usable directly
+                    break
+        evaluator = None
         try:
-            # Seed baselines go through the evaluator too: exact values
-            # that double as cache warm-up for the initial population.
-            seed_names = list(seed_allocs)
-            seed_values = evaluator.evaluate(
-                [seed_allocs[name] for name in seed_names]
+            if isinstance(model, TimeTable):
+                table = model
+                if table.ptg != ptg:
+                    raise ConfigurationError(
+                        f"time table was built for PTG {table.ptg.name!r}, "
+                        f"not {ptg.name!r}"
+                    )
+                if table.cluster != cluster:
+                    raise ConfigurationError(
+                        f"time table was built for cluster "
+                        f"{table.cluster.name!r}, not {cluster.name!r}"
+                    )
+            else:
+                table = TimeTable.build(model, ptg, cluster)
+
+            mutation = AllocationMutation(
+                P=table.num_processors,
+                fm=cfg.fm,
+                sigma_stretch=cfg.sigma_stretch,
+                sigma_shrink=cfg.sigma_shrink,
+                shrink_probability=cfg.shrink_probability,
             )
-            seed_makespans = dict(zip(seed_names, seed_values))
+
+            checkpoint: Checkpoint | None = None
+            prior_elapsed = 0.0
+            prior_eval_stats: EvaluationStats | None = None
+            if resume_from is not None:
+                checkpoint = load_checkpoint(resume_from)
+                verify_resumable(checkpoint, cfg, ptg, table)
+                prior_elapsed = checkpoint.elapsed_seconds
+                prior_eval_stats = checkpoint.restore_eval_stats()
+                initial = checkpoint.restore_population()
+                checkpoint.restore_rng(rng)
+                _log.info(
+                    "resuming %s from %s at generation %d",
+                    cfg.name,
+                    resume_from,
+                    checkpoint.generation,
+                )
+            else:
+                initial, seed_allocs = seed_population(
+                    ptg,
+                    table,
+                    heuristics=cfg.seed_heuristics,
+                    population_size=cfg.mu,
+                    mutation=mutation,
+                    rng=rng,
+                    delta=cfg.delta,
+                )
+            # Build the compiled scheduling kernel up front: every fitness
+            # call of the run (seeding included) reuses its CSR arrays and
+            # preallocated buffers, and the construction cost stays out of
+            # the first generation's timing.
+            kernel_for(table)
+            evaluator = create_evaluator(
+                ptg,
+                table,
+                workers=cfg.workers,
+                cache=cfg.fitness_cache,
+                cache_size=cfg.fitness_cache_size,
+                max_retries=cfg.eval_max_retries,
+                retry_backoff=cfg.eval_retry_backoff,
+                chunk_timeout=cfg.eval_timeout,
+            )
+            if evaluator_wrapper is not None:
+                evaluator = evaluator_wrapper(evaluator)
+
+            # Rejection strategy (paper Section VI, future work): abort a
+            # candidate's mapping once it provably cannot enter the survivor
+            # set.  Under plus selection the cutoff is the *worst current
+            # parent*: every parent survives unless displaced by a strictly
+            # better offspring, so an offspring whose makespan lower bound
+            # already reaches the worst parent's fitness can never be
+            # selected (ties go to parents).  Using this bound — rather than
+            # the best incumbent — keeps the optimization outcome bit-for-bit
+            # identical to the unrejected run.  The bound is re-derived each
+            # generation and handed to the evaluator with every dispatched
+            # batch, so worker processes always reject against the current
+            # survivor set.
+            def abort_bound(parents) -> float | None:
+                if cfg.use_rejection and cfg.selection == "plus":
+                    return max(
+                        ind.evaluated_fitness() for ind in parents
+                    )
+                return None
+
+            criteria: list = [GenerationLimit(cfg.generations)]
+            if cfg.time_budget_seconds is not None:
+                criteria.append(TimeBudget(cfg.time_budget_seconds))
+            deadline: Deadline | None = None
+            if max_wall_time is not None:
+                # anchor at run start; time already spent by previous
+                # segments of a resumed run counts against the budget
+                deadline = Deadline(t_start + max_wall_time - prior_elapsed)
+                criteria.append(deadline)
+            if stop_event is not None:
+                criteria.append(StopFlag(stop_event))
+            termination = (
+                criteria[0] if len(criteria) == 1 else AnyOf(*criteria)
+            )
+
+            def combined_stats() -> EvaluationStats:
+                stats = evaluator.stats
+                if prior_eval_stats is None:
+                    return stats
+                total = prior_eval_stats.copy()
+                total.merge(stats)
+                return total
+
+            def journal(population, generation, log, completed=False):
+                if checkpoint_path is None:
+                    return
+                save_checkpoint(
+                    Checkpoint.capture(
+                        cfg,
+                        ptg,
+                        table,
+                        generation,
+                        rng,
+                        population,
+                        log,
+                        seed_makespans,
+                        eval_stats=combined_stats(),
+                        elapsed_seconds=prior_elapsed
+                        + (time.perf_counter() - t_start),
+                        completed=completed,
+                    ),
+                    checkpoint_path,
+                )
+
+            strategy = EvolutionStrategy(
+                mu=cfg.mu,
+                lam=cfg.lam,
+                mutation=mutation,
+                selection=cfg.selection,
+            )
+            if checkpoint is not None:
+                seed_makespans = dict(checkpoint.seed_makespans)
+                resume_log = checkpoint.restore_log()
+                start_generation = checkpoint.generation
+            else:
+                # Seed baselines go through the evaluator too: exact
+                # values that double as cache warm-up for the initial
+                # population.
+                seed_names = list(seed_allocs)
+                seed_values = evaluator.evaluate(
+                    [seed_allocs[name] for name in seed_names]
+                )
+                seed_makespans = dict(zip(seed_names, seed_values))
+                resume_log = None
+                start_generation = 0
 
             outcome = strategy.evolve(
                 initial,
@@ -235,13 +396,37 @@ class EMTS:
                 termination=termination,
                 total_generations=cfg.generations,
                 abort_bound=abort_bound,
+                on_generation_end=(
+                    journal if checkpoint_path is not None else None
+                ),
+                resume_log=resume_log,
+                start_generation=start_generation,
             )
         finally:
-            evaluator.close()
+            if evaluator is not None:
+                evaluator.close()
+            for sig, handler in previous_handlers.items():
+                signal.signal(sig, handler)
+
+        completed = outcome.log.generations - 1 >= cfg.generations
+        interrupted = not completed and (
+            (stop_event is not None and stop_event.is_set())
+            or (deadline is not None and deadline.expired())
+        )
+        if checkpoint_path is not None:
+            # final checkpoint: archives a completed run, or records the
+            # stop point of an interrupted one (same content the last
+            # per-generation journal wrote, plus the final elapsed time)
+            journal(
+                outcome.population,
+                outcome.log.generations - 1,
+                outcome.log,
+                completed=completed,
+            )
 
         best_alloc = np.asarray(outcome.best.genome, dtype=np.int64)
         schedule = map_allocations(ptg, table, best_alloc)
-        elapsed = time.perf_counter() - t_start
+        elapsed = prior_elapsed + (time.perf_counter() - t_start)
         return EMTSResult(
             schedule=schedule,
             allocation=best_alloc,
@@ -249,7 +434,8 @@ class EMTS:
             log=outcome.log,
             elapsed_seconds=elapsed,
             config=cfg,
-            evaluation_stats=evaluator.stats,
+            evaluation_stats=combined_stats(),
+            interrupted=interrupted,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -36,21 +36,45 @@ markers: a later lookup under a bound ``b' <= b`` may reuse the rejection
 (the true makespan is ``>= b >= b'``), while a lookup under a laxer (or
 absent) bound re-evaluates.  Finite cached values are exact makespans and
 are valid under every bound.
+
+Fault tolerance
+---------------
+:class:`ProcessPoolEvaluator` treats worker-process failure as a
+recoverable event, not a run-ending one.  A chunk whose future raises
+(``BrokenProcessPool`` after a killed or crashed worker, an exception
+propagated out of the worker function, or a per-chunk wall-clock
+timeout turning a hung worker into a failure) is retried with bounded
+attempts and exponential backoff, rebuilding the pool between
+attempts; once retries are exhausted the chunk is evaluated serially
+in-process as a last resort.  Because fitness is a deterministic
+function of the genome, re-evaluation is always safe and the recovered
+results are bit-identical to a fault-free run.  Only when the serial
+fallback itself fails does the evaluator raise
+:class:`~repro.exceptions.EvaluationError`, carrying the batch indices
+of the genomes in the failing chunk.  Deterministic input errors
+(:class:`~repro.exceptions.AllocationError` for invalid genomes) are
+never retried — they would fail identically every time.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import (
+    AllocationError,
+    ConfigurationError,
+    EvaluationError,
+)
 from ..mapping import ScheduleKernel, makespan_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
@@ -71,6 +95,15 @@ __all__ = [
 #: practice while still bounding memory for very long searches.
 DEFAULT_CACHE_SIZE = 65_536
 
+#: Default bounded-retry budget for failed worker chunks.
+DEFAULT_MAX_RETRIES = 3
+
+#: Default base delay of the exponential retry backoff (seconds); the
+#: n-th retry waits ``backoff * 2**(n-1)``.
+DEFAULT_RETRY_BACKOFF = 0.05
+
+_log = logging.getLogger("repro.core.evaluator")
+
 
 @dataclass
 class EvaluationStats:
@@ -90,6 +123,11 @@ class EvaluationStats:
         Number of ``evaluate`` calls (one per EA generation, typically).
     wall_seconds:
         Total wall-clock time spent inside ``evaluate``.
+    retries:
+        Chunk evaluations re-dispatched after a worker failure or
+        timeout (0 on a fault-free run).
+    pool_rebuilds:
+        Worker pools torn down and rebuilt after a failure.
     """
 
     evaluations: int = 0
@@ -98,6 +136,8 @@ class EvaluationStats:
     cache_misses: int = 0
     batches: int = 0
     wall_seconds: float = 0.0
+    retries: int = 0
+    pool_rebuilds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -115,6 +155,8 @@ class EvaluationStats:
             cache_misses=self.cache_misses,
             batches=self.batches,
             wall_seconds=self.wall_seconds,
+            retries=self.retries,
+            pool_rebuilds=self.pool_rebuilds,
         )
 
     def merge(self, other: "EvaluationStats") -> None:
@@ -125,16 +167,24 @@ class EvaluationStats:
         self.cache_misses += other.cache_misses
         self.batches += other.batches
         self.wall_seconds += other.wall_seconds
+        self.retries += other.retries
+        self.pool_rebuilds += other.pool_rebuilds
 
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"{self.evaluations} evaluations "
             f"({self.mapper_calls} mapper calls, "
             f"{self.cache_hits} cache hits, "
             f"{self.hit_rate:.1%} hit rate) "
             f"in {self.wall_seconds:.3f} s"
         )
+        if self.retries or self.pool_rebuilds:
+            text += (
+                f" [{self.retries} chunk retries, "
+                f"{self.pool_rebuilds} pool rebuilds]"
+            )
+        return text
 
 
 class FitnessEvaluator(ABC):
@@ -256,11 +306,13 @@ class SerialEvaluator(FitnessEvaluator):
 # arrays — no PTG or TimeTable object graph crosses the process
 # boundary), or a reference-engine closure as the fallback.
 _WORKER_EVALUATE = None
+_WORKER_FAULT_HOOK = None
 
 
-def _pool_initializer(problem) -> None:
+def _pool_initializer(problem, fault_hook=None) -> None:
     """Install the shared problem in a worker process (runs once)."""
-    global _WORKER_EVALUATE
+    global _WORKER_EVALUATE, _WORKER_FAULT_HOOK
+    _WORKER_FAULT_HOOK = fault_hook
     if isinstance(problem, ScheduleKernel):
         _WORKER_EVALUATE = problem.makespan_batch
     else:
@@ -283,8 +335,12 @@ def _pool_evaluate_chunk(
     """Evaluate one chunk of genomes inside a worker process.
 
     ``abort_above`` arrives with every chunk — the dispatcher's current
-    rejection bound, not a value frozen at pool start-up.
+    rejection bound, not a value frozen at pool start-up.  The fault
+    hook (chaos testing only) runs first so injected failures hit
+    before any real work.
     """
+    if _WORKER_FAULT_HOOK is not None:
+        _WORKER_FAULT_HOOK(genome_block)
     return _WORKER_EVALUATE(genome_block, abort_above)
 
 
@@ -306,6 +362,23 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         Optional :mod:`multiprocessing` start-method name (``"fork"``,
         ``"spawn"``, ``"forkserver"``); ``None`` uses the platform
         default.
+    max_retries:
+        How many times a failed chunk is re-dispatched (with the pool
+        rebuilt and exponential backoff between attempts) before the
+        serial in-process fallback takes over.
+    retry_backoff:
+        Base delay of the exponential backoff; the n-th retry round
+        sleeps ``retry_backoff * 2**(n-1)`` seconds.  0 disables the
+        sleep (tests).
+    chunk_timeout:
+        Per-chunk wall-clock limit in seconds; a worker that exceeds it
+        is treated as hung and its chunk becomes a retriable failure.
+        ``None`` (the default) waits indefinitely.
+    fault_hook:
+        Chaos-testing injection point: a picklable callable invoked
+        with each genome chunk before it is evaluated, both inside
+        worker processes and in the serial fallback.  Production code
+        leaves this ``None``; see :mod:`repro.testing.chaos`.
     """
 
     def __init__(
@@ -315,6 +388,10 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         workers: int,
         chunk_size: int | None = None,
         mp_context: str | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        chunk_timeout: float | None = None,
+        fault_hook: Callable | None = None,
     ) -> None:
         super().__init__()
         if workers < 1:
@@ -325,11 +402,27 @@ class ProcessPoolEvaluator(FitnessEvaluator):
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ConfigurationError(
+                f"chunk_timeout must be > 0 seconds, got {chunk_timeout}"
+            )
         self.ptg = ptg
         self.table = table
         self.workers = int(workers)
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.chunk_timeout = chunk_timeout
+        self.fault_hook = fault_hook
         self._kernel = _kernel_if_matching(ptg, table)
         self._executor: ProcessPoolExecutor | None = None
 
@@ -358,7 +451,7 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                 max_workers=self.workers,
                 mp_context=ctx,
                 initializer=_pool_initializer,
-                initargs=(problem,),
+                initargs=(problem, self.fault_hook),
             )
         return self._executor
 
@@ -367,28 +460,135 @@ class ProcessPoolEvaluator(FitnessEvaluator):
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    def _discard_executor(self) -> None:
+        """Tear down a broken/hung pool without waiting on its workers."""
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # a broken pool may refuse even shutdown
+                pass
+            self._executor = None
+        self.stats.pool_rebuilds += 1
+
     # -- evaluation ----------------------------------------------------
-    def _chunks(self, genomes: list[np.ndarray]) -> list[np.ndarray]:
+    def _chunk_size_for(self, n: int) -> int:
         size = self.chunk_size
         if size is None:
-            size = max(1, -(-len(genomes) // (self.workers * 4)))
+            size = max(1, -(-n // (self.workers * 4)))
+        return size
+
+    def _chunks(self, genomes: list[np.ndarray]) -> list[np.ndarray]:
+        size = self._chunk_size_for(len(genomes))
         block = np.stack(genomes).astype(np.int64, copy=False)
         return [block[i : i + size] for i in range(0, len(block), size)]
+
+    def _serial_chunk(
+        self, chunk: np.ndarray, abort_above: float | None
+    ) -> list[float]:
+        """Last-resort in-process evaluation of one chunk."""
+        if self.fault_hook is not None:
+            self.fault_hook(chunk)
+        if self._kernel is not None:
+            return self._kernel.makespan_batch(chunk, abort_above)
+        return [
+            makespan_of(self.ptg, self.table, g, abort_above=abort_above)
+            for g in chunk
+        ]
 
     def _evaluate_batch(
         self,
         genomes: list[np.ndarray],
         abort_above: float | None,
     ) -> list[float]:
-        executor = self._ensure_executor()
         self.stats.mapper_calls += len(genomes)
-        futures = [
-            executor.submit(_pool_evaluate_chunk, chunk, abort_above)
-            for chunk in self._chunks(genomes)
-        ]
+        chunks = self._chunks(genomes)
+        size = self._chunk_size_for(len(genomes))
+        results: list[list[float] | None] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        attempt = 0
+        while pending:
+            executor = self._ensure_executor()
+            futures = {}
+            failed: list[int] = []
+            last_error: BaseException | None = None
+            try:
+                for i in pending:
+                    futures[i] = executor.submit(
+                        _pool_evaluate_chunk, chunks[i], abort_above
+                    )
+            except (BrokenExecutor, RuntimeError) as exc:
+                # a worker killed while the pool sat idle is only
+                # detected asynchronously: the break can surface here,
+                # at submission, before any future exists
+                last_error = exc
+                failed.extend(i for i in pending if i not in futures)
+            for i in futures:
+                try:
+                    results[i] = futures[i].result(
+                        timeout=self.chunk_timeout
+                    )
+                except AllocationError:
+                    # deterministic input error: retrying cannot help,
+                    # and the serial backend would raise it too
+                    raise
+                except FutureTimeoutError as exc:
+                    last_error = exc
+                    failed.append(i)
+                except Exception as exc:
+                    # BrokenProcessPool (killed/crashed worker) or an
+                    # exception escaping the worker function
+                    last_error = exc
+                    failed.append(i)
+            if not failed:
+                break
+            # every retry round gets a fresh pool: a broken executor
+            # never recovers, and after a timeout the old pool may
+            # still be wedged behind the hung worker
+            self._discard_executor()
+            attempt += 1
+            if attempt > self.max_retries:
+                _log.warning(
+                    "%d chunk(s) still failing after %d retries "
+                    "(%s); shrinking to serial in-process evaluation",
+                    len(failed),
+                    self.max_retries,
+                    last_error,
+                )
+                for i in failed:
+                    indices = range(
+                        i * size, min((i + 1) * size, len(genomes))
+                    )
+                    try:
+                        results[i] = self._serial_chunk(
+                            chunks[i], abort_above
+                        )
+                    except Exception as exc:
+                        raise EvaluationError(
+                            f"evaluation of genomes "
+                            f"{list(indices)} failed after "
+                            f"{self.max_retries} pool retries and the "
+                            f"serial fallback: {exc}",
+                            genome_indices=indices,
+                        ) from exc
+                pending = []
+            else:
+                self.stats.retries += len(failed)
+                _log.warning(
+                    "retrying %d failed chunk(s), attempt %d/%d "
+                    "(cause: %s)",
+                    len(failed),
+                    attempt,
+                    self.max_retries,
+                    last_error,
+                )
+                if self.retry_backoff > 0:
+                    time.sleep(
+                        self.retry_backoff * 2 ** (attempt - 1)
+                    )
+                pending = failed
         values: list[float] = []
-        for future in futures:  # submission order == input order
-            values.extend(future.result())
+        for chunk_values in results:  # chunk order == input order
+            values.extend(chunk_values)
         return values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -459,6 +659,10 @@ class MemoizedEvaluator(FitnessEvaluator):
     def _store(
         self, key: bytes, value: float, abort_above: float | None
     ) -> None:
+        if np.isnan(value):
+            # a NaN is not a makespan — never let a transient fault
+            # (chaos injection, corrupted worker) poison the cache
+            return
         bound = abort_above if np.isinf(value) else None
         self._cache[key] = (value, bound)
         self._cache.move_to_end(key)
@@ -491,14 +695,20 @@ class MemoizedEvaluator(FitnessEvaluator):
                 miss_order.append(key)
                 miss_genomes.append(genome)
                 values.append(None)
+        fresh_by_key: dict[bytes, float] = {}
         if miss_genomes:
             fresh = self.inner.evaluate(miss_genomes, abort_above)
             for key, value in zip(miss_order, fresh):
+                fresh_by_key[key] = value
                 self._store(key, value, abort_above)
         out: list[float] = []
         for key, value in zip(keys, values):
             if value is None:
-                value = self._lookup(key, abort_above)
+                # prefer the cache (it normalizes rejection markers),
+                # but fall back to the raw fresh value for results the
+                # cache refused to store (NaN)
+                hit = self._lookup(key, abort_above)
+                value = hit if hit is not None else fresh_by_key[key]
             out.append(value)
         return out
 
@@ -513,9 +723,12 @@ class MemoizedEvaluator(FitnessEvaluator):
         abort_above: float | None = None,
     ) -> list[float]:
         values = super().evaluate(genomes, abort_above)
-        # mirror the backend's mapper-call count into our own stats so
-        # callers only ever need to read the outermost evaluator
+        # mirror the backend's mapper-call and fault-recovery counters
+        # into our own stats so callers only ever need to read the
+        # outermost evaluator
         self.stats.mapper_calls = self.inner.stats.mapper_calls
+        self.stats.retries = self.inner.stats.retries
+        self.stats.pool_rebuilds = self.inner.stats.pool_rebuilds
         return values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -532,6 +745,10 @@ def create_evaluator(
     cache: bool = True,
     cache_size: int = DEFAULT_CACHE_SIZE,
     mp_context: str | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    chunk_timeout: float | None = None,
+    fault_hook: Callable | None = None,
 ) -> FitnessEvaluator:
     """Build the evaluator stack for one EMTS run.
 
@@ -540,6 +757,10 @@ def create_evaluator(
     worker processes.  ``cache=True`` wraps the backend in the genome
     memoization cache.  ``os.cpu_count()`` is *not* consulted: the
     caller's explicit worker count wins, even above the core count.
+    ``max_retries`` / ``retry_backoff`` / ``chunk_timeout`` configure
+    the pool backend's crash recovery and ``fault_hook`` its
+    chaos-testing injection point; all four are ignored by the serial
+    backend.
     """
     if workers < 0:
         raise ConfigurationError(
@@ -550,7 +771,14 @@ def create_evaluator(
         backend = SerialEvaluator(ptg, table)
     else:
         backend = ProcessPoolEvaluator(
-            ptg, table, workers=workers, mp_context=mp_context
+            ptg,
+            table,
+            workers=workers,
+            mp_context=mp_context,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            chunk_timeout=chunk_timeout,
+            fault_hook=fault_hook,
         )
     if cache:
         return MemoizedEvaluator(backend, max_entries=cache_size)

@@ -21,8 +21,10 @@ from .statistics import EvolutionLog, GenerationStats, population_diversity
 from .strategy import BatchFitness, EvolutionResult, EvolutionStrategy
 from .termination import (
     AnyOf,
+    Deadline,
     GenerationLimit,
     StagnationLimit,
+    StopFlag,
     TargetFitness,
     TerminationCriterion,
     TimeBudget,
@@ -44,6 +46,8 @@ __all__ = [
     "TerminationCriterion",
     "GenerationLimit",
     "TimeBudget",
+    "Deadline",
+    "StopFlag",
     "TargetFitness",
     "StagnationLimit",
     "AnyOf",

@@ -19,6 +19,8 @@ individual (the mapper's ``abort_above`` rejection strategy does this).
 
 from __future__ import annotations
 
+import logging
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, Union
@@ -34,7 +36,23 @@ from .termination import GenerationLimit, TerminationCriterion
 
 __all__ = ["EvolutionStrategy", "EvolutionResult", "BatchFitness"]
 
+_log = logging.getLogger("repro.ea")
+
 FitnessFunction = Callable[[np.ndarray], float]
+
+
+def _sanitize_fitness(value: float, nan_count: list[int]) -> float:
+    """NaN fitness is never comparable: degrade it to a rejection.
+
+    A fitness backend (or an injected fault) returning NaN would poison
+    every subsequent selection comparison; treating it as ``+inf``
+    simply discards the individual, which is the graceful behaviour —
+    the run continues on the remaining finite candidates.
+    """
+    if math.isnan(value):
+        nan_count[0] += 1
+        return float("inf")
+    return value
 
 
 class BatchFitness(Protocol):
@@ -148,6 +166,7 @@ class EvolutionStrategy:
         todo = [ind for ind in individuals if not ind.evaluated]
         if not todo:
             return 0, 0
+        nan_count = [0]
         if hasattr(fitness, "evaluate"):
             stats = getattr(fitness, "stats", None)
             hits_before = stats.cache_hits if stats is not None else 0
@@ -160,16 +179,26 @@ class EvolutionStrategy:
                     f"for {len(todo)} genomes"
                 )
             for ind, value in zip(todo, values):
-                ind.fitness = float(value)
+                ind.fitness = _sanitize_fitness(float(value), nan_count)
             hits = (
                 stats.cache_hits - hits_before
                 if stats is not None
                 else 0
             )
-            return len(todo), hits
-        for ind in todo:
-            ind.fitness = float(fitness(ind.genome))
-        return len(todo), 0
+        else:
+            for ind in todo:
+                ind.fitness = _sanitize_fitness(
+                    float(fitness(ind.genome)), nan_count
+                )
+            hits = 0
+        if nan_count[0]:
+            _log.warning(
+                "fitness backend returned NaN for %d of %d genomes; "
+                "treating them as rejected (+inf)",
+                nan_count[0],
+                len(todo),
+            )
+        return len(todo), hits
 
     def evolve(
         self,
@@ -180,6 +209,9 @@ class EvolutionStrategy:
         total_generations: int | None = None,
         on_generation_start=None,
         abort_bound=None,
+        on_generation_end=None,
+        resume_log: EvolutionLog | None = None,
+        start_generation: int = 0,
     ) -> EvolutionResult:
         """Run the strategy from the given starting individuals.
 
@@ -187,7 +219,9 @@ class EvolutionStrategy:
         ----------
         initial:
             Starting individuals (EMTS: the heuristic seeds plus mutated
-            copies); padded/truncated to ``mu`` after evaluation.
+            copies); padded/truncated to ``mu`` after evaluation.  When
+            resuming (``resume_log`` given) this is the checkpointed
+            survivor population, already evaluated.
         fitness:
             Objective to minimize — either a plain per-genome callable
             or a batch evaluator implementing :class:`BatchFitness`
@@ -210,6 +244,22 @@ class EvolutionStrategy:
             cutoff, re-derived from the current survivor set and shipped
             to worker processes at dispatch time).  Ignored for plain
             callables, which handle rejection internally.
+        on_generation_end:
+            Optional hook called with ``(population, generation, log)``
+            after each generation's survivors are selected and logged
+            (and once for the initial population, with generation 0).
+            EMTS uses this to journal checkpoints at every generation
+            boundary.
+        resume_log:
+            A restored :class:`EvolutionLog` from a checkpoint.  When
+            given, ``initial`` is taken as the already-evaluated
+            survivor population: the initial-evaluation/selection step
+            is skipped and the loop continues the restored history,
+            keeping generation accounting (and ``GenerationLimit``)
+            exact across the interruption.
+        start_generation:
+            Index of the last completed generation when resuming; the
+            loop continues at ``start_generation + 1``.
         """
         if not initial:
             raise ConfigurationError("need at least one initial individual")
@@ -227,32 +277,52 @@ class EvolutionStrategy:
                 else 10
             )
 
-        log = EvolutionLog()
         termination.start()
 
-        t0 = time.perf_counter()
-        population = [
-            Individual(
-                genome=ind.genome,
-                fitness=ind.fitness,
-                origin=ind.origin,
-                generation=0,
+        if resume_log is not None:
+            # continuing a checkpointed run: the survivors arrive
+            # evaluated and the restored log already holds their
+            # generation-0..start_generation history
+            log = resume_log
+            population = list(initial)
+            unevaluated = [
+                ind for ind in population if not ind.evaluated
+            ]
+            if unevaluated:
+                raise ConfigurationError(
+                    f"resumed population contains {len(unevaluated)} "
+                    f"unevaluated individuals"
+                )
+            generation = int(start_generation)
+        else:
+            log = EvolutionLog()
+            t0 = time.perf_counter()
+            population = [
+                Individual(
+                    genome=ind.genome,
+                    fitness=ind.fitness,
+                    origin=ind.origin,
+                    generation=0,
+                )
+                for ind in initial
+            ]
+            evals, hits = self._evaluate(population, fitness)
+            population = plus_selection(
+                population, [], min(self.mu, len(population))
             )
-            for ind in initial
-        ]
-        evals, hits = self._evaluate(population, fitness)
-        population = plus_selection(population, [], min(self.mu, len(population)))
-        log.append(
-            GenerationStats.from_population(
-                0,
-                population,
-                evals,
-                time.perf_counter() - t0,
-                cache_hits=hits,
+            log.append(
+                GenerationStats.from_population(
+                    0,
+                    population,
+                    evals,
+                    time.perf_counter() - t0,
+                    cache_hits=hits,
+                )
             )
-        )
+            if on_generation_end is not None:
+                on_generation_end(population, 0, log)
+            generation = 0
 
-        generation = 0
         while not termination.should_stop(log):
             generation += 1
             if on_generation_start is not None:
@@ -304,6 +374,8 @@ class EvolutionStrategy:
                     cache_hits=hits,
                 )
             )
+            if on_generation_end is not None:
+                on_generation_end(population, generation, log)
 
         return EvolutionResult(
             best=best_of(population), population=population, log=log

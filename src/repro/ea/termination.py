@@ -19,6 +19,8 @@ __all__ = [
     "TerminationCriterion",
     "GenerationLimit",
     "TimeBudget",
+    "Deadline",
+    "StopFlag",
     "TargetFitness",
     "StagnationLimit",
     "AnyOf",
@@ -70,6 +72,47 @@ class TimeBudget(TerminationCriterion):
         if self._t0 is None:
             self._t0 = time.perf_counter()
         return (time.perf_counter() - self._t0) >= self.seconds
+
+
+class Deadline(TerminationCriterion):
+    """Stop once an absolute :func:`time.perf_counter` instant passes.
+
+    Unlike :class:`TimeBudget` (whose clock starts at ``start()``, i.e.
+    at the beginning of the evolutionary loop), a deadline is anchored
+    by the caller — EMTS pins it to the start of the whole run, so
+    seeding time and, on resume, wall-clock already spent count against
+    the budget.  ``start()`` deliberately does not reset it.
+    """
+
+    def __init__(self, at: float) -> None:
+        self.at = float(at)
+
+    def expired(self) -> bool:
+        """True once the deadline instant has passed."""
+        return time.perf_counter() >= self.at
+
+    def should_stop(self, log: EvolutionLog) -> bool:
+        return self.expired()
+
+
+class StopFlag(TerminationCriterion):
+    """Stop once an external flag (``threading.Event``-like) is set.
+
+    The graceful-shutdown channel: a SIGINT/SIGTERM handler or an
+    operator thread sets the flag and the run ends at the next
+    generation boundary with its population and log intact.
+    """
+
+    def __init__(self, event) -> None:
+        if not callable(getattr(event, "is_set", None)):
+            raise ConfigurationError(
+                "StopFlag needs an object with an is_set() method "
+                "(e.g. threading.Event)"
+            )
+        self.event = event
+
+    def should_stop(self, log: EvolutionLog) -> bool:
+        return bool(self.event.is_set())
 
 
 class TargetFitness(TerminationCriterion):

@@ -19,6 +19,8 @@ __all__ = [
     "SimulationError",
     "ModelError",
     "ConfigurationError",
+    "EvaluationError",
+    "CheckpointError",
 ]
 
 
@@ -60,3 +62,33 @@ class ModelError(ReproError):
 
 class ConfigurationError(ReproError):
     """An algorithm configuration is invalid (e.g. mu <= 0)."""
+
+
+class EvaluationError(ReproError):
+    """A fitness evaluation failed permanently.
+
+    Raised by the evaluation engine once every recovery avenue (pool
+    rebuilds, bounded retries, the serial in-process fallback) has been
+    exhausted for a batch.  ``genome_indices`` identifies the positions,
+    within the submitted batch, of the genomes whose evaluation failed —
+    so callers can log, drop or re-enqueue exactly the affected
+    individuals.
+    """
+
+    def __init__(
+        self, message: str, genome_indices: tuple[int, ...] | list[int] = ()
+    ) -> None:
+        super().__init__(message)
+        self.genome_indices: tuple[int, ...] = tuple(
+            int(i) for i in genome_indices
+        )
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint could not be written, read, or resumed from.
+
+    Covers I/O failures, corrupted or truncated checkpoint files,
+    unsupported format versions, and attempts to resume a checkpoint
+    against a different problem or algorithm configuration than the one
+    that produced it.
+    """

@@ -43,6 +43,9 @@ class RunRecord:
     emts_evaluations: int = 0
     emts_mapper_calls: int = 0
     emts_cache_hits: int = 0
+    # True when the EMTS run was cut short by a wall-time budget; its
+    # makespan is then a best-so-far value, not the full-horizon result
+    interrupted: bool = False
 
     def relative(self, baseline: str) -> float:
         """``T_baseline / T_EMTS`` for this instance."""
@@ -118,6 +121,7 @@ class ComparisonResult:
                 "emts_evaluations": r.emts_evaluations,
                 "emts_mapper_calls": r.emts_mapper_calls,
                 "emts_cache_hits": r.emts_cache_hits,
+                "interrupted": r.interrupted,
             }
             for name, ms in r.baseline_makespans.items():
                 row[f"makespan_{name}"] = ms
@@ -137,6 +141,7 @@ def run_comparison(
     seed: int | None = None,
     workers: int | None = None,
     fitness_cache: bool | None = None,
+    max_wall_time: float | None = None,
 ) -> ComparisonResult:
     """Schedule every PTG on every platform with EMTS and all baselines.
 
@@ -160,6 +165,11 @@ def run_comparison(
         Optional fitness-evaluation-engine overrides applied on top of
         ``emts``'s own configuration (``None`` keeps it).  Both are
         exact optimizations: the recorded makespans do not change.
+    max_wall_time:
+        Optional per-run wall-clock budget (seconds) for each EMTS
+        invocation; runs that hit it stop at a generation boundary and
+        are recorded with ``interrupted=True`` (best-so-far makespan).
+        Long sweeps then degrade gracefully instead of overrunning.
     """
     updates = {}
     if workers is not None:
@@ -185,7 +195,11 @@ def run_comparison(
                 }
                 t0 = time.perf_counter()
                 emts_result = emts.schedule(
-                    ptg, cluster, table, rng=next(seeds)
+                    ptg,
+                    cluster,
+                    table,
+                    rng=next(seeds),
+                    max_wall_time=max_wall_time,
                 )
                 seconds = time.perf_counter() - t0
                 stats = emts_result.evaluation_stats
@@ -209,6 +223,7 @@ def run_comparison(
                         emts_cache_hits=(
                             stats.cache_hits if stats else 0
                         ),
+                        interrupted=emts_result.interrupted,
                     )
                 )
     return result

@@ -56,21 +56,49 @@ def ptg_from_dict(data: dict[str, Any]) -> PTG:
         raise GraphError(
             f"not a repro PTG document (format={data.get('format')!r})"
         )
-    if int(data.get("version", -1)) != _FORMAT_VERSION:
+    try:
+        version = int(data.get("version", -1))
+    except (TypeError, ValueError):
+        version = -1
+    if version != _FORMAT_VERSION:
         raise GraphError(
             f"unsupported PTG format version {data.get('version')!r}"
         )
-    tasks = [
-        Task(
-            name=str(t["name"]),
-            work=float(t["work"]),
-            alpha=float(t.get("alpha", 0.0)),
-            data_size=float(t.get("data_size", 0.0)),
-            kind=str(t.get("kind", "task")),
-        )
-        for t in data["tasks"]
-    ]
-    edges = [(int(u), int(v)) for u, v in data["edges"]]
+    try:
+        task_entries = data["tasks"]
+        edge_entries = data["edges"]
+    except KeyError as exc:
+        raise GraphError(
+            f"PTG document is missing the {exc.args[0]!r} section"
+        ) from None
+    tasks = []
+    for i, t in enumerate(task_entries):
+        try:
+            tasks.append(
+                Task(
+                    name=str(t["name"]),
+                    work=float(t["work"]),
+                    alpha=float(t.get("alpha", 0.0)),
+                    data_size=float(t.get("data_size", 0.0)),
+                    kind=str(t.get("kind", "task")),
+                )
+            )
+        except KeyError as exc:
+            raise GraphError(
+                f"task {i} is missing required field {exc.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise GraphError(f"task {i} is malformed: {exc}") from exc
+    edges = []
+    for i, entry in enumerate(edge_entries):
+        try:
+            u, v = entry
+            edges.append((int(u), int(v)))
+        except (TypeError, ValueError) as exc:
+            raise GraphError(
+                f"edge {i} must be a [src, dst] index pair, got "
+                f"{entry!r} ({exc})"
+            ) from exc
     return PTG(tasks, edges, name=str(data.get("name", "ptg")))
 
 
@@ -81,11 +109,33 @@ def save_ptg(ptg: PTG, path: str | Path) -> None:
     )
 
 
+def _read_json(path: Path, what: str) -> Any:
+    """Read and parse a JSON file, folding failures into GraphError."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise GraphError(f"could not read {what} {path}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise GraphError(
+            f"{what} {path} is not valid JSON: {exc}"
+        ) from exc
+
+
 def load_ptg(path: str | Path) -> PTG:
-    """Read one PTG from a JSON file."""
-    return ptg_from_dict(
-        json.loads(Path(path).read_text(encoding="utf-8"))
-    )
+    """Read one PTG from a JSON file.
+
+    All failure modes — unreadable file, invalid JSON, missing or
+    malformed fields — surface as :class:`~repro.exceptions.GraphError`
+    carrying the file path.
+    """
+    path = Path(path)
+    doc = _read_json(path, "PTG file")
+    try:
+        return ptg_from_dict(doc)
+    except GraphError as exc:
+        raise GraphError(f"{path}: {exc}") from None
 
 
 def save_corpus(ptgs: list[PTG], path: str | Path) -> None:
@@ -99,13 +149,26 @@ def save_corpus(ptgs: list[PTG], path: str | Path) -> None:
 
 
 def load_corpus(path: str | Path) -> list[PTG]:
-    """Read a corpus file written by :func:`save_corpus`."""
-    doc = json.loads(Path(path).read_text(encoding="utf-8"))
-    if doc.get("format") != "repro-ptg-corpus":
+    """Read a corpus file written by :func:`save_corpus`.
+
+    All failure modes surface as
+    :class:`~repro.exceptions.GraphError` carrying the file path and,
+    for malformed entries, the index of the offending PTG.
+    """
+    path = Path(path)
+    doc = _read_json(path, "corpus file")
+    if not isinstance(doc, dict) or doc.get("format") != "repro-ptg-corpus":
+        fmt = doc.get("format") if isinstance(doc, dict) else None
         raise GraphError(
-            f"not a repro corpus document (format={doc.get('format')!r})"
+            f"{path}: not a repro corpus document (format={fmt!r})"
         )
-    return [ptg_from_dict(d) for d in doc["ptgs"]]
+    ptgs = []
+    for i, d in enumerate(doc.get("ptgs", [])):
+        try:
+            ptgs.append(ptg_from_dict(d))
+        except GraphError as exc:
+            raise GraphError(f"{path}: PTG {i}: {exc}") from None
+    return ptgs
 
 
 def ptg_to_dot(ptg: PTG, label_work: bool = True) -> str:

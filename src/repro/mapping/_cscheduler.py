@@ -27,20 +27,26 @@ path against the pure-Python reference with exact ``==`` comparisons.
 
 If :mod:`cffi` or a C compiler is unavailable, or compilation fails
 for any reason, :func:`load` returns ``(None, None)`` and the kernel
-silently keeps its numpy fast path.  Set ``REPRO_NO_CKERNEL=1`` to
-force the fallback; set ``REPRO_CKERNEL_CACHE`` to relocate the build
-cache.
+keeps its numpy fast path (a warning is logged so the degradation is
+visible, never fatal).  A corrupted or truncated cached ``.so`` — e.g.
+from a machine crash mid-publish or a cache shared across incompatible
+toolchains — is detected at ``dlopen``/symbol-check time, deleted, and
+rebuilt once before giving up.  Set ``REPRO_NO_CKERNEL=1`` to force
+the fallback; set ``REPRO_CKERNEL_CACHE`` to relocate the build cache.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import subprocess
 import tempfile
 from pathlib import Path
 
 __all__ = ["load", "CDEF"]
+
+_log = logging.getLogger("repro.mapping.ckernel")
 
 CDEF = """
 double schedule_makespan(
@@ -302,31 +308,60 @@ def _build() -> Path:
     src_path.write_text(_C_SOURCE, encoding="utf-8")
     tmp_path = cache / f"scheduler-{digest}.{os.getpid()}.tmp.so"
     compiler = os.environ.get("CC", "cc")
-    subprocess.run(
-        [
-            compiler,
-            "-O2",
-            "-shared",
-            "-fPIC",
-            str(src_path),
-            "-o",
-            str(tmp_path),
-        ],
-        check=True,
-        capture_output=True,
-        timeout=120,
-    )
-    # atomic publish: concurrent builders race benignly to the same file
-    os.replace(tmp_path, lib_path)
+    try:
+        subprocess.run(
+            [
+                compiler,
+                "-O2",
+                "-shared",
+                "-fPIC",
+                str(src_path),
+                "-o",
+                str(tmp_path),
+            ],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # atomic publish: concurrent builders race benignly to the
+        # same file
+        os.replace(tmp_path, lib_path)
+    finally:
+        tmp_path.unlink(missing_ok=True)
     return lib_path
+
+
+def _describe_failure(exc: BaseException) -> str:
+    """Human-readable cause, including the compiler's stderr if any."""
+    if isinstance(exc, subprocess.CalledProcessError):
+        stderr = exc.stderr or b""
+        if isinstance(stderr, bytes):
+            stderr = stderr.decode("utf-8", "replace")
+        detail = " ".join(stderr.split())[:200]
+        return f"compiler exited with status {exc.returncode}: {detail}"
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _dlopen_checked(ffi, lib_path: Path):
+    """dlopen the cached build and verify it exports both entry points.
+
+    A truncated or stale cached library fails here — at load time,
+    where the caller can rebuild — rather than mid-optimization.
+    """
+    lib = ffi.dlopen(str(lib_path))
+    for symbol in ("schedule_makespan", "schedule_makespan_batch"):
+        getattr(lib, symbol)
+    return lib
 
 
 def load():
     """``(ffi, lib)`` for the native scheduler, or ``(None, None)``.
 
     The first call compiles (or dlopens the cached build); failures of
-    any kind — no cffi, no compiler, sandboxed filesystem — degrade to
-    ``(None, None)`` so callers keep their pure-Python path.
+    any kind — no cffi, no compiler, sandboxed filesystem, corrupted
+    cache — degrade to ``(None, None)`` with a logged warning so
+    callers keep their pure-Python path.  A cached library that fails
+    to load or lacks the expected symbols is deleted and rebuilt once.
     """
     global _ffi, _lib, _tried
     if _tried:
@@ -337,13 +372,40 @@ def load():
     try:
         from cffi import FFI
     except ImportError:
+        _log.debug(
+            "cffi is not installed; using the numpy scheduling path"
+        )
         return None, None
+    ffi = FFI()
+    ffi.cdef(CDEF)
     try:
         lib_path = _build()
-        ffi = FFI()
-        ffi.cdef(CDEF)
-        lib = ffi.dlopen(str(lib_path))
-    except Exception:
+    except Exception as exc:
+        _log.warning(
+            "could not build the native scheduling kernel (%s); "
+            "falling back to the numpy path",
+            _describe_failure(exc),
+        )
         return None, None
+    try:
+        lib = _dlopen_checked(ffi, lib_path)
+    except Exception as exc:
+        _log.warning(
+            "cached native scheduling kernel %s failed to load (%s); "
+            "deleting it and rebuilding once",
+            lib_path,
+            _describe_failure(exc),
+        )
+        try:
+            Path(lib_path).unlink(missing_ok=True)
+            lib_path = _build()
+            lib = _dlopen_checked(ffi, lib_path)
+        except Exception as exc2:
+            _log.warning(
+                "native scheduling kernel rebuild failed (%s); "
+                "falling back to the numpy path",
+                _describe_failure(exc2),
+            )
+            return None, None
     _ffi, _lib = ffi, lib
     return _ffi, _lib

@@ -49,7 +49,13 @@ def cluster_from_dict(data: dict) -> Cluster:
             speed_gflops=float(data["speed_gflops"]),
         )
     except KeyError as exc:
-        raise PlatformError(f"platform document missing key {exc}") from None
+        raise PlatformError(
+            f"platform document is missing field {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise PlatformError(
+            f"platform document has a malformed field: {exc}"
+        ) from exc
 
 
 def save_cluster(cluster: Cluster, path: str | Path) -> None:
@@ -60,10 +66,29 @@ def save_cluster(cluster: Cluster, path: str | Path) -> None:
 
 
 def load_cluster(path: str | Path) -> Cluster:
-    """Read one cluster description from a JSON file."""
-    return cluster_from_dict(
-        json.loads(Path(path).read_text(encoding="utf-8"))
-    )
+    """Read one cluster description from a JSON file.
+
+    All failure modes — unreadable file, invalid JSON, missing or
+    malformed fields — surface as
+    :class:`~repro.exceptions.PlatformError` carrying the file path.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PlatformError(
+            f"could not read platform file {path}: {exc}"
+        ) from exc
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise PlatformError(
+            f"platform file {path} is not valid JSON: {exc}"
+        ) from exc
+    try:
+        return cluster_from_dict(doc)
+    except PlatformError as exc:
+        raise PlatformError(f"{path}: {exc}") from None
 
 
 def parse_platform_text(text: str) -> list[Cluster]:

@@ -1,0 +1,35 @@
+"""Fault-injection utilities for exercising the resilient EMTS stack.
+
+The production claim of the fault-tolerant evaluation engine — worker
+crashes, hangs and bad fitness values never change the optimization
+outcome — is only as good as the harness that attacks it.  This
+subpackage provides that harness: :mod:`repro.testing.chaos` wraps any
+fitness evaluator with a deterministic fault schedule (worker kills,
+raised exceptions, NaN fitness, delays) and ships picklable fault hooks
+that detonate *inside* pool worker processes.
+
+Deliberately dependency-free and deterministic: every fault fires at a
+planned batch index, so a chaos test is exactly reproducible.
+"""
+
+from .chaos import (
+    AlwaysFailFault,
+    ChaosError,
+    ChaosEvaluator,
+    ChaosPlan,
+    FlakyChunkFault,
+    SleepFault,
+    WorkerKillFault,
+    kill_one_worker,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosEvaluator",
+    "FlakyChunkFault",
+    "WorkerKillFault",
+    "AlwaysFailFault",
+    "SleepFault",
+    "kill_one_worker",
+]

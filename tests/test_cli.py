@@ -257,6 +257,67 @@ class TestSchedule:
                 ]
             )
 
+    def test_checkpoint_and_resume_flags(self, tmp_path, capsys):
+        """--checkpoint writes a resumable file; --resume reproduces
+        the uninterrupted run's makespan bit-identically."""
+        from repro.core import load_checkpoint
+
+        ckpt = tmp_path / "run.ckpt"
+        base_args = [
+            "schedule", "--kind", "fft", "--size", "4",
+            "--seed", "6", "--algorithm", "emts5",
+        ]
+        rc = main(base_args + ["--checkpoint", str(ckpt)])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert load_checkpoint(ckpt).completed
+        # a time-budgeted run stops early but still reports a result
+        rc = main(base_args + [
+            "--checkpoint", str(tmp_path / "cut.ckpt"),
+            "--max-wall-time", "1e-6",
+        ])
+        assert rc == 0
+        cut = capsys.readouterr().out
+        assert "interrupted: stopped after generation" in cut
+        assert "--resume" in cut
+        rc = main(base_args + ["--resume", str(tmp_path / "cut.ckpt")])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        line = next(
+            ln for ln in first.splitlines() if ln.startswith("makespan")
+        )
+        assert line in resumed
+
+    def test_resume_flags_rejected_for_heuristics(self, tmp_path):
+        with pytest.raises(SystemExit, match="only apply to EMTS"):
+            main(
+                [
+                    "schedule", "--kind", "fft", "--size", "4",
+                    "--algorithm", "mcpa",
+                    "--checkpoint", str(tmp_path / "x.ckpt"),
+                ]
+            )
+
+    def test_resume_from_bad_checkpoint_exits_cleanly(self, tmp_path):
+        """A missing/mismatched checkpoint is a SystemExit message,
+        not a traceback."""
+        with pytest.raises(SystemExit, match="checkpoint error"):
+            main(
+                [
+                    "schedule", "--kind", "fft", "--size", "4",
+                    "--algorithm", "emts5",
+                    "--resume", str(tmp_path / "missing.ckpt"),
+                ]
+            )
+
+    def test_resilience_flag_defaults(self):
+        args = build_parser().parse_args(
+            ["schedule", "--kind", "strassen"]
+        )
+        assert args.checkpoint is None
+        assert args.resume is None
+        assert args.max_wall_time is None
+
 
 class TestFigures:
     def test_figure1(self, capsys):

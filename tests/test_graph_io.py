@@ -63,6 +63,61 @@ class TestFileRoundTrip:
             load_corpus(path)
 
 
+class TestLoaderErrorContext:
+    """Malformed inputs surface as GraphError with path/field context,
+    never as raw KeyError/ValueError."""
+
+    def test_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(GraphError, match="absent.json"):
+            load_ptg(path)
+
+    def test_truncated_json_names_path(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"format": "repro-ptg", "tas')
+        with pytest.raises(GraphError, match="cut.json.*not valid JSON"):
+            load_ptg(path)
+
+    def test_missing_task_field_names_task_and_field(self, diamond_ptg):
+        doc = ptg_to_dict(diamond_ptg)
+        del doc["tasks"][2]["work"]
+        with pytest.raises(GraphError, match="task 2.*'work'"):
+            ptg_from_dict(doc)
+
+    def test_non_numeric_task_field_is_wrapped(self, diamond_ptg):
+        doc = ptg_to_dict(diamond_ptg)
+        doc["tasks"][1]["work"] = "lots"
+        with pytest.raises(GraphError, match="task 1 is malformed"):
+            ptg_from_dict(doc)
+
+    def test_malformed_edge_names_index(self, diamond_ptg):
+        doc = ptg_to_dict(diamond_ptg)
+        doc["edges"][3] = [0, "one", 2]
+        with pytest.raises(GraphError, match="edge 3"):
+            ptg_from_dict(doc)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(GraphError, match="'tasks'"):
+            ptg_from_dict({"format": "repro-ptg", "version": 1})
+
+    def test_file_error_carries_path(self, diamond_ptg, tmp_path):
+        path = tmp_path / "g.json"
+        doc = ptg_to_dict(diamond_ptg)
+        del doc["tasks"][0]["name"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(GraphError, match="g.json.*task 0"):
+            load_ptg(path)
+
+    def test_corpus_error_names_ptg_index(self, diamond_ptg, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus([diamond_ptg, diamond_ptg], path)
+        doc = json.loads(path.read_text())
+        del doc["ptgs"][1]["tasks"][0]["work"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(GraphError, match="PTG 1.*task 0"):
+            load_corpus(path)
+
+
 class TestDot:
     def test_dot_contains_all_nodes_and_edges(self, diamond_ptg):
         dot = ptg_to_dot(diamond_ptg)

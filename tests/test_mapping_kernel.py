@@ -283,3 +283,53 @@ class TestErrorPaths:
         assert kernel.makespan_batch(block) == kernel.makespan_batch(
             exact
         )
+
+
+class TestNativeCacheRecovery:
+    """The cffi build cache degrades gracefully: corrupt cached
+    libraries are rebuilt once, build failures fall back to numpy."""
+
+    def _reset_loader(self, monkeypatch, cache_dir):
+        from repro.mapping import _cscheduler
+
+        monkeypatch.delenv("REPRO_NO_CKERNEL", raising=False)
+        monkeypatch.setenv("REPRO_CKERNEL_CACHE", str(cache_dir))
+        monkeypatch.setattr(_cscheduler, "_tried", False)
+        monkeypatch.setattr(_cscheduler, "_ffi", None)
+        monkeypatch.setattr(_cscheduler, "_lib", None)
+        return _cscheduler
+
+    def test_corrupt_cached_library_is_rebuilt(self, tmp_path, monkeypatch):
+        import hashlib
+
+        pytest.importorskip("cffi")
+        _cscheduler = self._reset_loader(monkeypatch, tmp_path)
+        digest = hashlib.sha256(
+            _cscheduler._C_SOURCE.encode("utf-8")
+        ).hexdigest()[:16]
+        corrupt = tmp_path / f"scheduler-{digest}.so"
+        garbage = b"not an ELF shared object"
+        corrupt.write_bytes(garbage)
+
+        ffi, lib = _cscheduler.load()
+        if ffi is None:
+            pytest.skip("no C compiler available to rebuild the cache")
+        assert lib is not None
+        # the garbage file was deleted and replaced by a real build
+        assert corrupt.read_bytes() != garbage
+        assert lib.schedule_makespan is not None
+
+    def test_build_failure_degrades_to_numpy_path(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        import logging
+
+        pytest.importorskip("cffi")
+        _cscheduler = self._reset_loader(monkeypatch, tmp_path)
+        monkeypatch.setenv("CC", str(tmp_path / "no-such-compiler"))
+        with caplog.at_level(logging.WARNING, "repro.mapping.ckernel"):
+            assert _cscheduler.load() == (None, None)
+        assert any(
+            "falling back to the numpy path" in r.message
+            for r in caplog.records
+        )

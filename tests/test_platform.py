@@ -136,3 +136,36 @@ class TestPlatformIO:
     def test_text_empty_rejected(self):
         with pytest.raises(PlatformError, match="no cluster"):
             parse_platform_text("# nothing here\n")
+
+    def test_load_missing_file_names_path(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(PlatformError, match="absent.json"):
+            load_cluster(path)
+
+    def test_load_truncated_json_names_path(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"format": "repro-pla')
+        with pytest.raises(PlatformError, match="cut.json.*not valid JSON"):
+            load_cluster(path)
+
+    def test_load_malformed_field_carries_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": "repro-platform",
+            "name": "x",
+            "num_processors": "many",
+            "speed_gflops": 1.0,
+        }))
+        with pytest.raises(PlatformError, match="bad.json.*malformed"):
+            load_cluster(path)
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(PlatformError, match="malformed"):
+            cluster_from_dict({
+                "format": "repro-platform",
+                "name": "x",
+                "num_processors": 4,
+                "speed_gflops": "fast",
+            })
