@@ -26,6 +26,7 @@ from repro.core import (
     ProcessPoolEvaluator,
     SerialEvaluator,
 )
+from repro.core.evaluator import create_evaluator
 from repro.platform import grelon
 from repro.timemodels import SyntheticModel, TimeTable
 from repro.workloads import DaggenParams, generate_daggen
@@ -78,6 +79,40 @@ def test_evaluator_memoized_steady_state(benchmark, problem):
     values = benchmark(ev.evaluate, genomes)
     assert min(values) > 0
     assert ev.stats.cache_hits >= BATCH
+
+
+def test_evaluator_verified_sample_batch(benchmark, problem):
+    """Sampled differential verification must stay near-free."""
+    ptg, table, genomes = problem
+    with create_evaluator(ptg, table, cache=False, verify="sample") as ev:
+        ev.evaluate(genomes)  # first-batch spot check outside the timing
+        values = benchmark(ev.evaluate, genomes)
+    assert min(values) > 0
+
+
+def test_verify_sample_overhead(problem):
+    """``verify="sample"`` adds under 5 % to the benchmark batch."""
+    ptg, table, genomes = problem
+
+    def timed(verify, repeats=3, batches=20):
+        best = float("inf")
+        for _ in range(repeats):
+            with create_evaluator(
+                ptg, table, cache=False, verify=verify
+            ) as ev:
+                ev.evaluate(genomes)  # warm-up / first-batch check
+                t0 = time.perf_counter()
+                for _ in range(batches):
+                    ev.evaluate(genomes)
+                best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_off = timed("off")
+    t_sample = timed("sample")
+    assert t_sample < t_off * 1.05, (
+        f"verify='sample' overhead "
+        f"{100 * (t_sample / t_off - 1):.2f}% exceeds 5%"
+    )
 
 
 def test_report_speedup(problem, results_dir):

@@ -39,9 +39,17 @@ from . import (
     platform,
     simulator,
     timemodels,
+    verify,
     workloads,
 )
-from .exceptions import CheckpointError, EvaluationError, ReproError
+from .exceptions import (
+    CampaignError,
+    CheckpointError,
+    EvaluationError,
+    ReproError,
+    TimeModelError,
+    VerificationError,
+)
 from .allocation import (
     BicpaAllocator,
     CpaAllocator,
@@ -66,6 +74,11 @@ from .timemodels import (
     TabulatedModel,
     TimeTable,
 )
+from .verify import (
+    ScheduleVerifier,
+    VerifyingEvaluator,
+    differential_check,
+)
 
 __version__ = "1.0.0"
 
@@ -83,10 +96,18 @@ __all__ = [
     "simulator",
     "experiments",
     "exceptions",
+    "verify",
     # error hierarchy
     "ReproError",
     "EvaluationError",
     "CheckpointError",
+    "VerificationError",
+    "TimeModelError",
+    "CampaignError",
+    # verification
+    "ScheduleVerifier",
+    "VerifyingEvaluator",
+    "differential_check",
     # core types
     "Task",
     "PTG",

@@ -92,10 +92,15 @@ def _make_model(name: str) -> ExecutionTimeModel:
 
 
 def _make_algorithm(
-    name: str, workers: int = 0, fitness_cache: bool = True
+    name: str,
+    workers: int = 0,
+    fitness_cache: bool = True,
+    verify: str = "off",
 ):
     name = name.lower()
-    overrides = dict(workers=workers, fitness_cache=fitness_cache)
+    overrides = dict(
+        workers=workers, fitness_cache=fitness_cache, verify=verify
+    )
     if name == "emts5":
         return emts5(**overrides)
     if name == "emts10":
@@ -148,10 +153,12 @@ def _cmd_schedule(args) -> int:
     cluster: Cluster = by_name(args.platform)
     model = _make_model(args.model)
     table = TimeTable.build(model, ptg, cluster)
+    verify = getattr(args, "verify", "off")
     algorithm = _make_algorithm(
         args.algorithm,
         workers=args.workers,
         fitness_cache=not args.no_fitness_cache,
+        verify=verify,
     )
 
     checkpoint = getattr(args, "checkpoint", None)
@@ -206,6 +213,19 @@ def _cmd_schedule(args) -> int:
         schedule = map_allocations(ptg, table, alloc)
         print(f"algorithm : {algorithm.name}")
         print(f"makespan  : {schedule.makespan:.6g} s")
+        if verify != "off":
+            from .exceptions import VerificationError
+            from .verify import differential_check
+
+            try:
+                report = differential_check(
+                    ptg, table, alloc, expected=schedule.makespan
+                )
+            except VerificationError as exc:
+                raise SystemExit(
+                    f"verification FAILED ({exc.kind}): {exc}"
+                ) from exc
+            print(f"verified  : {report}")
     print(f"utilization: {schedule.utilization:.1%}")
     if args.gantt:
         print()
@@ -265,6 +285,7 @@ def _cmd_runtime(args) -> int:
         repetitions=args.repetitions,
         workers=args.workers,
         fitness_cache=not args.no_fitness_cache,
+        verify=getattr(args, "verify", "off"),
     )
     print(report.render())
     return 0
@@ -319,6 +340,7 @@ def _cmd_convergence(args) -> int:
     overrides = dict(
         workers=args.workers,
         fitness_cache=not args.no_fitness_cache,
+        verify=getattr(args, "verify", "off"),
     )
     study = run_convergence_study(
         ptgs,
@@ -334,6 +356,64 @@ def _cmd_convergence(args) -> int:
             f"final mean improvement over seeds ({variant}): "
             f"{study.final_improvement(variant):.3f}x"
         )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .exceptions import CampaignError
+    from .experiments import campaign_status
+    from .experiments import figures as F
+
+    if args.status:
+        try:
+            status = campaign_status(args.out)
+        except CampaignError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(
+            f"campaign {args.out}: {status['done']} done, "
+            f"{status['quarantined']} quarantined, "
+            f"{status['pending']} pending "
+            f"(of {len(status['trials'])} trials)"
+        )
+        for key, state in status["status"].items():
+            if state != "done":
+                print(f"  {state:<12s} {key}")
+        return 0
+
+    def progress(key: str, state: str) -> None:
+        if not args.quiet:
+            print(f"[{state:>11s}] {key}")
+
+    try:
+        if args.figure == 4:
+            fig = F.generate_figure4(
+                seed=args.seed,
+                scale=args.scale,
+                campaign_dir=args.out,
+                trial_timeout=args.trial_timeout,
+                progress=progress,
+            )
+            print(fig.render())
+        elif args.figure == 5:
+            fig5 = F.generate_figure5(
+                seed=args.seed,
+                scale=args.scale,
+                campaign_dir=args.out,
+                trial_timeout=args.trial_timeout,
+                progress=progress,
+            )
+            print(fig5.render())
+        else:
+            raise SystemExit(
+                f"campaigns exist for figures 4 and 5, not "
+                f"{args.figure}"
+            )
+    except CampaignError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"campaign state persisted under {args.out}; re-running the "
+        "same command resumes it"
+    )
     return 0
 
 
@@ -419,6 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
             help=(
                 "run under cProfile, dump binary stats to PATH and "
                 "print the top cumulative-time entries"
+            ),
+        )
+        p.add_argument(
+            "--verify",
+            choices=["off", "sample", "full"],
+            default="off",
+            help=(
+                "differentially verify makespans against every "
+                "scheduling engine (sample = cheap spot checks, "
+                "full = every evaluation)"
             ),
         )
 
@@ -528,6 +618,53 @@ def build_parser() -> argparse.ArgumentParser:
     cv.add_argument("--model", default="model2")
     add_evaluator_options(cv)
     cv.set_defaults(func=_cmd_convergence)
+
+    ca = sub.add_parser(
+        "campaign",
+        help=(
+            "run a figure sweep as a crash-only, resumable campaign "
+            "(subprocess isolation, retries, quarantine)"
+        ),
+    )
+    ca.add_argument(
+        "--figure",
+        type=int,
+        default=4,
+        choices=[4, 5],
+        help="which relative-makespan figure to run",
+    )
+    ca.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help=(
+            "campaign state directory; re-running with the same "
+            "arguments resumes from it"
+        ),
+    )
+    ca.add_argument("--seed", type=int, default=None)
+    ca.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="corpus scale (1.0 = full paper corpus)",
+    )
+    ca.add_argument(
+        "--trial-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock limit per trial attempt",
+    )
+    ca.add_argument(
+        "--status",
+        action="store_true",
+        help="report the campaign directory's progress and exit",
+    )
+    ca.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial lines"
+    )
+    ca.set_defaults(func=_cmd_campaign)
 
     c = sub.add_parser("corpus", help="build the evaluation corpus")
     c.add_argument("--seed", type=int, default=None)

@@ -76,6 +76,12 @@ class EMTSConfig:
         Optional per-chunk wall-clock timeout (seconds) for the parallel
         evaluator; a hung worker then counts as a retriable failure
         instead of blocking the run forever.
+    verify:
+        Online differential verification of fitness values: ``"off"``
+        (default), ``"sample"`` (NaN scan every batch plus one full
+        differential replay per :data:`repro.verify.evaluator
+        .DEFAULT_SAMPLE_INTERVAL` genomes) or ``"full"`` (every finite
+        value replayed through every scheduling engine).
     """
 
     mu: int = 5
@@ -100,6 +106,7 @@ class EMTSConfig:
     eval_max_retries: int = 3
     eval_retry_backoff: float = 0.05
     eval_timeout: float | None = None
+    verify: str = "off"
     name: str = "emts"
 
     def __post_init__(self) -> None:
@@ -162,6 +169,11 @@ class EMTSConfig:
         if self.eval_timeout is not None and self.eval_timeout <= 0:
             raise ConfigurationError(
                 f"eval_timeout must be > 0 seconds, got {self.eval_timeout}"
+            )
+        if self.verify not in ("off", "sample", "full"):
+            raise ConfigurationError(
+                f"verify must be 'off', 'sample' or 'full', got "
+                f"{self.verify!r}"
             )
 
     def with_updates(self, **changes) -> "EMTSConfig":

@@ -300,6 +300,7 @@ class EMTS:
                 max_retries=cfg.eval_max_retries,
                 retry_backoff=cfg.eval_retry_backoff,
                 chunk_timeout=cfg.eval_timeout,
+                verify=cfg.verify,
             )
             if evaluator_wrapper is not None:
                 evaluator = evaluator_wrapper(evaluator)

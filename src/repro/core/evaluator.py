@@ -749,6 +749,8 @@ def create_evaluator(
     retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     chunk_timeout: float | None = None,
     fault_hook: Callable | None = None,
+    verify: str = "off",
+    verify_interval: int | None = None,
 ) -> FitnessEvaluator:
     """Build the evaluator stack for one EMTS run.
 
@@ -761,10 +763,19 @@ def create_evaluator(
     the pool backend's crash recovery and ``fault_hook`` its
     chaos-testing injection point; all four are ignored by the serial
     backend.
+
+    ``verify`` stacks a :class:`repro.verify.VerifyingEvaluator` on the
+    outside — ``"sample"`` replays one genome per ``verify_interval``
+    submissions through every scheduling engine, ``"full"`` replays all
+    of them; both scan every batch for NaN.  ``"off"`` adds nothing.
     """
     if workers < 0:
         raise ConfigurationError(
             f"workers must be >= 0, got {workers}"
+        )
+    if verify not in ("off", "sample", "full"):
+        raise ConfigurationError(
+            f"verify must be 'off', 'sample' or 'full', got {verify!r}"
         )
     backend: FitnessEvaluator
     if workers <= 1:
@@ -780,9 +791,26 @@ def create_evaluator(
             chunk_timeout=chunk_timeout,
             fault_hook=fault_hook,
         )
+    evaluator: FitnessEvaluator = backend
     if cache:
-        return MemoizedEvaluator(backend, max_entries=cache_size)
-    return backend
+        evaluator = MemoizedEvaluator(backend, max_entries=cache_size)
+    if verify != "off":
+        # imported lazily: repro.verify pulls in the mapping and
+        # simulator packages, which in turn import this module
+        from ..verify import DEFAULT_SAMPLE_INTERVAL, VerifyingEvaluator
+
+        evaluator = VerifyingEvaluator(
+            evaluator,
+            ptg,
+            table,
+            mode=verify,
+            sample_interval=(
+                DEFAULT_SAMPLE_INTERVAL
+                if verify_interval is None
+                else verify_interval
+            ),
+        )
+    return evaluator
 
 
 def recommended_workers() -> int:

@@ -16,11 +16,14 @@ __all__ = [
     "PlatformError",
     "AllocationError",
     "ScheduleError",
+    "VerificationError",
     "SimulationError",
     "ModelError",
+    "TimeModelError",
     "ConfigurationError",
     "EvaluationError",
     "CheckpointError",
+    "CampaignError",
 ]
 
 
@@ -52,12 +55,63 @@ class ScheduleError(ReproError):
     """A schedule violates precedence or resource constraints."""
 
 
+class VerificationError(ScheduleError):
+    """A schedule failed independent verification.
+
+    Raised by :class:`repro.verify.ScheduleVerifier` (and the
+    differential replay built on it) when a schedule violates one of the
+    invariants every valid mixed-parallel schedule must satisfy, or when
+    two scheduling engines disagree about the same allocation.
+
+    ``kind`` is a stable machine-checkable tag naming the violated
+    invariant (``"overlap"``, ``"precedence"``, ``"wrong-duration"``,
+    ``"allocation-range"``, ``"non-finite"``, ``"makespan-mismatch"``,
+    ``"engine-divergence"``, ...); ``task`` and ``processor`` carry the
+    offending indices when the violation is localized.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "invalid",
+        task: int | None = None,
+        processor: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.task = task
+        self.processor = processor
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistency."""
 
 
 class ModelError(ReproError):
     """An execution-time model received invalid parameters."""
+
+
+class TimeModelError(ModelError):
+    """An execution-time model produced an unusable prediction.
+
+    Raised when a model yields a NaN, infinite, or non-positive
+    ``T(v, p)`` — values that would otherwise silently propagate into
+    makespans and corrupt every downstream comparison.  ``task`` names
+    the offending task, ``p`` the processor count and ``model`` the
+    model that produced the value.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task: str | None = None,
+        p: int | None = None,
+        model: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.task = task
+        self.p = p
+        self.model = model
 
 
 class ConfigurationError(ReproError):
@@ -91,4 +145,13 @@ class CheckpointError(ReproError):
     unsupported format versions, and attempts to resume a checkpoint
     against a different problem or algorithm configuration than the one
     that produced it.
+    """
+
+
+class CampaignError(ReproError):
+    """An experiment campaign is misconfigured or its state is unusable.
+
+    Covers invalid trial specifications (duplicate or unsafe keys,
+    results that cannot be serialized) and attempts to resume a campaign
+    directory that belongs to a different campaign.
     """

@@ -12,8 +12,23 @@ Public API:
 """
 
 from . import figures
+from .campaign import (
+    CampaignResult,
+    Trial,
+    TrialFailure,
+    campaign_status,
+    run_campaign,
+)
 from .convergence import ConvergenceResult, run_convergence_study
-from .harness import ComparisonResult, RunRecord, run_comparison
+from .harness import (
+    ComparisonResult,
+    RunRecord,
+    comparison_trials,
+    record_from_dict,
+    record_to_dict,
+    run_comparison,
+    run_comparison_campaign,
+)
 from .metrics import MeanCI, mean_confidence_interval, relative_makespans
 from .report import format_panel, text_table, write_csv
 from .runtime import RuntimeCell, RuntimeReport, measure_runtimes
@@ -31,6 +46,15 @@ __all__ = [
     "RunRecord",
     "ComparisonResult",
     "run_comparison",
+    "Trial",
+    "TrialFailure",
+    "CampaignResult",
+    "run_campaign",
+    "campaign_status",
+    "comparison_trials",
+    "run_comparison_campaign",
+    "record_to_dict",
+    "record_from_dict",
     "MeanCI",
     "mean_confidence_interval",
     "relative_makespans",

@@ -22,7 +22,11 @@ from ...workloads import (
     layered_corpus,
     strassen_corpus,
 )
-from ..harness import ComparisonResult, run_comparison
+from ..harness import (
+    ComparisonResult,
+    run_comparison,
+    run_comparison_campaign,
+)
 from ..metrics import MeanCI
 from ..report import text_table
 
@@ -155,15 +159,38 @@ def run_relative_makespan_figure(
     seed: int | None = None,
     scale: float = 1.0,
     panels: dict[str, list] | None = None,
+    campaign_dir: str | None = None,
+    trial_timeout: float | None = None,
+    progress=None,
 ) -> RelativeMakespanFigure:
-    """Run the full comparison grid for one model and EMTS variant."""
+    """Run the full comparison grid for one model and EMTS variant.
+
+    With ``campaign_dir`` the comparison runs as a crash-only campaign
+    (one subprocess-isolated trial per (PTG, platform) pair, persisted
+    under that directory); interrupting and re-running the same command
+    resumes where it stopped and aggregates to identical figure cells.
+    Quarantined trials are excluded from the aggregation.
+    """
     if panels is None:
         panels = build_panels(seed, scale)
     platforms = list(paper_platforms())
     baselines = [McpaAllocator(), HcpaAllocator()]
-    raw = run_comparison(
-        panels, platforms, model, emts, baselines, seed=seed
-    )
+    if campaign_dir is not None:
+        raw, _campaign = run_comparison_campaign(
+            panels,
+            platforms,
+            model,
+            emts,
+            baselines,
+            campaign_dir,
+            seed=seed,
+            trial_timeout=trial_timeout,
+            progress=progress,
+        )
+    else:
+        raw = run_comparison(
+            panels, platforms, model, emts, baselines, seed=seed
+        )
     cells: dict[tuple[str, str, str], MeanCI] = {}
     for panel in panels:
         for cluster in platforms:

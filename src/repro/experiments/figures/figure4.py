@@ -30,13 +30,25 @@ def generate_figure4(
     seed: int | None = None,
     scale: float = 1.0,
     panels: dict | None = None,
+    campaign_dir: str | None = None,
+    trial_timeout: float | None = None,
+    progress=None,
 ) -> RelativeMakespanFigure:
     """Run the Figure 4 experiment (Model 1, EMTS5).
 
     ``scale`` shrinks the corpus for quick runs; the full paper corpus
     (400 FFT + 100 Strassen + 36 layered-100 + 108 irregular-100 PTGs,
-    each on two platforms) is ``scale=1``.
+    each on two platforms) is ``scale=1``.  ``campaign_dir`` runs the
+    sweep as a resumable crash-only campaign (see
+    :mod:`repro.experiments.campaign`).
     """
     return run_relative_makespan_figure(
-        AmdahlModel(), emts5(), seed=seed, scale=scale, panels=panels
+        AmdahlModel(),
+        emts5(),
+        seed=seed,
+        scale=scale,
+        panels=panels,
+        campaign_dir=campaign_dir,
+        trial_timeout=trial_timeout,
+        progress=progress,
     )

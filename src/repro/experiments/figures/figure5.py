@@ -18,6 +18,7 @@ Paper findings this figure must reproduce in shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from ...core import emts5, emts10
 from ...timemodels import SyntheticModel
@@ -52,21 +53,46 @@ def generate_figure5(
     scale: float = 1.0,
     include_emts10: bool = True,
     panels: dict | None = None,
+    campaign_dir: str | None = None,
+    trial_timeout: float | None = None,
+    progress=None,
 ) -> Figure5Data:
     """Run the Figure 5 experiment (Model 2; EMTS5 and EMTS10 rows).
 
     Both rows share the same PTG panels so their results are directly
-    comparable, as in the paper.
+    comparable, as in the paper.  ``campaign_dir`` runs each row as a
+    resumable crash-only campaign in its own subdirectory
+    (``<dir>/emts5``, ``<dir>/emts10``).
     """
     if panels is None:
         panels = build_panels(seed, scale)
     model = SyntheticModel()
+
+    def _dir(name: str) -> str | None:
+        if campaign_dir is None:
+            return None
+        return str(Path(campaign_dir) / name)
+
     row5 = run_relative_makespan_figure(
-        model, emts5(), seed=seed, scale=scale, panels=panels
+        model,
+        emts5(),
+        seed=seed,
+        scale=scale,
+        panels=panels,
+        campaign_dir=_dir("emts5"),
+        trial_timeout=trial_timeout,
+        progress=progress,
     )
     if include_emts10:
         row10 = run_relative_makespan_figure(
-            model, emts10(), seed=seed, scale=scale, panels=panels
+            model,
+            emts10(),
+            seed=seed,
+            scale=scale,
+            panels=panels,
+            campaign_dir=_dir("emts10"),
+            trial_timeout=trial_timeout,
+            progress=progress,
         )
     else:
         row10 = row5

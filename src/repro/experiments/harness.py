@@ -9,21 +9,32 @@ per-class / per-platform relative-makespan summaries (Figures 4 and 5).
 
 from __future__ import annotations
 
+import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from .._rng import ensure_generator, iter_seeds
 from ..allocation import AllocationHeuristic
-from ..core import EMTS
+from ..core import EMTS, EMTSConfig, make_allocator
 from ..graph import PTG
 from ..mapping import makespan_of
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable
+from .campaign import CampaignResult, Trial, run_campaign
 from .metrics import MeanCI, mean_confidence_interval, relative_makespans
 
-__all__ = ["RunRecord", "ComparisonResult", "run_comparison"]
+__all__ = [
+    "RunRecord",
+    "ComparisonResult",
+    "run_comparison",
+    "record_to_dict",
+    "record_from_dict",
+    "comparison_trials",
+    "run_comparison_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -227,3 +238,179 @@ def run_comparison(
                     )
                 )
     return result
+
+
+# ----------------------------------------------------------------------
+# campaign integration: the same comparison, one crash-isolated trial per
+# (PTG, platform) pair, resumable through repro.experiments.campaign
+# ----------------------------------------------------------------------
+def record_to_dict(record: RunRecord) -> dict:
+    """A JSON-serializable form of one :class:`RunRecord`."""
+    return asdict(record)
+
+
+def record_from_dict(data: dict) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from :func:`record_to_dict` output."""
+    return RunRecord(
+        ptg_name=data["ptg_name"],
+        ptg_class=data["ptg_class"],
+        num_tasks=int(data["num_tasks"]),
+        platform=data["platform"],
+        model=data["model"],
+        emts_name=data["emts_name"],
+        emts_makespan=float(data["emts_makespan"]),
+        emts_seconds=float(data["emts_seconds"]),
+        baseline_makespans={
+            k: float(v) for k, v in data["baseline_makespans"].items()
+        },
+        emts_evaluations=int(data.get("emts_evaluations", 0)),
+        emts_mapper_calls=int(data.get("emts_mapper_calls", 0)),
+        emts_cache_hits=int(data.get("emts_cache_hits", 0)),
+        interrupted=bool(data.get("interrupted", False)),
+    )
+
+
+def _comparison_trial(
+    ptg: PTG,
+    ptg_class: str,
+    cluster: Cluster,
+    model: ExecutionTimeModel,
+    emts_config: dict,
+    baselines: tuple[str, ...],
+    rng_seed: int,
+    max_wall_time: float | None = None,
+) -> dict:
+    """Campaign trial body: one (PTG, platform) comparison.
+
+    Module-level so the campaign runner can dispatch it to a subprocess;
+    takes the EMTS *configuration* (as a plain dict), not an EMTS
+    instance, and baseline *names*, so the payload round-trips through
+    any :mod:`multiprocessing` start method.  The seconds field is
+    wall-clock and varies between runs; every other field is
+    deterministic for a given seed.
+    """
+    cfg = EMTSConfig(**emts_config)
+    emts = EMTS(cfg)
+    table = TimeTable.build(model, ptg, cluster)
+    base_ms = {
+        name: makespan_of(
+            ptg, table, make_allocator(name).allocate(ptg, table)
+        )
+        for name in baselines
+    }
+    t0 = time.perf_counter()
+    emts_result = emts.schedule(
+        ptg, cluster, table, rng=rng_seed, max_wall_time=max_wall_time
+    )
+    seconds = time.perf_counter() - t0
+    stats = emts_result.evaluation_stats
+    return record_to_dict(
+        RunRecord(
+            ptg_name=ptg.name,
+            ptg_class=ptg_class,
+            num_tasks=ptg.num_tasks,
+            platform=cluster.name,
+            model=model.name,
+            emts_name=emts.name,
+            emts_makespan=emts_result.makespan,
+            emts_seconds=seconds,
+            baseline_makespans=base_ms,
+            emts_evaluations=stats.evaluations if stats else 0,
+            emts_mapper_calls=stats.mapper_calls if stats else 0,
+            emts_cache_hits=stats.cache_hits if stats else 0,
+            interrupted=emts_result.interrupted,
+        )
+    )
+
+
+def _trial_key(cluster: Cluster, cls: str, index: int, ptg: PTG) -> str:
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", ptg.name)
+    return f"{cluster.name}.{cls}.{index:03d}.{safe}"
+
+
+def comparison_trials(
+    ptgs: dict[str, list[PTG]],
+    platforms: list[Cluster],
+    model: ExecutionTimeModel,
+    emts: EMTS,
+    baselines: list[AllocationHeuristic],
+    seed: int | None = None,
+    max_wall_time: float | None = None,
+) -> list[Trial]:
+    """The trial list equivalent to one :func:`run_comparison` sweep.
+
+    Seeds are derived exactly as :func:`run_comparison` derives them —
+    one per-(platform, class) stream, one draw per instance — so a
+    campaign over these trials records the **same makespans** the
+    monolithic harness would, just crash-isolated and resumable.
+    """
+    trials: list[Trial] = []
+    emts_config = asdict(emts.config)
+    baseline_names = tuple(b.name for b in baselines)
+    for cluster in platforms:
+        for cls, graphs in ptgs.items():
+            stream = ensure_generator(seed, "harness", cluster.name, cls)
+            seeds = iter_seeds(stream)
+            for i, ptg in enumerate(graphs):
+                trials.append(
+                    Trial(
+                        key=_trial_key(cluster, cls, i, ptg),
+                        func=_comparison_trial,
+                        kwargs=dict(
+                            ptg=ptg,
+                            ptg_class=cls,
+                            cluster=cluster,
+                            model=model,
+                            emts_config=emts_config,
+                            baselines=baseline_names,
+                            rng_seed=next(seeds),
+                            max_wall_time=max_wall_time,
+                        ),
+                    )
+                )
+    return trials
+
+
+def run_comparison_campaign(
+    ptgs: dict[str, list[PTG]],
+    platforms: list[Cluster],
+    model: ExecutionTimeModel,
+    emts: EMTS,
+    baselines: list[AllocationHeuristic],
+    out_dir: str | Path,
+    seed: int | None = None,
+    max_wall_time: float | None = None,
+    trial_timeout: float | None = None,
+    max_retries: int = 2,
+    max_trials: int | None = None,
+    progress=None,
+) -> tuple[ComparisonResult, CampaignResult]:
+    """:func:`run_comparison`, campaign-style.
+
+    Each (PTG, platform) pair becomes one subprocess-isolated trial
+    persisted under ``out_dir``; interrupting and re-running resumes
+    from the persisted results and yields bit-identical records.
+    Quarantined trials are simply absent from the returned
+    :class:`ComparisonResult` (they are listed in the campaign result).
+    """
+    trials = comparison_trials(
+        ptgs,
+        platforms,
+        model,
+        emts,
+        baselines,
+        seed=seed,
+        max_wall_time=max_wall_time,
+    )
+    campaign = run_campaign(
+        trials,
+        out_dir,
+        trial_timeout=trial_timeout,
+        max_retries=max_retries,
+        max_trials=max_trials,
+        progress=progress,
+    )
+    comparison = ComparisonResult(
+        [record_from_dict(d) for d in campaign.results.values()]
+    )
+    return comparison, campaign

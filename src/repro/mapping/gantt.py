@@ -16,9 +16,26 @@ from pathlib import Path
 
 import numpy as np
 
+from ..exceptions import ScheduleError
 from .schedule import Schedule
 
 __all__ = ["ascii_gantt", "svg_gantt", "save_svg_gantt"]
+
+
+def _renderable_makespan(schedule: Schedule) -> float:
+    """The schedule's makespan, rejected when it cannot be drawn.
+
+    A NaN or infinite makespan would otherwise turn into nonsense
+    column/pixel coordinates (or an infinite loop of columns); corrupted
+    schedules must fail loudly before they reach an artifact.
+    """
+    ms = float(schedule.makespan)
+    if not np.isfinite(ms):
+        raise ScheduleError(
+            f"cannot render a Gantt chart for schedule of "
+            f"{schedule.ptg.name!r}: makespan is {ms!r}"
+        )
+    return ms
 
 
 def ascii_gantt(
@@ -29,7 +46,7 @@ def ascii_gantt(
     Each processor becomes one row; each task is drawn with a repeating
     single-character label.  ``width`` columns cover ``[0, makespan]``.
     """
-    ms = schedule.makespan
+    ms = _renderable_makespan(schedule)
     P = schedule.cluster.num_processors
     shown = min(P, max_processors)
     if ms <= 0:
@@ -77,7 +94,7 @@ def svg_gantt(
 ) -> str:
     """Render ``schedule`` as a standalone SVG document string."""
     P = schedule.cluster.num_processors
-    ms = schedule.makespan
+    ms = _renderable_makespan(schedule)
     row_h = max(4, min(18, 560 // max(P, 1)))
     margin_l, margin_t, margin_b = 46, 28, 26
     height = height or (margin_t + P * row_h + margin_b)

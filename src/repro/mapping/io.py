@@ -54,13 +54,25 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
 
 
 def schedule_from_dict(
-    data: dict[str, Any], ptg: PTG, validate: bool = True
+    data: dict[str, Any], ptg: PTG, validate: bool = True, table=None
 ) -> Schedule:
     """Rebuild a schedule against its original ``ptg``.
 
     Placements are matched by task *name*, so the document survives task
     reordering; unknown or missing tasks raise :class:`ScheduleError`.
+
+    ``validate=True`` re-checks every structural invariant with
+    :class:`repro.verify.ScheduleVerifier` — a tampered or corrupted
+    document cannot round-trip into a schedule that violates precedence,
+    overlaps processors, or misreports its makespan.  Passing the
+    original ``table`` additionally pins each task's duration to
+    ``T(v, s(v))``.
     """
+    if not isinstance(data, dict):
+        raise ScheduleError(
+            f"schedule document must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
     if data.get("format") != "repro-schedule":
         raise ScheduleError(
             f"not a repro schedule document "
@@ -94,12 +106,29 @@ def schedule_from_dict(
     proc_sets = []
     for v in range(V):
         t = placements[ptg.task(v).name]
-        start[v] = float(t["start"])
-        finish[v] = float(t["finish"])
-        proc_sets.append(np.asarray(t["processors"], dtype=np.int64))
+        try:
+            start[v] = float(t["start"])
+            finish[v] = float(t["finish"])
+            proc_sets.append(
+                np.asarray(t["processors"], dtype=np.int64)
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScheduleError(
+                f"placement of task {ptg.task(v).name!r} is malformed: "
+                f"{exc}"
+            ) from exc
     schedule = Schedule(ptg, cluster, start, finish, proc_sets)
     if validate:
-        schedule.validate()
+        # imported lazily: repro.verify itself imports repro.mapping
+        from ..verify import ScheduleVerifier
+
+        expected = data.get("makespan")
+        ScheduleVerifier(ptg, table=table, cluster=cluster).verify(
+            schedule,
+            expected_makespan=(
+                float(expected) if expected is not None else None
+            ),
+        )
     return schedule
 
 
@@ -112,11 +141,28 @@ def save_schedule(schedule: Schedule, path: str | Path) -> None:
 
 
 def load_schedule(
-    path: str | Path, ptg: PTG, validate: bool = True
+    path: str | Path, ptg: PTG, validate: bool = True, table=None
 ) -> Schedule:
-    """Read a schedule from a JSON file and re-validate it."""
-    return schedule_from_dict(
-        json.loads(Path(path).read_text(encoding="utf-8")),
-        ptg,
-        validate=validate,
-    )
+    """Read a schedule from a JSON file and re-validate it.
+
+    A truncated, tampered-with or otherwise unreadable file raises
+    :class:`ScheduleError` naming the file, never a bare
+    ``JSONDecodeError`` — and with ``validate=True`` (the default) the
+    reconstructed schedule must also pass the full
+    :class:`repro.verify.ScheduleVerifier` invariant check.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScheduleError(
+            f"cannot read schedule file {path}: {exc}"
+        ) from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ScheduleError(
+            f"schedule file {path} is not valid JSON (truncated or "
+            f"tampered with?): {exc}"
+        ) from exc
+    return schedule_from_dict(data, ptg, validate=validate, table=table)

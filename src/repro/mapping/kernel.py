@@ -631,6 +631,29 @@ class ScheduleKernel:
             return self._makespan_unbounded(alloc)
         return self._makespan_bounded(alloc, abort_above)
 
+    @property
+    def has_native(self) -> bool:
+        """True when the native C scheduling loop is bound."""
+        return self._c is not None
+
+    def makespan_numpy(
+        self, alloc: np.ndarray, abort_above: float | None = None
+    ) -> float:
+        """Makespan via the numpy/Python loop, bypassing the C dispatch.
+
+        Differential verification (:mod:`repro.verify`) uses this to
+        replay an allocation through the kernel's fallback engine even
+        when the native library is loaded, so a silently corrupted
+        native result cannot agree with itself.
+        """
+        alloc = self._load_alloc(alloc)
+        times = self._load_times(alloc)
+        if abort_above is None:
+            return self._makespan_core(times, alloc.tolist())
+        return self._makespan_core_bounded(
+            times, alloc.tolist(), abort_above
+        )
+
     def makespan_batch(
         self,
         genome_block,

@@ -115,6 +115,16 @@ class ChaosPlan:
     nan_batches:
         Corrupt the first fitness value of these batches to NaN after
         evaluation (models a poisoned result reaching the driver).
+    corrupt_batches:
+        Multiply the first *finite* fitness value of these batches by
+        ``corrupt_factor`` after evaluation — a silently wrong makespan,
+        the exact failure mode a miscompiled or bit-flipped scheduling
+        kernel would produce.  Undetectable without differential
+        verification (the value stays plausible), which is what
+        :class:`repro.verify.VerifyingEvaluator` exists to catch.
+    corrupt_factor:
+        Multiplier applied by ``corrupt_batches`` (close to 1.0 on
+        purpose: a *near*-correct value is the hardest corruption).
     delay_seconds:
         Length of each injected delay.
     stop_after_batch:
@@ -127,6 +137,8 @@ class ChaosPlan:
     delay_batches: frozenset = frozenset()
     raise_batches: frozenset = frozenset()
     nan_batches: frozenset = frozenset()
+    corrupt_batches: frozenset = frozenset()
+    corrupt_factor: float = 1.01
     delay_seconds: float = 0.01
     stop_after_batch: int | None = None
 
@@ -139,6 +151,8 @@ class ChaosPlan:
         delay_rate: float = 0.0,
         raise_rate: float = 0.0,
         nan_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        corrupt_factor: float = 1.01,
         delay_seconds: float = 0.01,
     ) -> "ChaosPlan":
         """Draw a random (but seed-reproducible) plan.
@@ -164,6 +178,8 @@ class ChaosPlan:
             delay_batches=pick(delay_rate),
             raise_batches=pick(raise_rate),
             nan_batches=pick(nan_rate),
+            corrupt_batches=pick(corrupt_rate),
+            corrupt_factor=corrupt_factor,
             delay_seconds=delay_seconds,
         )
 
@@ -219,6 +235,15 @@ class ChaosEvaluator:
             self.faults_injected += 1
             values = list(values)
             values[0] = float("nan")
+        if index in self.plan.corrupt_batches and values:
+            values = list(values)
+            for i, v in enumerate(values):
+                if np.isfinite(v):
+                    # a plausible-but-wrong makespan, as a corrupted
+                    # compiled kernel would return it
+                    values[i] = v * self.plan.corrupt_factor
+                    self.faults_injected += 1
+                    break
         if (
             self.plan.stop_after_batch is not None
             and index >= self.plan.stop_after_batch

@@ -49,7 +49,9 @@ class AmdahlModel(ExecutionTimeModel):
     def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
         self._check_p(p, cluster)
         seq = cluster.sequential_time(task.work)
-        return float(amdahl_time(seq, task.alpha, p))
+        return self._check_time(
+            float(amdahl_time(seq, task.alpha, p)), task, p
+        )
 
     def build_table(self, ptg: "PTG", cluster: "Cluster") -> np.ndarray:
         # Fully vectorized: outer product of per-task sequential times with

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..exceptions import AllocationError, ModelError
+from ..exceptions import AllocationError, ModelError, TimeModelError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..graph import PTG, Task
@@ -75,6 +75,24 @@ class ExecutionTimeModel(abc.ABC):
                 f"[1, {cluster.num_processors}]"
             )
 
+    def _check_time(self, value: float, task: "Task", p: int) -> float:
+        """Reject an unusable prediction before it can propagate.
+
+        A NaN, infinite, or non-positive ``T(v, p)`` would silently
+        poison every makespan computed from it; every concrete model
+        funnels its :meth:`time` result through this guard.
+        """
+        if not np.isfinite(value) or value <= 0.0:
+            raise TimeModelError(
+                f"model {self.name!r} predicts T({task.name!r}, "
+                f"p={p}) = {value!r}; execution times must be finite "
+                "and strictly positive",
+                task=task.name,
+                p=p,
+                model=self.name,
+            )
+        return float(value)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -103,9 +121,17 @@ class TimeTable:
             raise ModelError(
                 f"time table has shape {table.shape}, expected {expected}"
             )
-        if not np.all(np.isfinite(table)) or np.any(table <= 0):
-            raise ModelError(
-                "time table entries must be finite and strictly positive"
+        bad = ~np.isfinite(table) | (table <= 0)
+        if bad.any():
+            v, col = (int(i) for i in np.argwhere(bad)[0])
+            raise TimeModelError(
+                f"model {model_name!r} produced T("
+                f"{ptg.task(v).name!r}, p={col + 1}) = "
+                f"{table[v, col]!r}; time-table entries must be "
+                "finite and strictly positive",
+                task=ptg.task(v).name,
+                p=col + 1,
+                model=model_name,
             )
         self.ptg = ptg
         self.cluster = cluster

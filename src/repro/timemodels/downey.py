@@ -137,7 +137,9 @@ class DowneyModel(ExecutionTimeModel):
         self._check_p(p, cluster)
         seq = cluster.sequential_time(task.work)
         A = self._avg_parallelism(task.alpha, cluster.num_processors)
-        return seq / float(downey_speedup(p, A, self.sigma))
+        return self._check_time(
+            seq / float(downey_speedup(p, A, self.sigma)), task, p
+        )
 
     def build_table(self, ptg: "PTG", cluster: "Cluster") -> np.ndarray:
         P = cluster.num_processors

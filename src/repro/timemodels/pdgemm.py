@@ -124,13 +124,17 @@ class PdgemmLikeModel(ExecutionTimeModel):
     def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
         self._check_p(p, cluster)
         n = max(1, int(round((task.work / 2.0) ** (1.0 / 3.0))))
-        return pdgemm_time(
-            n,
+        return self._check_time(
+            pdgemm_time(
+                n,
+                p,
+                speed_flops=cluster.speed_flops,
+                bandwidth=self.bandwidth,
+                latency=self.latency,
+                imbalance=self.imbalance,
+            ),
+            task,
             p,
-            speed_flops=cluster.speed_flops,
-            bandwidth=self.bandwidth,
-            latency=self.latency,
-            imbalance=self.imbalance,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -108,7 +108,7 @@ class SyntheticModel(ExecutionTimeModel):
 
     def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
         base = self._amdahl.time(task, p, cluster)
-        return base * self.penalty(p)
+        return self._check_time(base * self.penalty(p), task, p)
 
     def build_table(self, ptg: "PTG", cluster: "Cluster") -> np.ndarray:
         base = self._amdahl.build_table(ptg, cluster)

@@ -133,7 +133,11 @@ class TabulatedModel(ExecutionTimeModel):
     def time(self, task: "Task", p: int, cluster: "Cluster") -> float:
         self._check_p(p, cluster)
         seq = cluster.sequential_time(task.work)
-        return seq * float(self._series_for(task.kind).interpolate(p))
+        return self._check_time(
+            seq * float(self._series_for(task.kind).interpolate(p)),
+            task,
+            p,
+        )
 
     def build_table(self, ptg, cluster: "Cluster") -> np.ndarray:
         P = cluster.num_processors

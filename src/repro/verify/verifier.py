@@ -1,0 +1,297 @@
+"""Independent schedule verification.
+
+A :class:`ScheduleVerifier` re-derives every invariant of a
+:class:`~repro.mapping.Schedule` from first principles — directly from
+the PTG's edge list, the platform's processor count and (when given) the
+time table — without trusting any intermediate the scheduler produced.
+It is deliberately redundant with :meth:`Schedule.validate`: the point
+of a verifier is that it shares *no code path* with the engines it
+checks, so a bug in the scheduler's bookkeeping cannot hide itself.
+
+Checked invariants, each with a stable ``kind`` tag on the raised
+:class:`~repro.exceptions.VerificationError`:
+
+========================  ==============================================
+kind                      invariant
+========================  ==============================================
+``graph-mismatch``        the schedule belongs to the verifier's PTG
+``platform-mismatch``     ... and to its cluster
+``non-finite``            all start/finish values are finite
+``negative-start``        no task starts before t = 0
+``negative-duration``     no task finishes before it starts
+``allocation-empty``      every task occupies at least one processor
+``allocation-duplicate``  no task lists a processor twice
+``allocation-range``      processor indices lie in ``[0, P)``
+``wrong-duration``        ``finish - start == T(v, s(v))`` (needs table)
+``precedence``            successors start after predecessors finish
+``overlap``               no processor runs two tasks at once
+``makespan-mismatch``     the reported makespan matches the placements
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import VerificationError
+from ..graph import PTG
+from ..mapping import Schedule
+from ..platform import Cluster
+from ..timemodels import TimeTable
+
+__all__ = ["ScheduleVerifier", "VerificationReport", "VIOLATION_KINDS"]
+
+#: Numerical slack for start/finish comparisons (same as the mapper's).
+_EPS = 1e-9
+
+#: Every ``kind`` tag :class:`ScheduleVerifier` can emit.
+VIOLATION_KINDS = (
+    "graph-mismatch",
+    "platform-mismatch",
+    "non-finite",
+    "negative-start",
+    "negative-duration",
+    "allocation-empty",
+    "allocation-duplicate",
+    "allocation-range",
+    "wrong-duration",
+    "precedence",
+    "overlap",
+    "makespan-mismatch",
+)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Summary of one successful verification pass."""
+
+    tasks: int
+    processors: int
+    edges_checked: int
+    intervals_checked: int
+    makespan: float
+    durations_checked: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dur = "with" if self.durations_checked else "without"
+        return (
+            f"verified {self.tasks} tasks on {self.processors} "
+            f"processors ({self.edges_checked} precedence edges, "
+            f"{self.intervals_checked} intervals, {dur} duration "
+            f"check); makespan {self.makespan:.6g}"
+        )
+
+
+class ScheduleVerifier:
+    """Checks every invariant of a schedule against its problem.
+
+    Parameters
+    ----------
+    ptg:
+        The task graph the schedule claims to implement.
+    table:
+        Optional precomputed time table.  When given, each task's
+        recorded duration must equal ``T(v, s(v))`` and the platform is
+        taken from the table; without it the duration check is skipped
+        (the structural invariants still hold).
+    cluster:
+        The platform; required when ``table`` is ``None``, derived from
+        the table otherwise.
+    """
+
+    def __init__(
+        self,
+        ptg: PTG,
+        table: TimeTable | None = None,
+        cluster: Cluster | None = None,
+    ) -> None:
+        if table is not None and cluster is None:
+            cluster = table.cluster
+        if cluster is None:
+            raise VerificationError(
+                "ScheduleVerifier needs a table or a cluster",
+                kind="platform-mismatch",
+            )
+        self.ptg = ptg
+        self.table = table
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        schedule: Schedule,
+        expected_makespan: float | None = None,
+    ) -> VerificationReport:
+        """Raise :class:`VerificationError` on any violated invariant.
+
+        ``expected_makespan`` additionally pins the value some other
+        component reported for this schedule (an evaluator's fitness, a
+        serialized file's ``makespan`` field) against the placements.
+        Returns a :class:`VerificationReport` when everything holds.
+        """
+        ptg = self.ptg
+        schedule_ptg = schedule.ptg
+        if schedule_ptg is not ptg and schedule_ptg != ptg:
+            raise VerificationError(
+                f"schedule belongs to PTG {schedule_ptg.name!r}, "
+                f"verifier was built for {ptg.name!r}",
+                kind="graph-mismatch",
+            )
+        if schedule.cluster != self.cluster:
+            raise VerificationError(
+                f"schedule belongs to cluster "
+                f"{schedule.cluster.name!r}, verifier was built for "
+                f"{self.cluster.name!r}",
+                kind="platform-mismatch",
+            )
+
+        V = ptg.num_tasks
+        P = self.cluster.num_processors
+        start = schedule.start
+        finish = schedule.finish
+
+        self._check_times(ptg, start, finish, V)
+        self._check_allocations(ptg, schedule, P, V)
+        if self.table is not None:
+            self._check_durations(ptg, schedule, start, finish, V)
+        edges = self._check_precedence(ptg, start, finish)
+        intervals = self._check_exclusivity(ptg, schedule, start, finish, V)
+
+        makespan = float(finish.max()) if V else 0.0
+        if expected_makespan is not None and (
+            not np.isfinite(expected_makespan)
+            or abs(expected_makespan - makespan)
+            > _EPS * max(1.0, abs(makespan))
+        ):
+            raise VerificationError(
+                f"reported makespan {expected_makespan!r} disagrees "
+                f"with the placements' completion time {makespan!r}",
+                kind="makespan-mismatch",
+            )
+        return VerificationReport(
+            tasks=V,
+            processors=P,
+            edges_checked=edges,
+            intervals_checked=intervals,
+            makespan=makespan,
+            durations_checked=self.table is not None,
+        )
+
+    # -- individual invariant groups -----------------------------------
+    def _check_times(self, ptg, start, finish, V) -> None:
+        finite = np.isfinite(start) & np.isfinite(finish)
+        if not finite.all():
+            bad = int(np.flatnonzero(~finite)[0])
+            raise VerificationError(
+                f"task {ptg.task(bad).name!r} has a non-finite "
+                f"placement: start={start[bad]!r}, "
+                f"finish={finish[bad]!r}",
+                kind="non-finite",
+                task=bad,
+            )
+        early = start < -_EPS
+        if early.any():
+            bad = int(np.flatnonzero(early)[0])
+            raise VerificationError(
+                f"task {ptg.task(bad).name!r} starts at "
+                f"{start[bad]!r}, before t=0",
+                kind="negative-start",
+                task=bad,
+            )
+        backwards = finish < start - _EPS
+        if backwards.any():
+            bad = int(np.flatnonzero(backwards)[0])
+            raise VerificationError(
+                f"task {ptg.task(bad).name!r} finishes at "
+                f"{finish[bad]!r}, before its start {start[bad]!r}",
+                kind="negative-duration",
+                task=bad,
+            )
+
+    def _check_allocations(self, ptg, schedule, P, V) -> None:
+        for v in range(V):
+            ps = schedule.proc_sets[v]
+            if ps.size == 0:
+                raise VerificationError(
+                    f"task {ptg.task(v).name!r} occupies no "
+                    "processors",
+                    kind="allocation-empty",
+                    task=v,
+                )
+            if np.unique(ps).size != ps.size:
+                raise VerificationError(
+                    f"task {ptg.task(v).name!r} lists a processor "
+                    "twice",
+                    kind="allocation-duplicate",
+                    task=v,
+                )
+            lo, hi = int(ps.min()), int(ps.max())
+            if lo < 0 or hi >= P:
+                raise VerificationError(
+                    f"task {ptg.task(v).name!r} uses processor "
+                    f"{lo if lo < 0 else hi}, outside [0, {P})",
+                    kind="allocation-range",
+                    task=v,
+                    processor=lo if lo < 0 else hi,
+                )
+
+    def _check_durations(self, ptg, schedule, start, finish, V) -> None:
+        table = self.table
+        for v in range(V):
+            expected = table.time(v, int(schedule.proc_sets[v].size))
+            got = float(finish[v] - start[v])
+            if abs(got - expected) > _EPS * max(1.0, abs(expected)):
+                raise VerificationError(
+                    f"task {ptg.task(v).name!r} runs for {got!r} on "
+                    f"{schedule.proc_sets[v].size} processors; the "
+                    f"{table.model_name!r} table predicts "
+                    f"{expected!r}",
+                    kind="wrong-duration",
+                    task=v,
+                )
+
+    def _check_precedence(self, ptg, start, finish) -> int:
+        edges = 0
+        for u, v in ptg.edges:
+            edges += 1
+            if start[v] < finish[u] - _EPS:
+                raise VerificationError(
+                    f"precedence violated: task {ptg.task(v).name!r} "
+                    f"starts at {start[v]!r}, before its predecessor "
+                    f"{ptg.task(u).name!r} finishes at {finish[u]!r}",
+                    kind="precedence",
+                    task=v,
+                )
+        return edges
+
+    def _check_exclusivity(self, ptg, schedule, start, finish, V) -> int:
+        per_proc: dict[int, list[tuple[float, float, int]]] = {}
+        intervals = 0
+        for v in range(V):
+            s, f = float(start[v]), float(finish[v])
+            for p in schedule.proc_sets[v]:
+                per_proc.setdefault(int(p), []).append((s, f, v))
+                intervals += 1
+        for p, spans in per_proc.items():
+            spans.sort()
+            for (s1, f1, v1), (s2, f2, v2) in zip(spans, spans[1:]):
+                if s2 < f1 - _EPS:
+                    raise VerificationError(
+                        f"overlap on processor {p}: it runs "
+                        f"{ptg.task(v1).name!r} until {f1!r} but "
+                        f"{ptg.task(v2).name!r} starts on it at "
+                        f"{s2!r}",
+                        kind="overlap",
+                        task=v2,
+                        processor=p,
+                    )
+        return intervals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduleVerifier(ptg={self.ptg.name!r}, "
+            f"cluster={self.cluster.name!r}, "
+            f"durations={self.table is not None})"
+        )

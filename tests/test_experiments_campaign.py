@@ -1,0 +1,376 @@
+"""Tests for the crash-only campaign runner and its harness bridge.
+
+The trial bodies live at module level so the campaign runner can ship
+them to subprocesses under any :mod:`multiprocessing` start method.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import emts5, make_allocator
+from repro.exceptions import CampaignError
+from repro.experiments import (
+    CampaignResult,
+    Trial,
+    campaign_status,
+    comparison_trials,
+    record_from_dict,
+    record_to_dict,
+    run_campaign,
+    run_comparison,
+    run_comparison_campaign,
+)
+from repro.timemodels import SyntheticModel
+
+
+# -- module-level trial bodies (must be importable in a subprocess) -----
+def square_trial(x: int) -> dict:
+    return {"value": x * x}
+
+
+def failing_trial(message: str = "boom") -> dict:
+    raise ValueError(message)
+
+
+def flaky_trial(marker: str) -> dict:
+    """Fails on the first attempt, succeeds once ``marker`` exists."""
+    path = Path(marker)
+    if path.exists():
+        return {"recovered": True}
+    path.write_text("attempted", encoding="utf-8")
+    raise RuntimeError("transient failure")
+
+
+def sleepy_trial(seconds: float) -> dict:
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def crashing_trial() -> dict:
+    os._exit(7)  # simulates a segfault: no exception, no result
+
+
+def unserializable_trial() -> dict:
+    return {"bad": {1, 2, 3}}  # sets do not survive json.dumps
+
+
+def trials_for(n: int) -> list[Trial]:
+    return [
+        Trial(key=f"t{i:02d}", func=square_trial, kwargs={"x": i})
+        for i in range(n)
+    ]
+
+
+class TestTrial:
+    def test_rejects_unsafe_key(self):
+        with pytest.raises(CampaignError):
+            Trial(key="a/b", func=square_trial)
+        with pytest.raises(CampaignError):
+            Trial(key=".hidden", func=square_trial)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(CampaignError):
+            Trial(key="ok", func="not-a-function")
+
+    def test_func_id_names_module(self):
+        t = Trial(key="ok", func=square_trial)
+        assert t.func_id.endswith(":square_trial")
+
+
+class TestRunCampaign:
+    def test_runs_and_persists(self, tmp_path):
+        result = run_campaign(trials_for(3), tmp_path / "c")
+        assert result.complete
+        assert result.executed == ("t00", "t01", "t02")
+        assert result.aggregate() == [
+            {"value": 0},
+            {"value": 1},
+            {"value": 4},
+        ]
+        stored = json.loads(
+            (tmp_path / "c" / "trials" / "t01.json").read_text()
+        )
+        assert stored["payload"] == {"value": 1}
+        manifest = json.loads(
+            (tmp_path / "c" / "manifest.json").read_text()
+        )
+        assert manifest["trials"] == ["t00", "t01", "t02"]
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        trials = trials_for(2) + trials_for(1)
+        with pytest.raises(CampaignError, match="duplicate"):
+            run_campaign(trials, tmp_path / "c")
+
+    def test_resume_skips_persisted(self, tmp_path):
+        out = tmp_path / "c"
+        first = run_campaign(trials_for(3), out)
+        again = run_campaign(trials_for(3), out)
+        assert again.executed == ()
+        assert again.resumed == ("t00", "t01", "t02")
+        assert again.aggregate_json() == first.aggregate_json()
+
+    def test_interrupt_and_resume_bit_identical(self, tmp_path):
+        uninterrupted = run_campaign(trials_for(5), tmp_path / "a")
+        partial = run_campaign(
+            trials_for(5), tmp_path / "b", max_trials=2
+        )
+        assert not partial.complete
+        assert partial.pending == ("t02", "t03", "t04")
+        finished = run_campaign(trials_for(5), tmp_path / "b")
+        assert finished.complete
+        assert finished.resumed == ("t00", "t01")
+        assert (
+            finished.aggregate_json() == uninterrupted.aggregate_json()
+        )
+
+    def test_torn_result_file_is_reexecuted(self, tmp_path):
+        out = tmp_path / "c"
+        run_campaign(trials_for(2), out)
+        # simulate a torn write (can't happen with os.replace, but a
+        # disk error or manual tampering can still truncate the file)
+        (out / "trials" / "t01.json").write_text('{"format": "repr')
+        again = run_campaign(trials_for(2), out)
+        assert again.executed == ("t01",)
+        assert again.results["t01"] == {"value": 1}
+
+    def test_different_campaign_rejected(self, tmp_path):
+        out = tmp_path / "c"
+        run_campaign(trials_for(2), out)
+        with pytest.raises(CampaignError, match="different campaign"):
+            run_campaign(trials_for(3), out)
+        with pytest.raises(CampaignError, match="different campaign"):
+            run_campaign(
+                [Trial(key="t00", func=failing_trial),
+                 Trial(key="t01", func=failing_trial)],
+                out,
+            )
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        out = tmp_path / "c"
+        run_campaign(trials_for(1), out)
+        (out / "manifest.json").write_text("{not json")
+        with pytest.raises(CampaignError, match="unreadable"):
+            run_campaign(trials_for(1), out)
+
+    def test_failure_quarantined_run_continues(self, tmp_path):
+        trials = [
+            Trial(key="bad", func=failing_trial,
+                  kwargs={"message": "exploded"}),
+            Trial(key="good", func=square_trial, kwargs={"x": 3}),
+        ]
+        result = run_campaign(
+            trials, tmp_path / "c", max_retries=1, retry_backoff=0.0
+        )
+        assert result.complete
+        assert result.results == {"good": {"value": 9}}
+        failure = result.quarantined["bad"]
+        assert failure.kind == "exception"
+        assert failure.attempts == 2  # first try + one retry
+        assert "exploded" in failure.error
+        # the quarantine record is carried forward on resume
+        again = run_campaign(
+            trials, tmp_path / "c", max_retries=1, retry_backoff=0.0
+        )
+        assert again.executed == ()
+        assert again.quarantined["bad"].kind == "exception"
+
+    def test_retry_recovers_transient_failure(self, tmp_path):
+        marker = tmp_path / "marker"
+        trials = [
+            Trial(
+                key="flaky",
+                func=flaky_trial,
+                kwargs={"marker": str(marker)},
+            )
+        ]
+        result = run_campaign(
+            trials, tmp_path / "c", max_retries=2, retry_backoff=0.0
+        )
+        assert result.results["flaky"] == {"recovered": True}
+        assert not result.quarantined
+
+    def test_timeout_quarantines(self, tmp_path):
+        trials = [
+            Trial(key="slow", func=sleepy_trial, kwargs={"seconds": 30.0})
+        ]
+        result = run_campaign(
+            trials,
+            tmp_path / "c",
+            trial_timeout=0.3,
+            max_retries=0,
+        )
+        assert result.quarantined["slow"].kind == "timeout"
+
+    def test_subprocess_crash_quarantines(self, tmp_path):
+        trials = [Trial(key="crash", func=crashing_trial)]
+        result = run_campaign(
+            trials, tmp_path / "c", max_retries=0, retry_backoff=0.0
+        )
+        failure = result.quarantined["crash"]
+        assert failure.kind == "crash"
+        assert "exit code 7" in failure.error
+
+    def test_unserializable_payload_quarantines(self, tmp_path):
+        trials = [Trial(key="bad", func=unserializable_trial)]
+        result = run_campaign(trials, tmp_path / "c", max_retries=5)
+        failure = result.quarantined["bad"]
+        assert failure.kind == "unserializable"
+        assert failure.attempts == 1  # retrying cannot help
+
+    def test_retry_quarantined(self, tmp_path):
+        marker = tmp_path / "marker"
+        trials = [
+            Trial(
+                key="flaky",
+                func=flaky_trial,
+                kwargs={"marker": str(marker)},
+            )
+        ]
+        out = tmp_path / "c"
+        first = run_campaign(
+            trials, out, max_retries=0, retry_backoff=0.0
+        )
+        assert "flaky" in first.quarantined  # marker now exists
+        stuck = run_campaign(trials, out)
+        assert "flaky" in stuck.quarantined  # carried forward
+        healed = run_campaign(trials, out, retry_quarantined=True)
+        assert healed.results["flaky"] == {"recovered": True}
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        run_campaign(
+            trials_for(2),
+            tmp_path / "c",
+            progress=lambda key, state: seen.append((key, state)),
+        )
+        assert seen == [("t00", "ok"), ("t01", "ok")]
+
+    def test_status(self, tmp_path):
+        out = tmp_path / "c"
+        trials = trials_for(3) + [
+            Trial(key="bad", func=failing_trial)
+        ]
+        run_campaign(
+            trials, out, max_trials=2, max_retries=0, retry_backoff=0.0
+        )
+        status = campaign_status(out)
+        assert status["done"] == 2
+        assert status["pending"] == 2
+        run_campaign(trials, out, max_retries=0, retry_backoff=0.0)
+        status = campaign_status(out)
+        assert status["done"] == 3
+        assert status["quarantined"] == 1
+        assert status["pending"] == 0
+        assert status["status"]["bad"] == "quarantined"
+
+    def test_status_without_manifest(self, tmp_path):
+        with pytest.raises(CampaignError):
+            campaign_status(tmp_path / "nope")
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(CampaignError, match="max_retries"):
+            run_campaign(trials_for(1), tmp_path / "c", max_retries=-1)
+        with pytest.raises(CampaignError, match="retry_backoff"):
+            run_campaign(
+                trials_for(1), tmp_path / "d", retry_backoff=-0.5
+            )
+
+
+class TestHarnessBridge:
+    def test_record_round_trip(self, fft8_ptg, grelon_cluster):
+        emts = emts5(generations=1)
+        result = run_comparison(
+            {"fft": [fft8_ptg]},
+            [grelon_cluster],
+            SyntheticModel(),
+            emts,
+            [make_allocator("hcpa")],
+            seed=7,
+        )
+        record = result.records[0]
+        data = record_to_dict(record)
+        json.dumps(data)  # must be JSON-serializable
+        assert record_from_dict(data) == record
+
+    def test_campaign_matches_monolithic_harness(
+        self, fft8_ptg, diamond_ptg, grelon_cluster, tmp_path
+    ):
+        ptgs = {"fft": [fft8_ptg], "diamond": [diamond_ptg]}
+        emts = emts5(generations=1)
+        model = SyntheticModel()
+        baselines = [make_allocator("hcpa"), make_allocator("mcpa")]
+        direct = run_comparison(
+            ptgs, [grelon_cluster], model, emts, baselines, seed=3
+        )
+        comparison, campaign = run_comparison_campaign(
+            ptgs,
+            [grelon_cluster],
+            model,
+            emts,
+            baselines,
+            tmp_path / "c",
+            seed=3,
+        )
+        assert isinstance(campaign, CampaignResult)
+        assert campaign.complete and not campaign.quarantined
+        key = lambda r: (r.platform, r.ptg_class, r.ptg_name)  # noqa: E731
+        for mine, theirs in zip(
+            sorted(comparison.records, key=key),
+            sorted(direct.records, key=key),
+        ):
+            assert mine.emts_makespan == theirs.emts_makespan
+            assert mine.baseline_makespans == theirs.baseline_makespans
+            assert mine.emts_evaluations == theirs.emts_evaluations
+
+    def test_campaign_resume_reuses_records(
+        self, fft8_ptg, grelon_cluster, tmp_path
+    ):
+        ptgs = {"fft": [fft8_ptg]}
+        emts = emts5(generations=1)
+        model = SyntheticModel()
+        baselines = [make_allocator("hcpa")]
+        out = tmp_path / "c"
+        first, campaign1 = run_comparison_campaign(
+            ptgs, [grelon_cluster], model, emts, baselines, out, seed=5
+        )
+        second, campaign2 = run_comparison_campaign(
+            ptgs, [grelon_cluster], model, emts, baselines, out, seed=5
+        )
+        assert campaign2.executed == ()
+        assert campaign2.resumed == campaign1.executed
+        # resumed records are loaded from disk: bit-identical, seconds
+        # and all
+        assert second.records == first.records
+
+    def test_trial_keys_are_stable_and_safe(
+        self, fft8_ptg, grelon_cluster
+    ):
+        trials = comparison_trials(
+            {"fft": [fft8_ptg]},
+            [grelon_cluster],
+            SyntheticModel(),
+            emts5(generations=1),
+            [make_allocator("hcpa")],
+            seed=1,
+        )
+        assert len(trials) == 1
+        assert trials[0].key.startswith("grelon.fft.000.")
+        # building the list twice gives identical trials (same seeds)
+        again = comparison_trials(
+            {"fft": [fft8_ptg]},
+            [grelon_cluster],
+            SyntheticModel(),
+            emts5(generations=1),
+            [make_allocator("hcpa")],
+            seed=1,
+        )
+        assert [t.key for t in again] == [t.key for t in trials]
+        assert (
+            again[0].kwargs["rng_seed"] == trials[0].kwargs["rng_seed"]
+        )

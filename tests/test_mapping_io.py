@@ -1,5 +1,7 @@
 """Unit tests for schedule serialization."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -92,3 +94,75 @@ class TestErrors:
         back = schedule_from_dict(doc, ptg, validate=False)
         with pytest.raises(ScheduleError):
             back.validate()
+
+    def test_non_dict_document(self, scheduled):
+        ptg, _ = scheduled
+        with pytest.raises(ScheduleError, match="JSON object"):
+            schedule_from_dict(["not", "a", "dict"], ptg)
+
+    def test_malformed_placement(self, scheduled):
+        ptg, schedule = scheduled
+        doc = schedule_to_dict(schedule)
+        del doc["tasks"][0]["finish"]
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_dict(doc, ptg)
+        doc = schedule_to_dict(schedule)
+        doc["tasks"][0]["start"] = "soon"
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_dict(doc, ptg)
+
+
+class TestTamperedFiles:
+    def test_truncated_file(self, scheduled, tmp_path):
+        ptg, schedule = scheduled
+        path = tmp_path / "s.json"
+        save_schedule(schedule, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate torn write
+        with pytest.raises(ScheduleError, match="not valid JSON"):
+            load_schedule(path, ptg)
+
+    def test_unreadable_file(self, scheduled, tmp_path):
+        ptg, _ = scheduled
+        with pytest.raises(ScheduleError, match="cannot read"):
+            load_schedule(tmp_path / "missing.json", ptg)
+
+    def test_tampered_makespan_field(self, scheduled, tmp_path):
+        ptg, schedule = scheduled
+        path = tmp_path / "s.json"
+        save_schedule(schedule, path)
+        doc = json.loads(path.read_text())
+        doc["makespan"] = doc["makespan"] * 0.5  # looks better than it is
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ScheduleError, match="makespan"):
+            load_schedule(path, ptg)
+
+    def test_tampered_start_field(self, scheduled, tmp_path):
+        ptg, schedule = scheduled
+        path = tmp_path / "s.json"
+        save_schedule(schedule, path)
+        doc = json.loads(path.read_text())
+        doc["tasks"][1]["start"] = 0.0
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ScheduleError, match="precedence"):
+            load_schedule(path, ptg)
+
+    def test_table_pins_durations(self, scheduled, tmp_path):
+        ptg, schedule = scheduled
+        cluster = schedule.cluster
+        table = TimeTable.build(AmdahlModel(), ptg, cluster)
+        path = tmp_path / "s.json"
+        save_schedule(schedule, path)
+        doc = json.loads(path.read_text())
+        # shrink the last task's duration; structurally still valid, so
+        # only the duration check (needs the table) can catch it
+        doc["tasks"][-1]["finish"] = (
+            doc["tasks"][-1]["start"]
+            + (doc["tasks"][-1]["finish"] - doc["tasks"][-1]["start"])
+            * 0.9
+        )
+        doc["makespan"] = max(t["finish"] for t in doc["tasks"])
+        path.write_text(json.dumps(doc))
+        load_schedule(path, ptg)  # structural check alone passes
+        with pytest.raises(ScheduleError, match="predicts"):
+            load_schedule(path, ptg, table=table)

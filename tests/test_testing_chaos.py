@@ -207,6 +207,33 @@ def test_chaos_evaluator_nan_and_delay(table, genomes, expected):
         chaos.close()
 
 
+def test_chaos_evaluator_corruption(table, genomes, expected):
+    chaos = ChaosEvaluator(
+        SerialEvaluator(PTG, table),
+        ChaosPlan(corrupt_batches=frozenset({0}), corrupt_factor=1.01),
+    )
+    try:
+        first = chaos.evaluate(genomes[:5])
+        # the first finite value is silently perturbed by 1% — the kind
+        # of corruption only differential verification can catch (see
+        # tests/test_verify.py::TestChaosCorruptionDetection)
+        assert first[0] == pytest.approx(expected[0] * 1.01)
+        assert first[1:] == expected[1:5]
+        assert chaos.faults_injected == 1
+        assert chaos.evaluate(genomes[:5]) == expected[:5]
+    finally:
+        chaos.close()
+
+
+def test_chaos_plan_sampled_corrupt_rate():
+    plan = ChaosPlan.sampled(7, 100, corrupt_rate=0.2, corrupt_factor=1.5)
+    assert plan.corrupt_batches
+    assert plan.corrupt_factor == 1.5
+    assert plan == ChaosPlan.sampled(
+        7, 100, corrupt_rate=0.2, corrupt_factor=1.5
+    )
+
+
 def test_chaos_evaluator_raise(table, genomes):
     chaos = ChaosEvaluator(
         SerialEvaluator(PTG, table),

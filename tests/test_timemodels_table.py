@@ -3,10 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import AllocationError, ModelError
+from repro.exceptions import AllocationError, ModelError, TimeModelError
 from repro.graph import chain
 from repro.platform import Cluster
-from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable
+from repro.timemodels import (
+    AmdahlModel,
+    ExecutionTimeModel,
+    SyntheticModel,
+    TimeTable,
+)
 
 
 @pytest.fixture
@@ -133,3 +138,42 @@ class TestHelpers:
 
     def test_model_name_recorded(self, table):
         assert table.model_name == "model1-amdahl"
+
+
+class TestTimeModelError:
+    """Poisoned predictions must be rejected with a full diagnosis."""
+
+    def test_table_diagnoses_bad_entry(self):
+        ptg = chain([1e9, 2e9], name="c2")
+        cluster = Cluster("c", num_processors=3, speed_gflops=1.0)
+        good = np.ones((2, 3))
+        for poison in (np.nan, np.inf, -np.inf, 0.0, -1.0):
+            bad = good.copy()
+            bad[1, 2] = poison
+            with pytest.raises(TimeModelError) as err:
+                TimeTable(ptg, cluster, bad, model_name="probe")
+            exc = err.value
+            assert exc.task == ptg.task(1).name
+            assert exc.p == 3
+            assert exc.model == "probe"
+            assert "probe" in str(exc)
+
+    def test_model_time_guard(self):
+        class PoisonModel(ExecutionTimeModel):
+            name = "poison"
+
+            def time(self, task, p, cluster):
+                return self._check_time(float("nan"), task, p)
+
+        ptg = chain([1e9], name="c1")
+        cluster = Cluster("c", num_processors=2, speed_gflops=1.0)
+        with pytest.raises(TimeModelError) as err:
+            PoisonModel().time(ptg.task(0), 1, cluster)
+        assert err.value.model == "poison"
+        assert err.value.p == 1
+        with pytest.raises(TimeModelError):
+            TimeTable.build(PoisonModel(), ptg, cluster)
+
+    def test_is_model_error_subclass(self):
+        # callers catching the old ModelError keep working
+        assert issubclass(TimeModelError, ModelError)

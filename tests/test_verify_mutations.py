@@ -1,0 +1,240 @@
+"""Mutation suite: every violation class the verifier claims to catch,
+injected deliberately, must be caught with the right ``kind`` tag.
+
+A verifier that misses even one mutation class is worse than none — it
+certifies corrupted schedules.  Each test below takes a *valid* schedule,
+applies exactly one corruption, and asserts the verifier (a) rejects it
+and (b) names the violated invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.mapping import Schedule, map_allocations
+from repro.verify import VIOLATION_KINDS, ScheduleVerifier
+
+
+@pytest.fixture
+def problem(fft8_ptg, synthetic_table):
+    gen = np.random.default_rng(4242)
+    alloc = gen.integers(
+        1, synthetic_table.num_processors + 1, size=fft8_ptg.num_tasks
+    )
+    schedule = map_allocations(fft8_ptg, synthetic_table, alloc)
+    return fft8_ptg, synthetic_table, schedule
+
+
+def mutate(schedule: Schedule, **overrides) -> Schedule:
+    """A copy of ``schedule`` with some arrays replaced."""
+    return Schedule(
+        schedule.ptg,
+        schedule.cluster,
+        overrides.get("start", schedule.start.copy()),
+        overrides.get("finish", schedule.finish.copy()),
+        overrides.get(
+            "proc_sets", [ps.copy() for ps in schedule.proc_sets]
+        ),
+    )
+
+
+def expect(verifier, schedule, kind: str) -> VerificationError:
+    with pytest.raises(VerificationError) as err:
+        verifier.verify(schedule)
+    assert err.value.kind == kind, (
+        f"expected kind {kind!r}, got {err.value.kind!r}: {err.value}"
+    )
+    return err.value
+
+
+class TestMutations:
+    def test_non_finite_start(self, problem):
+        ptg, table, schedule = problem
+        start = schedule.start.copy()
+        start[3] = float("nan")
+        exc = expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, start=start),
+            "non-finite",
+        )
+        assert exc.task == 3
+
+    def test_infinite_finish(self, problem):
+        ptg, table, schedule = problem
+        finish = schedule.finish.copy()
+        finish[0] = float("inf")
+        expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, finish=finish),
+            "non-finite",
+        )
+
+    def test_negative_start(self, problem):
+        ptg, table, schedule = problem
+        start = schedule.start.copy()
+        finish = schedule.finish.copy()
+        # shift task 0 fully left so duration stays consistent
+        width = finish[0] - start[0]
+        start[0] = -1.0
+        finish[0] = -1.0 + width
+        expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, start=start, finish=finish),
+            "negative-start",
+        )
+
+    def test_negative_duration(self, problem):
+        ptg, table, schedule = problem
+        finish = schedule.finish.copy()
+        finish[2] = schedule.start[2] - 0.5
+        expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, finish=finish),
+            "negative-duration",
+        )
+
+    def test_empty_allocation(self, problem):
+        ptg, table, schedule = problem
+        proc_sets = [ps.copy() for ps in schedule.proc_sets]
+        proc_sets[1] = np.array([], dtype=np.int64)
+        exc = expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, proc_sets=proc_sets),
+            "allocation-empty",
+        )
+        assert exc.task == 1
+
+    def test_duplicate_processor(self, problem):
+        ptg, table, schedule = problem
+        proc_sets = [ps.copy() for ps in schedule.proc_sets]
+        ps = proc_sets[1]
+        proc_sets[1] = np.concatenate([ps, ps[:1]])
+        expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, proc_sets=proc_sets),
+            "allocation-duplicate",
+        )
+
+    def test_out_of_range_processor(self, problem):
+        ptg, table, schedule = problem
+        proc_sets = [ps.copy() for ps in schedule.proc_sets]
+        proc_sets[0] = proc_sets[0].copy()
+        proc_sets[0][0] = table.num_processors  # valid are 0..P-1
+        exc = expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, proc_sets=proc_sets),
+            "allocation-range",
+        )
+        assert exc.processor == table.num_processors
+
+    def test_negative_processor(self, problem):
+        ptg, table, schedule = problem
+        proc_sets = [ps.copy() for ps in schedule.proc_sets]
+        proc_sets[0][0] = -1
+        expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, proc_sets=proc_sets),
+            "allocation-range",
+        )
+
+    def test_wrong_duration(self, problem):
+        ptg, table, schedule = problem
+        # pretend the last task ran 1% faster than the model allows;
+        # pick the sink so no successor's precedence breaks first
+        sink = int(np.argmax(schedule.finish))
+        finish = schedule.finish.copy()
+        finish[sink] = (
+            schedule.start[sink]
+            + (finish[sink] - schedule.start[sink]) * 0.99
+        )
+        exc = expect(
+            ScheduleVerifier(ptg, table),
+            mutate(schedule, finish=finish),
+            "wrong-duration",
+        )
+        assert exc.task == sink
+
+    def test_wrong_duration_needs_table(self, problem):
+        ptg, table, schedule = problem
+        sink = int(np.argmax(schedule.finish))
+        finish = schedule.finish.copy()
+        finish[sink] = (
+            schedule.start[sink]
+            + (finish[sink] - schedule.start[sink]) * 0.99
+        )
+        bad = mutate(schedule, finish=finish)
+        # without a table the duration invariant is unverifiable, so the
+        # structural-only verifier must accept this mutation
+        report = ScheduleVerifier(ptg, cluster=table.cluster).verify(bad)
+        assert not report.durations_checked
+
+    def test_precedence_violation(self, problem):
+        ptg, table, schedule = problem
+        u, v = ptg.edges[0]
+        start = schedule.start.copy()
+        finish = schedule.finish.copy()
+        width = finish[v] - start[v]
+        start[v] = max(0.0, finish[u] - 0.5 * width)
+        finish[v] = start[v] + width
+        expect(
+            ScheduleVerifier(ptg, cluster=table.cluster),
+            mutate(schedule, start=start, finish=finish),
+            "precedence",
+        )
+
+    def test_processor_overlap(self, problem):
+        ptg, table, schedule = problem
+        # move a root task onto the same processor and interval as
+        # another task scheduled there
+        proc_sets = [ps.copy() for ps in schedule.proc_sets]
+        # find two tasks with disjoint processors and overlapping times
+        by_start = np.argsort(schedule.start)
+        a = int(by_start[-1])  # latest-starting task
+        # give it also processor 0's busiest owner at that moment
+        victim = None
+        for v in range(ptg.num_tasks):
+            if v == a:
+                continue
+            if (
+                schedule.start[v] < schedule.finish[a]
+                and schedule.finish[v] > schedule.start[a]
+            ):
+                victim = v
+                break
+        assert victim is not None
+        stolen = proc_sets[victim][0]
+        if stolen in proc_sets[a]:
+            pass  # already shares it: mutation is the identity; pick set
+        proc_sets[a] = np.unique(
+            np.concatenate([proc_sets[a], [stolen]])
+        )
+        exc = expect(
+            ScheduleVerifier(ptg, cluster=table.cluster),
+            mutate(schedule, proc_sets=proc_sets),
+            "overlap",
+        )
+        assert exc.processor is not None
+
+    def test_every_kind_is_exercised(self):
+        """The suite above must cover every verifier-emitted kind."""
+        covered = {
+            "non-finite",
+            "negative-start",
+            "negative-duration",
+            "allocation-empty",
+            "allocation-duplicate",
+            "allocation-range",
+            "wrong-duration",
+            "precedence",
+            "overlap",
+        }
+        # graph/platform/makespan mismatches are argument errors, not
+        # array mutations; they are covered in test_verify.py
+        remaining = (
+            set(VIOLATION_KINDS)
+            - covered
+            - {"graph-mismatch", "platform-mismatch", "makespan-mismatch"}
+        )
+        assert not remaining, f"kinds without a mutation test: {remaining}"
