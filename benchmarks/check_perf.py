@@ -37,6 +37,9 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
 DEFAULT_MAX_RATIO = 2.0
+#: Observability promise: instrumentation that is *disabled* may cost
+#: at most this much of hot-path wall time (percent).
+DEFAULT_MAX_OBS_OVERHEAD = 2.0
 
 # Same-run speedup gates: (fast kernel, reference kernel, committed
 # floor, fresh-run floor).  Both engines are measured in the same run
@@ -197,6 +200,45 @@ def check_pinned(
     return failures
 
 
+def check_obs(obs_path: Path, max_overhead: float) -> int:
+    """Enforce the observability gates on a ``BENCH_obs.json`` file.
+
+    The hard gate is ``disabled_overhead_pct`` < ``max_overhead``
+    (percent; the ISSUE's <2 % promise).  The throughput numbers are
+    sanity-checked to be positive so an empty or failed benchmark run
+    cannot pass silently.
+    """
+    data = json.loads(obs_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    overhead = float(data["disabled_overhead_pct"])
+    ok = overhead < max_overhead
+    verdict = "ok" if ok else "<< TOO SLOW"
+    print(
+        f"obs gate disabled_overhead_pct: {overhead:+.3f}% "
+        f"(max {max_overhead:.1f}%) {verdict}"
+    )
+    if not ok:
+        failures.append("disabled_overhead_pct")
+    for key in ("fitness_evals_per_sec", "batch_evals_per_sec"):
+        value = float(data.get(key, 0.0))
+        ok = value > 0
+        print(
+            f"obs gate {key}: {value:,.0f}/s "
+            f"{'ok' if ok else '<< NOT MEASURED'}"
+        )
+        if not ok:
+            failures.append(key)
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} observability gate(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: observability overhead within budget")
+    return 0
+
+
 def check(
     run_path: Path, baseline_path: Path, max_ratio: float
 ) -> int:
@@ -260,7 +302,11 @@ def check(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "run", type=Path, help="pytest-benchmark JSON output"
+        "run",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="pytest-benchmark JSON output",
     )
     parser.add_argument(
         "--baseline",
@@ -281,11 +327,37 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline from this run instead of checking",
     )
+    parser.add_argument(
+        "--obs",
+        type=Path,
+        default=None,
+        help=(
+            "BENCH_obs.json from benchmarks/bench_obs.py; enforces "
+            "the <2%% disabled-instrumentation overhead gate"
+        ),
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=float(
+            os.environ.get(
+                "REPRO_OBS_MAX_OVERHEAD", DEFAULT_MAX_OBS_OVERHEAD
+            )
+        ),
+        help="fail when disabled_overhead_pct meets or exceeds this",
+    )
     args = parser.parse_args(argv)
+    if args.run is None and args.obs is None:
+        parser.error("provide a benchmark run file and/or --obs")
     if args.update:
         update_baseline(args.run, args.baseline)
         return 0
-    return check(args.run, args.baseline, args.max_ratio)
+    rc = 0
+    if args.run is not None:
+        rc |= check(args.run, args.baseline, args.max_ratio)
+    if args.obs is not None:
+        rc |= check_obs(args.obs, args.max_obs_overhead)
+    return rc
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from . import (
     experiments,
     graph,
     mapping,
+    obs,
     platform,
     simulator,
     timemodels,
@@ -48,6 +49,7 @@ from .exceptions import (
     EvaluationError,
     ReproError,
     TimeModelError,
+    TraceError,
     VerificationError,
 )
 from .allocation import (
@@ -97,6 +99,7 @@ __all__ = [
     "experiments",
     "exceptions",
     "verify",
+    "obs",
     # error hierarchy
     "ReproError",
     "EvaluationError",
@@ -104,6 +107,7 @@ __all__ = [
     "VerificationError",
     "TimeModelError",
     "CampaignError",
+    "TraceError",
     # verification
     "ScheduleVerifier",
     "VerifyingEvaluator",

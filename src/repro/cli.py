@@ -14,6 +14,12 @@ Subcommands:
     Run the Section V runtime measurement (experiment E7).
 ``corpus``
     Summarize (and optionally save) the paper's evaluation corpus.
+``report-trace``
+    Summarize a structured JSONL trace written by ``--trace``.
+
+Global ``--log-level`` / ``--log-json`` flags configure the package's
+logging (see :mod:`repro.obs.log`); ``schedule`` and ``campaign`` accept
+``--trace`` / ``--metrics-out`` to record structured observability data.
 """
 
 from __future__ import annotations
@@ -24,9 +30,10 @@ from pathlib import Path
 
 from .allocation import AllocationHeuristic
 from .core import EMTS, SEED_REGISTRY, emts5, emts10, make_allocator
-from .exceptions import CheckpointError
+from .exceptions import CheckpointError, TraceError
 from .graph import PTG, load_ptg, ptg_to_dot, save_ptg
 from .mapping import ascii_gantt, map_allocations, save_svg_gantt
+from .obs import LOG_LEVELS, MetricsRegistry, configure_logging
 from .platform import Cluster, by_name
 from .timemodels import (
     AmdahlModel,
@@ -164,6 +171,8 @@ def _cmd_schedule(args) -> int:
     checkpoint = getattr(args, "checkpoint", None)
     resume = getattr(args, "resume", None)
     max_wall_time = getattr(args, "max_wall_time", None)
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
     if not isinstance(algorithm, EMTS) and (
         checkpoint or resume or max_wall_time is not None
     ):
@@ -171,8 +180,14 @@ def _cmd_schedule(args) -> int:
             "--checkpoint/--resume/--max-wall-time only apply to EMTS "
             f"algorithms, not {args.algorithm!r}"
         )
+    if not isinstance(algorithm, EMTS) and (trace or metrics_out):
+        raise SystemExit(
+            "--trace/--metrics-out only apply to EMTS algorithms, "
+            f"not {args.algorithm!r}"
+        )
 
     if isinstance(algorithm, EMTS):
+        registry = MetricsRegistry() if metrics_out else None
         try:
             result = algorithm.schedule(
                 ptg,
@@ -183,9 +198,13 @@ def _cmd_schedule(args) -> int:
                 resume_from=resume,
                 max_wall_time=max_wall_time,
                 handle_signals=True,
+                trace=trace,
+                metrics=registry,
             )
         except CheckpointError as exc:
             raise SystemExit(f"checkpoint error: {exc}") from exc
+        except TraceError as exc:
+            raise SystemExit(f"trace error: {exc}") from exc
         schedule = result.schedule
         print(f"algorithm : {algorithm.name}")
         for name, ms in sorted(result.seed_makespans.items()):
@@ -207,6 +226,14 @@ def _cmd_schedule(args) -> int:
                 f"{result.config.generations} (best-so-far result)"
                 f"{where}"
             )
+        if trace:
+            print(
+                f"wrote trace -> {trace} "
+                f"(summarize with: repro-emts report-trace {trace})"
+            )
+        if registry is not None:
+            out = registry.dump(metrics_out)
+            print(f"wrote metrics -> {out}")
     else:
         assert isinstance(algorithm, AllocationHeuristic)
         alloc = algorithm.allocate(ptg, table)
@@ -384,6 +411,9 @@ def _cmd_campaign(args) -> int:
         if not args.quiet:
             print(f"[{state:>11s}] {key}")
 
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    registry = MetricsRegistry() if metrics_out else None
     try:
         if args.figure == 4:
             fig = F.generate_figure4(
@@ -392,6 +422,8 @@ def _cmd_campaign(args) -> int:
                 campaign_dir=args.out,
                 trial_timeout=args.trial_timeout,
                 progress=progress,
+                trace=trace,
+                metrics=registry,
             )
             print(fig.render())
         elif args.figure == 5:
@@ -401,6 +433,8 @@ def _cmd_campaign(args) -> int:
                 campaign_dir=args.out,
                 trial_timeout=args.trial_timeout,
                 progress=progress,
+                trace=trace,
+                metrics=registry,
             )
             print(fig5.render())
         else:
@@ -410,10 +444,30 @@ def _cmd_campaign(args) -> int:
             )
     except CampaignError as exc:
         raise SystemExit(str(exc)) from exc
+    except TraceError as exc:
+        raise SystemExit(f"trace error: {exc}") from exc
+    if trace:
+        print(
+            f"wrote trace -> {trace} "
+            f"(summarize with: repro-emts report-trace {trace})"
+        )
+    if registry is not None:
+        out = registry.dump(metrics_out)
+        print(f"wrote metrics -> {out}")
     print(
         f"campaign state persisted under {args.out}; re-running the "
         "same command resumes it"
     )
+    return 0
+
+
+def _cmd_report_trace(args) -> int:
+    from .obs import render_trace_report
+
+    try:
+        print(render_trace_report(args.trace))
+    except TraceError as exc:
+        raise SystemExit(f"trace error: {exc}") from exc
     return 0
 
 
@@ -446,6 +500,17 @@ def build_parser() -> argparse.ArgumentParser:
             "EMTS: evolutionary scheduling of parallel task graphs "
             "(reproduction of Hunold & Lepping, CLUSTER 2011)"
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default="warning",
+        help="verbosity of repro.* loggers (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -512,6 +577,26 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_obs_options(p):
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help=(
+                "write a structured JSONL run trace here (summarize "
+                "with 'repro-emts report-trace PATH')"
+            ),
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            default=None,
+            help=(
+                "write the run's metrics registry here on exit "
+                "(.prom = Prometheus exposition, otherwise JSON)"
+            ),
+        )
+
     g = sub.add_parser("generate", help="generate a PTG file")
     add_ptg_options(g)
     g.add_argument("output", help="output path (.json or .dot)")
@@ -568,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_evaluator_options(s)
+    add_obs_options(s)
     s.set_defaults(func=_cmd_schedule)
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
@@ -664,7 +750,15 @@ def build_parser() -> argparse.ArgumentParser:
     ca.add_argument(
         "--quiet", action="store_true", help="suppress per-trial lines"
     )
+    add_obs_options(ca)
     ca.set_defaults(func=_cmd_campaign)
+
+    rt = sub.add_parser(
+        "report-trace",
+        help="summarize a --trace JSONL file (runs, phases, campaigns)",
+    )
+    rt.add_argument("trace", help="trace file written by --trace")
+    rt.set_defaults(func=_cmd_report_trace)
 
     c = sub.add_parser("corpus", help="build the evaluation corpus")
     c.add_argument("--seed", type=int, default=None)
@@ -678,6 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_output=args.log_json)
     try:
         if getattr(args, "profile", None):
             return _run_profiled(args.func, args)

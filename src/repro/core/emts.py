@@ -18,11 +18,10 @@ the model-independence that is the paper's main point.
 
 from __future__ import annotations
 
-import logging
 import signal
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -40,11 +39,17 @@ from ..ea import (
 )
 from ..graph import PTG
 from ..mapping import Schedule, kernel_for, map_allocations
+from ..obs.instrument import ObservedEvaluator, run_metrics
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.profiler import NULL_PROFILER, PhaseProfiler
+from ..obs.trace import Tracer
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable
 from .checkpoint import (
     Checkpoint,
     load_checkpoint,
+    problem_fingerprint,
     save_checkpoint,
     verify_resumable,
 )
@@ -55,7 +60,7 @@ from .seeding import seed_population
 
 __all__ = ["EMTS", "EMTSResult", "emts5", "emts10"]
 
-_log = logging.getLogger("repro.core.emts")
+_log = get_logger("core.emts")
 
 
 @dataclass
@@ -119,6 +124,16 @@ class EMTSResult:
         return base / self.makespan
 
 
+def _find_verifier(evaluator):
+    """The VerifyingEvaluator in a wrapped evaluator stack, if any."""
+    obj = evaluator
+    while obj is not None:
+        if hasattr(obj, "verified") and hasattr(obj, "divergences"):
+            return obj
+        obj = getattr(obj, "inner", None)
+    return None
+
+
 class EMTS:
     """The Evolutionary Moldable Task Scheduling algorithm.
 
@@ -160,6 +175,8 @@ class EMTS:
         stop_event: threading.Event | None = None,
         handle_signals: bool = False,
         evaluator_wrapper=None,
+        trace: str | Path | Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> EMTSResult:
         """Schedule ``ptg`` on ``cluster`` under ``model``.
 
@@ -200,6 +217,25 @@ class EMTS:
             Callable applied to the freshly built fitness evaluator
             (e.g. :class:`repro.testing.chaos.ChaosEvaluator` for fault
             injection); must return an object with the same interface.
+
+        Observability parameters (keyword-only, off by default)
+        ------------------------------------------------------
+        trace:
+            Write a structured JSONL run trace to this path (or into an
+            already-open :class:`repro.obs.Tracer`, shared with e.g. a
+            campaign): ``run_start`` / ``seed`` / per-``generation`` /
+            ``checkpoint`` / ``verify`` / ``run_end`` events plus one
+            ``evaluation`` event per fitness batch.  For a fixed seed
+            the trace is bit-identical across runs after
+            :func:`repro.obs.strip_timestamps`.
+        metrics:
+            A :class:`repro.obs.MetricsRegistry` to fill with the run's
+            canonical ``emts.*`` counters/timers, live ``evaluation.*``
+            batch metrics, and — under the process-pool backend —
+            per-worker ``worker.*`` metrics merged at chunk boundaries.
+
+        Both default to ``None``; the disabled path builds no wrapper
+        and no profiler, keeping the historical zero-overhead hot path.
         """
         t_start = time.perf_counter()
         cfg = self.config
@@ -208,6 +244,18 @@ class EMTS:
             raise ConfigurationError(
                 f"max_wall_time must be > 0 seconds, got {max_wall_time}"
             )
+
+        tracer: Tracer | None
+        owns_tracer = False
+        if trace is None:
+            tracer = None
+        elif isinstance(trace, Tracer):
+            tracer = trace
+        else:
+            tracer = Tracer(trace)
+            owns_tracer = True
+        observing = tracer is not None or metrics is not None
+        profiler = PhaseProfiler() if observing else NULL_PROFILER
 
         # Install signal handlers before any heavy work — seeding a
         # large problem can take seconds, and an early Ctrl-C should
@@ -260,6 +308,25 @@ class EMTS:
                 shrink_probability=cfg.shrink_probability,
             )
 
+            if tracer is not None:
+                # the engine is only known once the kernel is built, a
+                # few lines down — run_end records it
+                tracer.begin(
+                    "run_start",
+                    attrs={
+                        "algorithm": cfg.name,
+                        "problem": problem_fingerprint(ptg, table),
+                        "workers": cfg.workers,
+                        "resumed": resume_from is not None,
+                    },
+                )
+            # Build the compiled scheduling kernel up front: every fitness
+            # call of the run (seeding included) reuses its CSR arrays and
+            # preallocated buffers, and the construction cost stays out of
+            # the first generation's timing.
+            with profiler.phase("kernel_build"):
+                kernel = kernel_for(table)
+
             checkpoint: Checkpoint | None = None
             prior_elapsed = 0.0
             prior_eval_stats: EvaluationStats | None = None
@@ -277,20 +344,16 @@ class EMTS:
                     checkpoint.generation,
                 )
             else:
-                initial, seed_allocs = seed_population(
-                    ptg,
-                    table,
-                    heuristics=cfg.seed_heuristics,
-                    population_size=cfg.mu,
-                    mutation=mutation,
-                    rng=rng,
-                    delta=cfg.delta,
-                )
-            # Build the compiled scheduling kernel up front: every fitness
-            # call of the run (seeding included) reuses its CSR arrays and
-            # preallocated buffers, and the construction cost stays out of
-            # the first generation's timing.
-            kernel_for(table)
+                with profiler.phase("seeding"):
+                    initial, seed_allocs = seed_population(
+                        ptg,
+                        table,
+                        heuristics=cfg.seed_heuristics,
+                        population_size=cfg.mu,
+                        mutation=mutation,
+                        rng=rng,
+                        delta=cfg.delta,
+                    )
             evaluator = create_evaluator(
                 ptg,
                 table,
@@ -301,9 +364,21 @@ class EMTS:
                 retry_backoff=cfg.eval_retry_backoff,
                 chunk_timeout=cfg.eval_timeout,
                 verify=cfg.verify,
+                metrics=metrics,
             )
             if evaluator_wrapper is not None:
                 evaluator = evaluator_wrapper(evaluator)
+            if observing:
+                # Outermost wrapper: the recorded batch durations cover
+                # the whole evaluator stack.  Only built when tracing or
+                # metrics are requested, so the disabled path carries no
+                # wrapper at all.
+                evaluator = ObservedEvaluator(
+                    evaluator,
+                    tracer=tracer,
+                    metrics=metrics,
+                    profiler=profiler,
+                )
 
             # Rejection strategy (paper Section VI, future work): abort a
             # candidate's mapping once it provably cannot enter the survivor
@@ -350,23 +425,40 @@ class EMTS:
             def journal(population, generation, log, completed=False):
                 if checkpoint_path is None:
                     return
-                save_checkpoint(
-                    Checkpoint.capture(
-                        cfg,
-                        ptg,
-                        table,
-                        generation,
-                        rng,
-                        population,
-                        log,
-                        seed_makespans,
-                        eval_stats=combined_stats(),
-                        elapsed_seconds=prior_elapsed
-                        + (time.perf_counter() - t_start),
-                        completed=completed,
-                    ),
-                    checkpoint_path,
-                )
+                with profiler.phase("checkpoint"):
+                    save_checkpoint(
+                        Checkpoint.capture(
+                            cfg,
+                            ptg,
+                            table,
+                            generation,
+                            rng,
+                            population,
+                            log,
+                            seed_makespans,
+                            eval_stats=combined_stats(),
+                            elapsed_seconds=prior_elapsed
+                            + (time.perf_counter() - t_start),
+                            completed=completed,
+                        ),
+                        checkpoint_path,
+                    )
+                if tracer is not None:
+                    tracer.event(
+                        "checkpoint",
+                        attrs={
+                            "generation": int(generation),
+                            "completed": bool(completed),
+                        },
+                    )
+
+            def on_generation_end(population, generation, log):
+                if tracer is not None:
+                    tracer.event(
+                        "generation",
+                        attrs=log.entries[-1].trace_attrs(),
+                    )
+                journal(population, generation, log)
 
             strategy = EvolutionStrategy(
                 mu=cfg.mu,
@@ -383,12 +475,26 @@ class EMTS:
                 # values that double as cache warm-up for the initial
                 # population.
                 seed_names = list(seed_allocs)
-                seed_values = evaluator.evaluate(
-                    [seed_allocs[name] for name in seed_names]
-                )
+                if isinstance(evaluator, ObservedEvaluator):
+                    with evaluator.phase_as("seed_fitness"):
+                        seed_values = evaluator.evaluate(
+                            [seed_allocs[n] for n in seed_names]
+                        )
+                else:
+                    seed_values = evaluator.evaluate(
+                        [seed_allocs[name] for name in seed_names]
+                    )
                 seed_makespans = dict(zip(seed_names, seed_values))
                 resume_log = None
                 start_generation = 0
+            if tracer is not None:
+                tracer.event(
+                    "seed",
+                    attrs={
+                        "heuristics": sorted(seed_makespans),
+                        "makespans": seed_makespans,
+                    },
+                )
 
             outcome = strategy.evolve(
                 initial,
@@ -398,11 +504,21 @@ class EMTS:
                 total_generations=cfg.generations,
                 abort_bound=abort_bound,
                 on_generation_end=(
-                    journal if checkpoint_path is not None else None
+                    on_generation_end
+                    if (checkpoint_path is not None or tracer is not None)
+                    else None
                 ),
                 resume_log=resume_log,
                 start_generation=start_generation,
+                profiler=profiler,
             )
+        except BaseException:
+            # an escaping error leaves the trace as a valid prefix of
+            # complete lines (no run_end — report-trace flags the run
+            # as incomplete); close our own file handle on the way out
+            if owns_tracer:
+                tracer.close()
+            raise
         finally:
             if evaluator is not None:
                 evaluator.close()
@@ -426,9 +542,10 @@ class EMTS:
             )
 
         best_alloc = np.asarray(outcome.best.genome, dtype=np.int64)
-        schedule = map_allocations(ptg, table, best_alloc)
+        with profiler.phase("final_mapping"):
+            schedule = map_allocations(ptg, table, best_alloc)
         elapsed = prior_elapsed + (time.perf_counter() - t_start)
-        return EMTSResult(
+        result = EMTSResult(
             schedule=schedule,
             allocation=best_alloc,
             seed_makespans=seed_makespans,
@@ -438,6 +555,35 @@ class EMTS:
             evaluation_stats=combined_stats(),
             interrupted=interrupted,
         )
+        verifier = _find_verifier(evaluator)
+        if verifier is not None and profiler.enabled:
+            profiler.add("verify", verifier.verify_seconds)
+        if metrics is not None:
+            run_metrics(result, registry=metrics)
+        if tracer is not None:
+            if verifier is not None:
+                tracer.event(
+                    "verify",
+                    attrs={
+                        "verified": verifier.verified,
+                        "divergences": verifier.divergences,
+                        "overhead_seconds": verifier.verify_seconds,
+                    },
+                )
+            tracer.end(
+                "run_end",
+                attrs={
+                    "makespan": float(result.makespan),
+                    "engine": kernel.engine,
+                    "generations": outcome.log.generations - 1,
+                    "interrupted": interrupted,
+                    "eval_stats": asdict(result.evaluation_stats),
+                    "phase_seconds": dict(profiler.summary()),
+                },
+            )
+            if owns_tracer:
+                tracer.close()
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         c = self.config

@@ -58,7 +58,6 @@ never retried — they would fail identically every time.
 
 from __future__ import annotations
 
-import logging
 import os
 import time
 from abc import ABC, abstractmethod
@@ -76,6 +75,8 @@ from ..exceptions import (
     EvaluationError,
 )
 from ..mapping import ScheduleKernel, makespan_of
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..graph import PTG
@@ -102,7 +103,7 @@ DEFAULT_MAX_RETRIES = 3
 #: n-th retry waits ``backoff * 2**(n-1)``.
 DEFAULT_RETRY_BACKOFF = 0.05
 
-_log = logging.getLogger("repro.core.evaluator")
+_log = get_logger("core.evaluator")
 
 
 @dataclass
@@ -119,6 +120,9 @@ class EvaluationStats:
         work the cache saved).
     cache_hits, cache_misses:
         Memoization-cache outcomes (both zero without a cache).
+    evictions:
+        Entries dropped from a full memoization cache (0 until the
+        genome stream exceeds the cache capacity).
     batches:
         Number of ``evaluate`` calls (one per EA generation, typically).
     wall_seconds:
@@ -134,6 +138,7 @@ class EvaluationStats:
     mapper_calls: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    evictions: int = 0
     batches: int = 0
     wall_seconds: float = 0.0
     retries: int = 0
@@ -153,6 +158,7 @@ class EvaluationStats:
             mapper_calls=self.mapper_calls,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            evictions=self.evictions,
             batches=self.batches,
             wall_seconds=self.wall_seconds,
             retries=self.retries,
@@ -165,6 +171,7 @@ class EvaluationStats:
         self.mapper_calls += other.mapper_calls
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.evictions += other.evictions
         self.batches += other.batches
         self.wall_seconds += other.wall_seconds
         self.retries += other.retries
@@ -179,6 +186,8 @@ class EvaluationStats:
             f"{self.hit_rate:.1%} hit rate) "
             f"in {self.wall_seconds:.3f} s"
         )
+        if self.evictions:
+            text += f" [{self.evictions} cache evictions]"
         if self.retries or self.pool_rebuilds:
             text += (
                 f" [{self.retries} chunk retries, "
@@ -307,12 +316,20 @@ class SerialEvaluator(FitnessEvaluator):
 # boundary), or a reference-engine closure as the fallback.
 _WORKER_EVALUATE = None
 _WORKER_FAULT_HOOK = None
+# Worker-local metrics registry (None unless the parent run has metrics
+# enabled).  Workers never share state: each accumulates locally and
+# ships a drained snapshot back with every chunk result, which the
+# dispatching process merges — no cross-process locking anywhere.
+_WORKER_METRICS = None
 
 
-def _pool_initializer(problem, fault_hook=None) -> None:
+def _pool_initializer(
+    problem, fault_hook=None, collect_metrics=False
+) -> None:
     """Install the shared problem in a worker process (runs once)."""
-    global _WORKER_EVALUATE, _WORKER_FAULT_HOOK
+    global _WORKER_EVALUATE, _WORKER_FAULT_HOOK, _WORKER_METRICS
     _WORKER_FAULT_HOOK = fault_hook
+    _WORKER_METRICS = MetricsRegistry() if collect_metrics else None
     if isinstance(problem, ScheduleKernel):
         _WORKER_EVALUATE = problem.makespan_batch
     else:
@@ -331,17 +348,31 @@ def _pool_initializer(problem, fault_hook=None) -> None:
 
 def _pool_evaluate_chunk(
     genome_block: np.ndarray, abort_above: float | None
-) -> list[float]:
+):
     """Evaluate one chunk of genomes inside a worker process.
 
     ``abort_above`` arrives with every chunk — the dispatcher's current
     rejection bound, not a value frozen at pool start-up.  The fault
     hook (chaos testing only) runs first so injected failures hit
     before any real work.
+
+    Returns the bare makespan list when worker metrics are off (the
+    historical wire format) and ``(values, metrics_snapshot)`` when
+    on — the snapshot is the worker registry's drained delta since the
+    previous chunk, so merging it on the parent never double-counts.
     """
     if _WORKER_FAULT_HOOK is not None:
         _WORKER_FAULT_HOOK(genome_block)
-    return _WORKER_EVALUATE(genome_block, abort_above)
+    if _WORKER_METRICS is None:
+        return _WORKER_EVALUATE(genome_block, abort_above)
+    t0 = time.perf_counter()
+    values = _WORKER_EVALUATE(genome_block, abort_above)
+    _WORKER_METRICS.counter("worker.chunks").inc()
+    _WORKER_METRICS.counter("worker.genomes").inc(len(genome_block))
+    _WORKER_METRICS.timer("worker.chunk_seconds").observe(
+        time.perf_counter() - t0
+    )
+    return values, _WORKER_METRICS.drain()
 
 
 class ProcessPoolEvaluator(FitnessEvaluator):
@@ -379,6 +410,13 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         with each genome chunk before it is evaluated, both inside
         worker processes and in the serial fallback.  Production code
         leaves this ``None``; see :mod:`repro.testing.chaos`.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When given, each
+        worker process keeps a local registry and returns its drained
+        delta with every chunk; the deltas are merged here, at chunk
+        completion, so ``worker.*`` metrics aggregate without any
+        shared state.  ``None`` (the default) keeps the historical
+        wire format and adds no work in the workers.
     """
 
     def __init__(
@@ -392,6 +430,7 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
         chunk_timeout: float | None = None,
         fault_hook: Callable | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__()
         if workers < 1:
@@ -423,6 +462,7 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         self.retry_backoff = float(retry_backoff)
         self.chunk_timeout = chunk_timeout
         self.fault_hook = fault_hook
+        self.metrics = metrics
         self._kernel = _kernel_if_matching(ptg, table)
         self._executor: ProcessPoolExecutor | None = None
 
@@ -451,7 +491,11 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                 max_workers=self.workers,
                 mp_context=ctx,
                 initializer=_pool_initializer,
-                initargs=(problem, self.fault_hook),
+                initargs=(
+                    problem,
+                    self.fault_hook,
+                    self.metrics is not None,
+                ),
             )
         return self._executor
 
@@ -524,9 +568,15 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                 failed.extend(i for i in pending if i not in futures)
             for i in futures:
                 try:
-                    results[i] = futures[i].result(
+                    outcome = futures[i].result(
                         timeout=self.chunk_timeout
                     )
+                    if isinstance(outcome, tuple):
+                        # (values, worker-metrics delta) wire format
+                        outcome, delta = outcome
+                        if self.metrics is not None:
+                            self.metrics.merge(delta)
+                    results[i] = outcome
                 except AllocationError:
                     # deterministic input error: retrying cannot help,
                     # and the serial backend would raise it too
@@ -668,6 +718,7 @@ class MemoizedEvaluator(FitnessEvaluator):
         self._cache.move_to_end(key)
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
+            self.stats.evictions += 1
 
     def _evaluate_batch(
         self,
@@ -751,6 +802,7 @@ def create_evaluator(
     fault_hook: Callable | None = None,
     verify: str = "off",
     verify_interval: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> FitnessEvaluator:
     """Build the evaluator stack for one EMTS run.
 
@@ -768,6 +820,10 @@ def create_evaluator(
     outside — ``"sample"`` replays one genome per ``verify_interval``
     submissions through every scheduling engine, ``"full"`` replays all
     of them; both scan every batch for NaN.  ``"off"`` adds nothing.
+
+    ``metrics`` enables the pool backend's per-worker metric
+    collection (ignored by the serial backend, whose work is already
+    visible to the caller's own instrumentation).
     """
     if workers < 0:
         raise ConfigurationError(
@@ -790,6 +846,7 @@ def create_evaluator(
             retry_backoff=retry_backoff,
             chunk_timeout=chunk_timeout,
             fault_hook=fault_hook,
+            metrics=metrics,
         )
     evaluator: FitnessEvaluator = backend
     if cache:

@@ -77,6 +77,25 @@ class GenerationStats:
             cache_hits=cache_hits,
         )
 
+    def trace_attrs(self) -> dict:
+        """This generation as ``generation`` trace-event attributes.
+
+        Fitness statistics are deterministic for a fixed seed; the only
+        wall-clock field is ``elapsed_seconds``, whose ``_seconds``
+        suffix makes :func:`repro.obs.strip_timestamps` drop it — so
+        same-seed traces stay bit-identical after stripping.
+        """
+        return {
+            "generation": self.generation,
+            "best": self.best,
+            "mean": self.mean,
+            "std": self.std,
+            "worst": self.worst,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
 
 @dataclass
 class EvolutionLog:

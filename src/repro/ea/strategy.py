@@ -19,7 +19,6 @@ individual (the mapper's ``abort_above`` rejection strategy does this).
 
 from __future__ import annotations
 
-import logging
 import math
 import time
 from dataclasses import dataclass
@@ -28,6 +27,8 @@ from typing import Callable, Protocol, Sequence, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs.log import get_logger
+from ..obs.profiler import NULL_PROFILER
 from .individual import Individual
 from .operators import CrossoverOperator, MutationOperator
 from .selection import best_of, comma_selection, plus_selection
@@ -36,7 +37,7 @@ from .termination import GenerationLimit, TerminationCriterion
 
 __all__ = ["EvolutionStrategy", "EvolutionResult", "BatchFitness"]
 
-_log = logging.getLogger("repro.ea")
+_log = get_logger("ea")
 
 FitnessFunction = Callable[[np.ndarray], float]
 
@@ -212,6 +213,7 @@ class EvolutionStrategy:
         on_generation_end=None,
         resume_log: EvolutionLog | None = None,
         start_generation: int = 0,
+        profiler=NULL_PROFILER,
     ) -> EvolutionResult:
         """Run the strategy from the given starting individuals.
 
@@ -260,6 +262,11 @@ class EvolutionStrategy:
         start_generation:
             Index of the last completed generation when resuming; the
             loop continues at ``start_generation + 1``.
+        profiler:
+            Phase profiler (:class:`repro.obs.PhaseProfiler`) that
+            accumulates per-phase wall time; the strategy charges
+            offspring creation to the ``"mutation"`` phase.  Defaults
+            to the no-op :data:`repro.obs.NULL_PROFILER`.
         """
         if not initial:
             raise ConfigurationError("need at least one initial individual")
@@ -334,28 +341,33 @@ class EvolutionStrategy:
             )
             t0 = time.perf_counter()
             offspring: list[Individual] = []
-            for _ in range(self.lam):
-                parent = population[int(rng.integers(len(population)))]
-                genome = parent.genome
-                origin = "mutation"
-                if (
-                    self.crossover is not None
-                    and len(population) > 1
-                    and rng.random() < self.crossover_rate
-                ):
-                    mate = population[
+            with profiler.phase("mutation"):
+                for _ in range(self.lam):
+                    parent = population[
                         int(rng.integers(len(population)))
                     ]
-                    genome = self.crossover.crossover(
-                        genome, mate.genome, rng
+                    genome = parent.genome
+                    origin = "mutation"
+                    if (
+                        self.crossover is not None
+                        and len(population) > 1
+                        and rng.random() < self.crossover_rate
+                    ):
+                        mate = population[
+                            int(rng.integers(len(population)))
+                        ]
+                        genome = self.crossover.crossover(
+                            genome, mate.genome, rng
+                        )
+                        origin = "crossover+mutation"
+                    child_genome = self.mutation.mutate(
+                        genome, rng, generation, total_generations
                     )
-                    origin = "crossover+mutation"
-                child_genome = self.mutation.mutate(
-                    genome, rng, generation, total_generations
-                )
-                offspring.append(
-                    parent.with_genome(child_genome, origin, generation)
-                )
+                    offspring.append(
+                        parent.with_genome(
+                            child_genome, origin, generation
+                        )
+                    )
             evals, hits = self._evaluate(offspring, fitness, bound)
             if self.selection == "plus":
                 population = plus_selection(

@@ -24,6 +24,7 @@ __all__ = [
     "EvaluationError",
     "CheckpointError",
     "CampaignError",
+    "TraceError",
 ]
 
 
@@ -154,4 +155,15 @@ class CampaignError(ReproError):
     Covers invalid trial specifications (duplicate or unsafe keys,
     results that cannot be serialized) and attempts to resume a campaign
     directory that belongs to a different campaign.
+    """
+
+
+class TraceError(ReproError):
+    """A run trace could not be written, read, or understood.
+
+    Covers I/O failures while writing trace events, truncated or
+    corrupt JSONL trace files, unsupported schema versions, and events
+    that violate the documented :class:`repro.obs.TraceEvent` schema.
+    The message always names the offending file (and line, when one is
+    identifiable).
     """

@@ -39,6 +39,8 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from ..exceptions import CampaignError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 
 __all__ = [
     "Trial",
@@ -264,6 +266,8 @@ def run_campaign(
     max_trials: int | None = None,
     retry_quarantined: bool = False,
     progress: Callable[[str, str], None] | None = None,
+    trace: str | Path | Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CampaignResult:
     """Execute (or resume) a campaign against ``out_dir``.
 
@@ -296,6 +300,16 @@ def run_campaign(
     progress:
         Optional ``callback(key, status)`` invoked per trial with status
         ``"resumed"``, ``"ok"`` or ``"quarantined"``.
+    trace:
+        Write a structured JSONL campaign trace to this path (or into
+        an already-open :class:`repro.obs.Tracer`): one
+        ``campaign_start`` span holding one ``campaign_trial`` event
+        per trial (key, status, attempts) and a closing
+        ``campaign_end`` with the outcome counts.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` to fill with
+        ``campaign.trials.*`` outcome counters and the per-trial
+        wall-time timer.
 
     Raises
     ------
@@ -344,6 +358,100 @@ def run_campaign(
     pending: list[str] = []
     budget = len(trials) if max_trials is None else max_trials
 
+    tracer: Tracer | None
+    owns_tracer = False
+    if trace is None:
+        tracer = None
+    elif isinstance(trace, Tracer):
+        tracer = trace
+    else:
+        tracer = Tracer(trace)
+        owns_tracer = True
+
+    def _note(key: str, status: str, **attrs: Any) -> None:
+        if tracer is not None:
+            tracer.event(
+                "campaign_trial",
+                attrs={"key": key, "status": status, **attrs},
+            )
+        if metrics is not None:
+            metrics.counter(f"campaign.trials.{status}").inc()
+        if progress:
+            progress(key, status)
+
+    if tracer is not None:
+        tracer.begin(
+            "campaign_start",
+            attrs={
+                "trials": len(trials),
+                "fingerprint": _fingerprint(trials),
+            },
+        )
+
+    try:
+        _run_trials(
+            trials,
+            trials_dir,
+            quarantine_dir,
+            ctx,
+            trial_timeout,
+            max_retries,
+            retry_backoff,
+            retry_quarantined,
+            budget,
+            results,
+            quarantined,
+            executed,
+            resumed,
+            pending,
+            _note,
+            metrics,
+        )
+    finally:
+        if tracer is not None:
+            tracer.end(
+                "campaign_end",
+                attrs={
+                    "ok": sum(1 for k in executed if k in results),
+                    "completed": len(results),
+                    "resumed": len(resumed),
+                    "quarantined": len(quarantined),
+                    "pending": len(pending),
+                },
+            )
+            if owns_tracer:
+                tracer.close()
+
+    return CampaignResult(
+        out_dir=out_dir,
+        results=results,
+        quarantined=quarantined,
+        executed=tuple(executed),
+        resumed=tuple(resumed),
+        pending=tuple(pending),
+    )
+
+
+def _run_trials(
+    trials,
+    trials_dir,
+    quarantine_dir,
+    ctx,
+    trial_timeout,
+    max_retries,
+    retry_backoff,
+    retry_quarantined,
+    budget,
+    results,
+    quarantined,
+    executed,
+    resumed,
+    pending,
+    _note,
+    metrics,
+) -> None:
+    """The campaign's trial loop (factored out of :func:`run_campaign`
+    so the tracer's start/end span can bracket it exactly)."""
     for trial in trials:
         result_path = trials_dir / f"{trial.key}.json"
         quarantine_path = quarantine_dir / f"{trial.key}.json"
@@ -352,8 +460,7 @@ def run_campaign(
         if stored is not None:
             results[trial.key] = stored["payload"]
             resumed.append(trial.key)
-            if progress:
-                progress(trial.key, "resumed")
+            _note(trial.key, "resumed")
             continue
         if quarantine_path.exists() and not retry_quarantined:
             failure = _load_result(quarantine_path, trial.key)
@@ -374,8 +481,7 @@ def run_campaign(
                 ),
             )
             resumed.append(trial.key)
-            if progress:
-                progress(trial.key, "quarantined")
+            _note(trial.key, "quarantined", carried=True)
             continue
 
         if budget <= 0:
@@ -410,8 +516,17 @@ def run_campaign(
                 else:
                     results[trial.key] = detail
                     executed.append(trial.key)
-                    if progress:
-                        progress(trial.key, "ok")
+                    seconds = time.perf_counter() - t0
+                    if metrics is not None:
+                        metrics.timer(
+                            "campaign.trial_seconds"
+                        ).observe(seconds)
+                    _note(
+                        trial.key,
+                        "ok",
+                        attempts=attempts,
+                        trial_seconds=seconds,
+                    )
                     break
             if attempts > max_retries or status == "unserializable":
                 quarantine_path.parent.mkdir(exist_ok=True)
@@ -435,19 +550,14 @@ def run_campaign(
                     kind=status,
                 )
                 executed.append(trial.key)
-                if progress:
-                    progress(trial.key, "quarantined")
+                _note(
+                    trial.key,
+                    "quarantined",
+                    attempts=attempts,
+                    kind=status,
+                )
                 break
             time.sleep(retry_backoff * (2 ** (attempts - 1)))
-
-    return CampaignResult(
-        out_dir=out_dir,
-        results=results,
-        quarantined=quarantined,
-        executed=tuple(executed),
-        resumed=tuple(resumed),
-        pending=tuple(pending),
-    )
 
 
 def campaign_status(out_dir: str | Path) -> dict[str, Any]:

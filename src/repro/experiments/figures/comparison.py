@@ -162,6 +162,8 @@ def run_relative_makespan_figure(
     campaign_dir: str | None = None,
     trial_timeout: float | None = None,
     progress=None,
+    trace=None,
+    metrics=None,
 ) -> RelativeMakespanFigure:
     """Run the full comparison grid for one model and EMTS variant.
 
@@ -170,6 +172,10 @@ def run_relative_makespan_figure(
     under that directory); interrupting and re-running the same command
     resumes where it stopped and aggregates to identical figure cells.
     Quarantined trials are excluded from the aggregation.
+
+    ``trace`` / ``metrics`` (campaign mode only) record one
+    ``campaign_trial`` event and outcome counter per trial — see
+    :func:`repro.experiments.campaign.run_campaign`.
     """
     if panels is None:
         panels = build_panels(seed, scale)
@@ -186,6 +192,8 @@ def run_relative_makespan_figure(
             seed=seed,
             trial_timeout=trial_timeout,
             progress=progress,
+            trace=trace,
+            metrics=metrics,
         )
     else:
         raw = run_comparison(

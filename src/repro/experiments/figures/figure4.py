@@ -33,6 +33,8 @@ def generate_figure4(
     campaign_dir: str | None = None,
     trial_timeout: float | None = None,
     progress=None,
+    trace=None,
+    metrics=None,
 ) -> RelativeMakespanFigure:
     """Run the Figure 4 experiment (Model 1, EMTS5).
 
@@ -40,7 +42,8 @@ def generate_figure4(
     (400 FFT + 100 Strassen + 36 layered-100 + 108 irregular-100 PTGs,
     each on two platforms) is ``scale=1``.  ``campaign_dir`` runs the
     sweep as a resumable crash-only campaign (see
-    :mod:`repro.experiments.campaign`).
+    :mod:`repro.experiments.campaign`); ``trace`` / ``metrics`` record
+    per-trial observability events in campaign mode.
     """
     return run_relative_makespan_figure(
         AmdahlModel(),
@@ -51,4 +54,6 @@ def generate_figure4(
         campaign_dir=campaign_dir,
         trial_timeout=trial_timeout,
         progress=progress,
+        trace=trace,
+        metrics=metrics,
     )

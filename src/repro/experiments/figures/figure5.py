@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ...core import emts5, emts10
+from ...obs.trace import Tracer
 from ...timemodels import SyntheticModel
 from .comparison import (
     RelativeMakespanFigure,
@@ -56,13 +57,17 @@ def generate_figure5(
     campaign_dir: str | None = None,
     trial_timeout: float | None = None,
     progress=None,
+    trace=None,
+    metrics=None,
 ) -> Figure5Data:
     """Run the Figure 5 experiment (Model 2; EMTS5 and EMTS10 rows).
 
     Both rows share the same PTG panels so their results are directly
     comparable, as in the paper.  ``campaign_dir`` runs each row as a
     resumable crash-only campaign in its own subdirectory
-    (``<dir>/emts5``, ``<dir>/emts10``).
+    (``<dir>/emts5``, ``<dir>/emts10``); ``trace`` / ``metrics`` record
+    per-trial observability events in campaign mode (both rows share
+    the same trace file and registry).
     """
     if panels is None:
         panels = build_panels(seed, scale)
@@ -73,27 +78,39 @@ def generate_figure5(
             return None
         return str(Path(campaign_dir) / name)
 
-    row5 = run_relative_makespan_figure(
-        model,
-        emts5(),
-        seed=seed,
-        scale=scale,
-        panels=panels,
-        campaign_dir=_dir("emts5"),
-        trial_timeout=trial_timeout,
-        progress=progress,
-    )
-    if include_emts10:
-        row10 = run_relative_makespan_figure(
+    # open the trace once so both rows land in one file (a fresh Tracer
+    # per row would truncate the first row's events)
+    owns_tracer = trace is not None and not isinstance(trace, Tracer)
+    tracer = Tracer(trace) if owns_tracer else trace
+    try:
+        row5 = run_relative_makespan_figure(
             model,
-            emts10(),
+            emts5(),
             seed=seed,
             scale=scale,
             panels=panels,
-            campaign_dir=_dir("emts10"),
+            campaign_dir=_dir("emts5"),
             trial_timeout=trial_timeout,
             progress=progress,
+            trace=tracer,
+            metrics=metrics,
         )
-    else:
-        row10 = row5
+        if include_emts10:
+            row10 = run_relative_makespan_figure(
+                model,
+                emts10(),
+                seed=seed,
+                scale=scale,
+                panels=panels,
+                campaign_dir=_dir("emts10"),
+                trial_timeout=trial_timeout,
+                progress=progress,
+                trace=tracer,
+                metrics=metrics,
+            )
+        else:
+            row10 = row5
+    finally:
+        if owns_tracer:
+            tracer.close()
     return Figure5Data(emts5_row=row5, emts10_row=row10)

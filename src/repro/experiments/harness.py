@@ -21,6 +21,9 @@ from ..allocation import AllocationHeuristic
 from ..core import EMTS, EMTSConfig, make_allocator
 from ..graph import PTG
 from ..mapping import makespan_of
+from ..obs.instrument import run_snapshot
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..platform import Cluster
 from ..timemodels import ExecutionTimeModel, TimeTable
 from .campaign import CampaignResult, Trial, run_campaign
@@ -213,7 +216,10 @@ def run_comparison(
                     max_wall_time=max_wall_time,
                 )
                 seconds = time.perf_counter() - t0
-                stats = emts_result.evaluation_stats
+                # the canonical metrics-registry projection of the run:
+                # the same numbers a --metrics-out dump or a trace's
+                # eval_stats would report (single source of truth)
+                snap = run_snapshot(emts_result)
                 result.records.append(
                     RunRecord(
                         ptg_name=ptg.name,
@@ -225,16 +231,10 @@ def run_comparison(
                         emts_makespan=emts_result.makespan,
                         emts_seconds=seconds,
                         baseline_makespans=base_ms,
-                        emts_evaluations=(
-                            stats.evaluations if stats else 0
-                        ),
-                        emts_mapper_calls=(
-                            stats.mapper_calls if stats else 0
-                        ),
-                        emts_cache_hits=(
-                            stats.cache_hits if stats else 0
-                        ),
-                        interrupted=emts_result.interrupted,
+                        emts_evaluations=snap["evaluations"],
+                        emts_mapper_calls=snap["mapper_calls"],
+                        emts_cache_hits=snap["cache_hits"],
+                        interrupted=snap["interrupted"],
                     )
                 )
     return result
@@ -303,7 +303,7 @@ def _comparison_trial(
         ptg, cluster, table, rng=rng_seed, max_wall_time=max_wall_time
     )
     seconds = time.perf_counter() - t0
-    stats = emts_result.evaluation_stats
+    snap = run_snapshot(emts_result)
     return record_to_dict(
         RunRecord(
             ptg_name=ptg.name,
@@ -315,10 +315,10 @@ def _comparison_trial(
             emts_makespan=emts_result.makespan,
             emts_seconds=seconds,
             baseline_makespans=base_ms,
-            emts_evaluations=stats.evaluations if stats else 0,
-            emts_mapper_calls=stats.mapper_calls if stats else 0,
-            emts_cache_hits=stats.cache_hits if stats else 0,
-            interrupted=emts_result.interrupted,
+            emts_evaluations=snap["evaluations"],
+            emts_mapper_calls=snap["mapper_calls"],
+            emts_cache_hits=snap["cache_hits"],
+            interrupted=snap["interrupted"],
         )
     )
 
@@ -384,6 +384,8 @@ def run_comparison_campaign(
     max_retries: int = 2,
     max_trials: int | None = None,
     progress=None,
+    trace: str | Path | Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[ComparisonResult, CampaignResult]:
     """:func:`run_comparison`, campaign-style.
 
@@ -392,6 +394,9 @@ def run_comparison_campaign(
     from the persisted results and yields bit-identical records.
     Quarantined trials are simply absent from the returned
     :class:`ComparisonResult` (they are listed in the campaign result).
+    ``trace`` / ``metrics`` are forwarded to
+    :func:`repro.experiments.campaign.run_campaign`, which records one
+    ``campaign_trial`` event (and outcome counter) per trial.
     """
     trials = comparison_trials(
         ptgs,
@@ -409,6 +414,8 @@ def run_comparison_campaign(
         max_retries=max_retries,
         max_trials=max_trials,
         progress=progress,
+        trace=trace,
+        metrics=metrics,
     )
     comparison = ComparisonResult(
         [record_from_dict(d) for d in campaign.results.values()]

@@ -38,15 +38,16 @@ the fallback; set ``REPRO_CKERNEL_CACHE`` to relocate the build cache.
 from __future__ import annotations
 
 import hashlib
-import logging
 import os
 import subprocess
 import tempfile
 from pathlib import Path
 
+from ..obs.log import get_logger
+
 __all__ = ["load", "CDEF"]
 
-_log = logging.getLogger("repro.mapping.ckernel")
+_log = get_logger("mapping.ckernel")
 
 CDEF = """
 double schedule_makespan(

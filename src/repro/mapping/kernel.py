@@ -636,6 +636,16 @@ class ScheduleKernel:
         """True when the native C scheduling loop is bound."""
         return self._c is not None
 
+    @property
+    def engine(self) -> str:
+        """Which makespan engine fitness calls run on: ``"c"`` when the
+        native library is bound, ``"numpy"`` on the fallback loop.
+
+        Observability surfaces (run traces, ``report-trace``) record
+        this so a silently missed C build is visible in every trace.
+        """
+        return "c" if self._c is not None else "numpy"
+
     def makespan_numpy(
         self, alloc: np.ndarray, abort_above: float | None = None
     ) -> float:

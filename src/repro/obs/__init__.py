@@ -1,0 +1,91 @@
+"""repro.obs — unified observability: tracing, metrics, profiling, logs.
+
+A zero-dependency observability layer threaded through every layer of
+the scheduler:
+
+* :mod:`repro.obs.metrics` — counters, gauges, timers and fixed-bucket
+  histograms in a :class:`MetricsRegistry` with text/JSON/Prometheus
+  exporters; process-safe through per-worker registries whose
+  :meth:`~MetricsRegistry.drain` snapshots merge at chunk boundaries.
+* :mod:`repro.obs.trace` — a schema-versioned JSONL event stream
+  (:class:`TraceEvent`) of run/generation/evaluation/checkpoint/verify
+  and campaign-trial spans; same-seed traces are bit-identical after
+  :func:`strip_timestamps`.
+* :mod:`repro.obs.profiler` — per-phase wall-time accumulation for the
+  hot path, off by default via :data:`NULL_PROFILER`.
+* :mod:`repro.obs.log` — the package's single logging configuration
+  point (hierarchical ``repro.*`` loggers, optional JSON formatter,
+  idempotent handler installation).
+* :mod:`repro.obs.report` — the ``repro-emts report-trace`` renderer.
+
+Instrumentation is **off by default** and adds <2 % overhead when
+disabled (gated by ``benchmarks/check_perf.py``); enable it per run via
+``EMTS.schedule(trace=..., metrics=...)`` or the ``--trace`` /
+``--metrics-out`` CLI flags.
+"""
+
+from .instrument import ObservedEvaluator, run_metrics, run_snapshot
+from .log import (
+    JsonFormatter,
+    LOG_LEVELS,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from .profiler import NULL_PROFILER, NullProfiler, PhaseProfiler
+from .report import render_trace_report, summarize_runs
+from .trace import (
+    EVENT_KINDS,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TraceEvent,
+    Tracer,
+    canonical_events,
+    read_trace,
+    strip_timestamps,
+    validate_event,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    # trace
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "read_trace",
+    "validate_event",
+    "strip_timestamps",
+    "canonical_events",
+    # profiling
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    # logging
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+    "JsonFormatter",
+    "LOG_LEVELS",
+    # instrumentation + reporting
+    "ObservedEvaluator",
+    "run_metrics",
+    "run_snapshot",
+    "render_trace_report",
+    "summarize_runs",
+]

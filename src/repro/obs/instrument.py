@@ -1,0 +1,213 @@
+"""Instrumentation glue between the observability layer and the engine.
+
+Two pieces live here:
+
+* :class:`ObservedEvaluator` — the duck-typed evaluator wrapper
+  (``evaluate`` / ``stats`` / ``genome_key`` / ``close``, same contract
+  as :class:`~repro.verify.VerifyingEvaluator`) that records one
+  ``evaluation`` trace event and one batch-duration histogram sample
+  per fitness batch.  It is only ever constructed when tracing or
+  metrics are enabled, so the disabled path carries no wrapper at all.
+* :func:`run_metrics` / :func:`run_snapshot` — the canonical
+  metrics-registry projection of one finished EMTS run.  This is the
+  single source of truth for eval-stat summaries: the experiment
+  harness (:mod:`repro.experiments.harness`) and the runtime tables
+  (:mod:`repro.experiments.runtime`) both consume it, so their
+  "interrupted"/evaluations/cache columns can never drift apart again.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Any, Sequence
+
+from .metrics import MetricsRegistry
+from .profiler import NULL_PROFILER
+from .trace import Tracer
+
+__all__ = ["ObservedEvaluator", "run_metrics", "run_snapshot"]
+
+
+class ObservedEvaluator:
+    """Record per-batch trace events and metrics around any evaluator.
+
+    Sits outermost in the evaluator stack (outside verification and
+    memoization), so the recorded batch durations include the whole
+    stack's cost — which is what the run's phase breakdown attributes
+    to fitness evaluation.
+    """
+
+    def __init__(
+        self,
+        inner,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler=NULL_PROFILER,
+    ) -> None:
+        self.inner = inner
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+        #: Profiler phase batch durations are charged to.  EMTS swaps
+        #: this to ``"seed_fitness"`` around the seed-baseline batch so
+        #: the phase breakdown separates seeding cost from the EA loop.
+        self.phase = "fitness_batch"
+
+    # -- evaluator interface -------------------------------------------
+    @property
+    def stats(self):
+        """The wrapped evaluator's counters."""
+        return self.inner.stats
+
+    def genome_key(self, genome) -> bytes:
+        """Delegate cache-key computation down the wrapped stack."""
+        obj = self.inner
+        while obj is not None:
+            key_fn = getattr(obj, "genome_key", None)
+            if key_fn is not None:
+                return key_fn(genome)
+            obj = getattr(obj, "inner", None)
+        raise AttributeError(
+            "no evaluator in the wrapped stack exposes genome_key"
+        )
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "ObservedEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __call__(self, genome) -> float:
+        return self.evaluate([genome])[0]
+
+    @contextmanager
+    def phase_as(self, name: str):
+        """Charge batches inside the block to phase ``name``."""
+        previous, self.phase = self.phase, name
+        try:
+            yield self
+        finally:
+            self.phase = previous
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        genomes: Sequence,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        genomes = list(genomes)
+        t0 = time.perf_counter()
+        values = self.inner.evaluate(genomes, abort_above=abort_above)
+        dt = time.perf_counter() - t0
+        self.profiler.add(self.phase, dt)
+        rejected = sum(1 for v in values if math.isinf(v))
+        if self.tracer is not None:
+            self.tracer.event(
+                "evaluation",
+                attrs={
+                    "genomes": len(genomes),
+                    "bounded": abort_above is not None,
+                    "rejected": rejected,
+                },
+                dur=dt,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("evaluation.batches").inc()
+            self.metrics.counter("evaluation.genomes").inc(
+                len(genomes)
+            )
+            if rejected:
+                self.metrics.counter("evaluation.rejected").inc(
+                    rejected
+                )
+            self.metrics.histogram(
+                "evaluation.batch_seconds"
+            ).observe(dt)
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObservedEvaluator({self.inner!r})"
+
+
+# ----------------------------------------------------------------------
+def run_metrics(
+    result, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Project one finished EMTS run onto the metrics registry.
+
+    ``result`` is an :class:`~repro.core.emts.EMTSResult` (duck-typed:
+    anything with ``evaluation_stats``, ``log``, ``elapsed_seconds``,
+    ``makespan`` and ``interrupted`` works).  Fills ``registry`` (a new
+    one when ``None``) with the canonical ``emts.*`` metrics and
+    returns it.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    stats = result.evaluation_stats
+    if stats is not None:
+        reg.counter(
+            "emts.evaluations", help="genomes submitted for evaluation"
+        ).inc(stats.evaluations)
+        reg.counter(
+            "emts.mapper_calls", help="list-scheduler runs executed"
+        ).inc(stats.mapper_calls)
+        reg.counter("emts.cache_hits").inc(stats.cache_hits)
+        reg.counter("emts.cache_misses").inc(stats.cache_misses)
+        reg.counter("emts.cache_evictions").inc(stats.evictions)
+        reg.counter(
+            "emts.retries", help="chunks re-dispatched after failure"
+        ).inc(stats.retries)
+        reg.counter("emts.pool_rebuilds").inc(stats.pool_rebuilds)
+        reg.counter("emts.eval_batches").inc(stats.batches)
+        reg.timer("emts.eval_seconds").observe(stats.wall_seconds)
+    reg.counter(
+        "emts.generations", help="completed evolutionary steps"
+    ).inc(max(0, result.log.generations - 1))
+    reg.timer("emts.run_seconds").observe(result.elapsed_seconds)
+    reg.gauge("emts.makespan").set(float(result.makespan))
+    reg.gauge("emts.interrupted").set(
+        1.0 if result.interrupted else 0.0
+    )
+    return reg
+
+
+def run_snapshot(result) -> dict[str, Any]:
+    """Flat canonical eval-stat summary of one EMTS run.
+
+    Derived from the :func:`run_metrics` registry snapshot, so every
+    consumer (harness records, runtime tables, CLI summaries) reads the
+    same field names and the same values.
+    """
+    snap = run_metrics(result).snapshot()
+
+    def value(name: str, default=0):
+        data = snap.get(name)
+        return data["value"] if data is not None else default
+
+    def timer_total(name: str) -> float:
+        data = snap.get(name)
+        return float(data["total"]) if data is not None else 0.0
+
+    evaluations = int(value("emts.evaluations"))
+    cache_hits = int(value("emts.cache_hits"))
+    return {
+        "evaluations": evaluations,
+        "mapper_calls": int(value("emts.mapper_calls")),
+        "cache_hits": cache_hits,
+        "cache_misses": int(value("emts.cache_misses")),
+        "cache_evictions": int(value("emts.cache_evictions")),
+        "hit_rate": (
+            cache_hits / evaluations if evaluations else 0.0
+        ),
+        "retries": int(value("emts.retries")),
+        "pool_rebuilds": int(value("emts.pool_rebuilds")),
+        "eval_seconds": timer_total("emts.eval_seconds"),
+        "elapsed_seconds": timer_total("emts.run_seconds"),
+        "generations": int(value("emts.generations")),
+        "makespan": float(value("emts.makespan", math.nan)),
+        "interrupted": bool(value("emts.interrupted")),
+    }

@@ -1,0 +1,130 @@
+"""Single logging configuration point for the :mod:`repro` package.
+
+Every module obtains its logger through :func:`get_logger`, which keeps
+the whole package under the ``repro`` hierarchy (``repro.core.emts``,
+``repro.ea``, ``repro.mapping.ckernel``, ...), so one call to
+:func:`configure_logging` controls all of them.
+
+:func:`configure_logging` is **idempotent**: it installs exactly one
+handler on the ``repro`` root logger and replaces — never duplicates —
+a handler installed by a previous call.  This matters for the CLI,
+which may run ``main()`` several times in one process (tests, notebook
+loops): naive ``addHandler`` calls would emit every record once per
+invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import TextIO
+
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+    "JsonFormatter",
+    "LOG_LEVELS",
+]
+
+#: Name of the package root logger every repro logger descends from.
+ROOT_LOGGER = "repro"
+
+#: Accepted ``--log-level`` names, in increasing severity.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Attribute stamped on handlers this module installs, so repeated
+#: configuration replaces them instead of stacking duplicates.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log record (machine-readable log stream).
+
+    Fields: ``level``, ``logger``, ``message``, plus ``exc`` when the
+    record carries exception info.  Timestamps are deliberately kept in
+    a separate ``ts`` field so log lines can be compared across runs by
+    dropping it.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``name`` may be the dotted path below the package root
+    (``"core.emts"``) or an already-qualified ``repro.*`` name; both
+    resolve to the same logger.
+    """
+    if name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def _level_value(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return getattr(logging, level.upper())
+    except AttributeError:
+        known = ", ".join(LOG_LEVELS)
+        raise ValueError(
+            f"unknown log level {level!r}; known levels: {known}"
+        ) from None
+
+
+def configure_logging(
+    level: int | str = "warning",
+    json_output: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the package log handler; returns the root.
+
+    Safe to call any number of times in one process: handlers this
+    function previously installed are removed first, so the ``repro``
+    logger always ends up with exactly one handler.  Handlers installed
+    by the application itself (no :data:`_HANDLER_TAG`) are left alone.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(_level_value(level))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_output:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    # records are handled here; the lastResort/stderr default would
+    # print them a second time if they kept propagating
+    root.propagate = False
+    return root
+
+
+def reset_logging() -> None:
+    """Remove every handler this module installed (tests)."""
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+            handler.close()
+    root.propagate = True
+    root.setLevel(logging.NOTSET)

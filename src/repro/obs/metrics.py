@@ -1,0 +1,450 @@
+"""Zero-dependency metrics registry: counters, gauges, timers, histograms.
+
+Design constraints, in order:
+
+* **cheap** — instruments are plain attribute updates behind one
+  registry lock; the hot path (fitness batches) touches them once per
+  *batch*, never per genome;
+* **mergeable** — :meth:`MetricsRegistry.snapshot` produces a plain
+  dict that :meth:`MetricsRegistry.merge` folds back into any other
+  registry.  Worker processes keep a local registry and ship
+  :meth:`~MetricsRegistry.drain` output back with each finished chunk,
+  so cross-process aggregation happens at chunk boundaries with no
+  shared state;
+* **exportable** — text, JSON, and Prometheus exposition renderings,
+  all derived from the same snapshot.
+
+Metric names are dotted (``emts.evaluations``, ``phase.fitness_batch``);
+the Prometheus exporter mangles them to ``repro_emts_evaluations``-style
+identifiers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: Default fixed bucket upper bounds for duration histograms (seconds).
+#: Decade-stepped from 100 us to 100 s; values above the last bound land
+#: in the implicit +inf bucket.
+DEFAULT_SECONDS_BUCKETS = (
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+    100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        self.value += data["value"]
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can move both ways (last write wins on merge)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        self.value = data["value"]
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Timer:
+    """Accumulated durations: count, total, min and max seconds."""
+
+    kind = "timer"
+    __slots__ = ("name", "help", "count", "total", "min", "max")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(
+                f"timer {self.name!r} got a negative duration {seconds}"
+            )
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        incoming = int(data["count"])
+        if incoming == 0:
+            return
+        self.count += incoming
+        self.total += data["total"]
+        self.min = min(self.min, data["min"])
+        self.max = max(self.max, data["max"])
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on export, like Prometheus).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+inf`` bucket
+    catches everything above the last bound.  Counts are stored
+    per-bucket (non-cumulative) internally, which makes merging a plain
+    element-wise sum.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "total", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+        help: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs >= 1 bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} bucket bounds must be strictly "
+                f"increasing, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +inf bucket
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        if tuple(data["buckets"]) != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"buckets {tuple(data['buckets'])} into {self.buckets}"
+            )
+        self.counts = [
+            a + b for a, b in zip(self.counts, data["counts"])
+        ]
+        self.total += data["total"]
+        self.sum += data["sum"]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+
+_INSTRUMENT_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "timer": Timer,
+    "histogram": Histogram,
+}
+
+
+class MetricsRegistry:
+    """Named instruments with thread-safe creation and merge.
+
+    One registry lives in the driving process per observed run; worker
+    processes build their own and return :meth:`drain` snapshots with
+    each finished chunk, which the parent :meth:`merge`\\ s — per-worker
+    local registries merged at chunk boundaries, no cross-process
+    locking.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    # -- instrument factories (get-or-create) --------------------------
+    def _get(self, name: str, cls, **kwargs):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, **kwargs)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{inst.kind}, not {cls.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return self._get(name, Timer, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets, help=help)
+
+    # -- introspection -------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` (or ``None``)."""
+        return self._instruments.get(name)
+
+    def value(self, name: str):
+        """Shortcut: the scalar value of a counter/gauge."""
+        return self._instruments[name].value
+
+    # -- aggregation ---------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain-dict state of every instrument (JSON-serializable)."""
+        with self._lock:
+            return {
+                name: inst.to_dict()
+                for name, inst in sorted(self._instruments.items())
+            }
+
+    def drain(self) -> dict[str, dict[str, Any]]:
+        """:meth:`snapshot`, then reset every instrument to zero.
+
+        Worker-side primitive: each chunk ships only the *delta* since
+        the previous chunk, so the parent's :meth:`merge` never double
+        counts.
+        """
+        with self._lock:
+            snap = {
+                name: inst.to_dict()
+                for name, inst in sorted(self._instruments.items())
+            }
+            for inst in self._instruments.values():
+                inst.reset()
+            return snap
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a :meth:`snapshot`/:meth:`drain` dict into this registry.
+
+        Unknown metrics are created with the snapshot's kind, so the
+        parent does not need to pre-register everything its workers
+        might measure.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("kind")
+            cls = _INSTRUMENT_KINDS.get(kind)
+            if cls is None:
+                raise ValueError(
+                    f"snapshot metric {name!r} has unknown kind "
+                    f"{kind!r}"
+                )
+            if cls is Histogram:
+                inst = self._get(name, cls, buckets=data["buckets"])
+            else:
+                inst = self._get(name, cls)
+            with self._lock:
+                inst.merge(data)
+
+    # -- exporters -----------------------------------------------------
+    def render_text(self) -> str:
+        """Human-readable one-metric-per-line rendering."""
+        lines = []
+        for name, data in self.snapshot().items():
+            kind = data["kind"]
+            if kind in ("counter", "gauge"):
+                value = data["value"]
+                shown = (
+                    f"{value:g}" if isinstance(value, float) else value
+                )
+                lines.append(f"{name:<36} {kind:<9} {shown}")
+            elif kind == "timer":
+                lines.append(
+                    f"{name:<36} {kind:<9} count={data['count']} "
+                    f"total={data['total']:.6f}s "
+                    f"min={data['min']:.6f}s max={data['max']:.6f}s"
+                )
+            else:  # histogram
+                lines.append(
+                    f"{name:<36} {kind:<9} total={data['total']} "
+                    f"sum={data['sum']:.6f}"
+                )
+        return "\n".join(lines)
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        out: list[str] = []
+        for name, data in self.snapshot().items():
+            metric = _prom_name(prefix, name)
+            kind = data["kind"]
+            if kind == "counter":
+                out.append(f"# TYPE {metric} counter")
+                out.append(f"{metric} {_prom_value(data['value'])}")
+            elif kind == "gauge":
+                out.append(f"# TYPE {metric} gauge")
+                out.append(f"{metric} {_prom_value(data['value'])}")
+            elif kind == "timer":
+                # timers are always in seconds; don't double the unit
+                # suffix when the metric name already carries it
+                if not metric.endswith("_seconds"):
+                    metric += "_seconds"
+                out.append(f"# TYPE {metric} summary")
+                out.append(f"{metric}_count {data['count']}")
+                out.append(
+                    f"{metric}_sum {_prom_value(data['total'])}"
+                )
+            else:  # histogram
+                out.append(f"# TYPE {metric} histogram")
+                cumulative = 0
+                for bound, count in zip(
+                    data["buckets"], data["counts"]
+                ):
+                    cumulative += count
+                    out.append(
+                        f'{metric}_bucket{{le="{_prom_value(bound)}"}} '
+                        f"{cumulative}"
+                    )
+                out.append(
+                    f'{metric}_bucket{{le="+Inf"}} {data["total"]}'
+                )
+                out.append(f"{metric}_count {data['total']}")
+                out.append(f"{metric}_sum {_prom_value(data['sum'])}")
+        return "\n".join(out) + ("\n" if out else "")
+
+    def to_json(self) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the registry to ``path`` atomically.
+
+        ``.prom`` paths get the Prometheus exposition; anything else
+        gets the JSON snapshot.
+        """
+        path = Path(path)
+        if path.suffix == ".prom":
+            text = self.render_prometheus()
+        else:
+            text = self.to_json() + "\n"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({len(self)} metrics)"
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    mangled = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"{prefix}_{mangled}"
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)

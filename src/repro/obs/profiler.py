@@ -1,0 +1,123 @@
+"""Phase-level wall-time profiling for the EMTS hot path.
+
+A :class:`PhaseProfiler` accumulates wall-clock time per named phase
+(``seeding``, ``mutation``, ``fitness_batch``, ``checkpoint``,
+``final_mapping``, ...) through reentrancy-free context managers; a run
+ends with a per-phase breakdown that the tracer embeds in its
+``run_end`` event and the metrics registry exports as timers.
+
+Instrumentation is **off by default**: code paths take a profiler
+argument defaulting to :data:`NULL_PROFILER`, whose ``phase()`` returns
+one shared no-op context manager — the disabled cost is an attribute
+lookup and an empty ``with`` block per phase entry, far below the <2 %
+overhead budget ``benchmarks/check_perf.py`` gates.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["PhaseProfiler", "NullProfiler", "NULL_PROFILER"]
+
+
+class _Phase:
+    """Context manager accumulating one phase's elapsed time."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.add(
+            self._name, time.perf_counter() - self._t0
+        )
+
+
+class PhaseProfiler:
+    """Accumulated wall time and entry count per named phase."""
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def phase(self, name: str) -> _Phase:
+        """Context manager timing one entry of phase ``name``."""
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` of wall time against phase ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds of one phase (0 when never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def summary(self) -> dict[str, float]:
+        """Phase name -> accumulated seconds, sorted by cost."""
+        return dict(
+            sorted(
+                self.totals.items(), key=lambda kv: kv[1], reverse=True
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        phases = ", ".join(
+            f"{k}={v:.3f}s" for k, v in self.summary().items()
+        )
+        return f"PhaseProfiler({phases})"
+
+
+class _NullPhase:
+    """Shared no-op context manager (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullProfiler:
+    """Profiler interface with zero-cost no-op methods."""
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+    def total(self, name: str) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {}
+
+
+#: Module-level disabled profiler: the default for every instrumented
+#: code path, shared so the off-path allocates nothing.
+NULL_PROFILER = NullProfiler()

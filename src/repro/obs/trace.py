@@ -1,0 +1,426 @@
+"""Structured run tracing: a schema-versioned JSONL event stream.
+
+One trace file holds the chronological event stream of one (or more)
+observed runs: ``run_start`` .. ``run_end`` spans with ``generation``,
+``evaluation``, ``checkpoint`` and ``verify`` events in between, or a
+campaign's ``campaign_start``/``campaign_trial``/``campaign_end``
+sequence.  Every line is one JSON object — the documented
+:class:`TraceEvent` schema (``docs/TRACE_SCHEMA.md``):
+
+``v``
+    Schema version (currently 1).
+``kind``
+    Event kind, one of :data:`EVENT_KINDS`.
+``span``
+    Sequential event/span id, unique within the trace (starts at 1).
+``parent``
+    Span id of the enclosing span (``null`` at top level).  An
+    ``*_end`` event's parent is the span of its matching ``*_start``.
+``t``
+    Monotonic seconds since the tracer was created
+    (:func:`time.perf_counter` based — comparable within a trace,
+    meaningless across traces).
+``dur``
+    Optional duration in seconds (span-closing and phase events).
+``attrs``
+    Kind-specific payload (problem fingerprint, generation statistics,
+    phase breakdown, ...).
+
+Determinism contract: for a fixed seed and configuration the event
+*sequence* — kinds, span ids, parents, and every ``attrs`` entry except
+wall-clock quantities — is bit-identical across runs.  All wall-clock
+quantities live in ``t``, ``dur``, or attr keys ending in ``_seconds``
+or ``_per_sec``, which :func:`strip_timestamps` removes; the stripped
+sequences of two same-seed runs compare equal.
+
+Each event line is flushed on write, so a crash leaves a readable
+prefix of complete events (the same crash-only stance as the
+checkpoint files written alongside).  :func:`read_trace` mirrors the
+checkpoint loader's error discipline: truncated or corrupt files raise
+:class:`~repro.exceptions.TraceError` naming the file and line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..exceptions import TraceError
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "read_trace",
+    "validate_event",
+    "strip_timestamps",
+    "canonical_events",
+]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: Every kind a version-1 trace may contain.
+EVENT_KINDS = (
+    "run_start",
+    "run_end",
+    "seed",
+    "generation",
+    "evaluation",
+    "checkpoint",
+    "verify",
+    "campaign_start",
+    "campaign_trial",
+    "campaign_end",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One parsed trace line (see the module docstring for the schema)."""
+
+    kind: str
+    span: int
+    t: float
+    parent: int | None = None
+    dur: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    v: int = TRACE_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "v": self.v,
+            "kind": self.kind,
+            "span": self.span,
+            "parent": self.parent,
+            "t": self.t,
+        }
+        if self.dur is not None:
+            data["dur"] = self.dur
+        if self.attrs:
+            data["attrs"] = self.attrs
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            kind=data["kind"],
+            span=int(data["span"]),
+            t=float(data["t"]),
+            parent=(
+                None if data.get("parent") is None else int(data["parent"])
+            ),
+            dur=(
+                None if data.get("dur") is None else float(data["dur"])
+            ),
+            attrs=dict(data.get("attrs", {})),
+            v=int(data["v"]),
+        )
+
+
+class Tracer:
+    """Appends schema-versioned events to a JSONL trace file.
+
+    Span ids are assigned sequentially in emission order, so they are a
+    deterministic function of the event sequence — only the ``t``/``dur``
+    timestamps vary between same-seed runs.  Events nest through an
+    explicit span stack: :meth:`begin` pushes, :meth:`end` pops, and
+    :meth:`event` records an instantaneous event under the innermost
+    open span.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._file = open(self.path, "w", encoding="utf-8")
+        except OSError as exc:
+            raise TraceError(
+                f"cannot open trace file {self.path}: {exc}"
+            ) from exc
+        self._t0 = time.perf_counter()
+        self._next_span = 1
+        # (span id, kind, start time) of every open span, outermost first
+        self._stack: list[tuple[int, str, float]] = []
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _write(
+        self,
+        kind: str,
+        span: int,
+        parent: int | None,
+        t: float,
+        dur: float | None,
+        attrs: Mapping[str, Any] | None,
+    ) -> None:
+        if self._file is None:
+            raise TraceError(
+                f"trace file {self.path} is already closed"
+            )
+        if kind not in EVENT_KINDS:
+            raise TraceError(
+                f"unknown trace event kind {kind!r}; known kinds: "
+                f"{', '.join(EVENT_KINDS)}"
+            )
+        data: dict[str, Any] = {
+            "v": TRACE_VERSION,
+            "kind": kind,
+            "span": span,
+            "parent": parent,
+            "t": round(t, 6),
+        }
+        if dur is not None:
+            data["dur"] = round(dur, 6)
+        if attrs:
+            data["attrs"] = dict(attrs)
+        try:
+            self._file.write(
+                json.dumps(data, sort_keys=True, default=_jsonable)
+                + "\n"
+            )
+            self._file.flush()
+        except (OSError, TypeError, ValueError) as exc:
+            raise TraceError(
+                f"cannot write {kind!r} event to {self.path}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        kind: str,
+        attrs: Mapping[str, Any] | None = None,
+        dur: float | None = None,
+    ) -> int:
+        """Record an instantaneous event; returns its span id."""
+        span = self._next_span
+        self._next_span += 1
+        parent = self._stack[-1][0] if self._stack else None
+        self._write(kind, span, parent, self._now(), dur, attrs)
+        return span
+
+    def begin(
+        self, kind: str, attrs: Mapping[str, Any] | None = None
+    ) -> int:
+        """Open a span: emit its ``*_start`` event and push it.
+
+        ``kind`` is the start event's kind (``"run_start"``,
+        ``"campaign_start"``); subsequent events nest under the new span
+        until the matching :meth:`end`.
+        """
+        span = self._next_span
+        self._next_span += 1
+        parent = self._stack[-1][0] if self._stack else None
+        t = self._now()
+        self._write(kind, span, parent, t, None, attrs)
+        self._stack.append((span, kind, t))
+        return span
+
+    def end(
+        self, kind: str, attrs: Mapping[str, Any] | None = None
+    ) -> int:
+        """Close the innermost span with a ``kind`` event.
+
+        The closing event's ``parent`` is the span it closes and its
+        ``dur`` the span's wall-clock extent.
+        """
+        if not self._stack:
+            raise TraceError(
+                f"cannot emit {kind!r}: no open span in {self.path}"
+            )
+        opened_span, _, opened_t = self._stack.pop()
+        span = self._next_span
+        self._next_span += 1
+        t = self._now()
+        self._write(kind, span, opened_span, t, t - opened_t, attrs)
+        return span
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the trace file (idempotent)."""
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return f"Tracer({str(self.path)!r}, {state})"
+
+
+def _jsonable(value):
+    """Coerce numpy scalars (and other oddballs) to plain JSON types."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(
+        f"trace attr of type {type(value).__name__} is not "
+        "JSON-serializable"
+    )
+
+
+# ----------------------------------------------------------------------
+def validate_event(
+    data: Any, line: int | None = None, path: str | Path | None = None
+) -> None:
+    """Check one decoded trace line against the version-1 schema.
+
+    Raises :class:`~repro.exceptions.TraceError` naming the offending
+    file/line and field on any violation.
+    """
+
+    def bad(reason: str) -> TraceError:
+        where = ""
+        if path is not None:
+            where += str(path)
+        if line is not None:
+            where += f", line {line}"
+        prefix = f"invalid trace event ({where}): " if where else (
+            "invalid trace event: "
+        )
+        return TraceError(prefix + reason)
+
+    if not isinstance(data, dict):
+        raise bad(f"expected a JSON object, got {type(data).__name__}")
+    version = data.get("v")
+    if version != TRACE_VERSION:
+        raise bad(
+            f"unsupported trace version {version!r} "
+            f"(this reader understands version {TRACE_VERSION})"
+        )
+    kind = data.get("kind")
+    if kind not in EVENT_KINDS:
+        raise bad(
+            f"unknown event kind {kind!r}; known kinds: "
+            f"{', '.join(EVENT_KINDS)}"
+        )
+    span = data.get("span")
+    if not isinstance(span, int) or isinstance(span, bool) or span < 1:
+        raise bad(f"span must be a positive integer, got {span!r}")
+    parent = data.get("parent")
+    if parent is not None and (
+        not isinstance(parent, int)
+        or isinstance(parent, bool)
+        or parent < 1
+    ):
+        raise bad(
+            f"parent must be null or a positive integer, got {parent!r}"
+        )
+    t = data.get("t")
+    if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+        raise bad(f"t must be a non-negative number, got {t!r}")
+    dur = data.get("dur")
+    if dur is not None and (
+        not isinstance(dur, (int, float))
+        or isinstance(dur, bool)
+        or dur < 0
+    ):
+        raise bad(
+            f"dur must be absent or a non-negative number, got {dur!r}"
+        )
+    attrs = data.get("attrs")
+    if attrs is not None and not isinstance(attrs, dict):
+        raise bad(
+            f"attrs must be a JSON object, got {type(attrs).__name__}"
+        )
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Parse and validate a JSONL trace file.
+
+    Mirrors the checkpoint loader's contract: missing, truncated or
+    corrupt files raise :class:`~repro.exceptions.TraceError` with
+    enough context (file, line number, reason) to act on.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(
+            f"cannot read trace file {path}: {exc}"
+        ) from exc
+    events: list[TraceEvent] = []
+    lines = text.split("\n")
+    # a complete trace ends with a newline: the final split element is
+    # empty.  Anything else means the last write was torn mid-line.
+    if lines and lines[-1] == "":
+        lines.pop()
+    elif lines:
+        raise TraceError(
+            f"trace file {path} is truncated: line {len(lines)} ends "
+            "without a newline (the writing process likely died "
+            "mid-event)"
+        )
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            raise TraceError(
+                f"trace file {path}, line {lineno}: blank line in "
+                "event stream (file corrupt?)"
+            )
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise TraceError(
+                f"trace file {path}, line {lineno}: not valid JSON "
+                f"({exc})"
+            ) from exc
+        validate_event(data, line=lineno, path=path)
+        events.append(TraceEvent.from_dict(data))
+    if not events:
+        raise TraceError(f"trace file {path} contains no events")
+    return events
+
+
+# ----------------------------------------------------------------------
+_TIMESTAMP_KEYS = ("t", "dur")
+_TIMESTAMP_SUFFIXES = ("_seconds", "_per_sec")
+
+
+def _strip_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            k: _strip_value(v)
+            for k, v in value.items()
+            if not any(k.endswith(s) for s in _TIMESTAMP_SUFFIXES)
+        }
+    if isinstance(value, list):
+        return [_strip_value(v) for v in value]
+    return value
+
+
+def strip_timestamps(event: Mapping[str, Any]) -> dict[str, Any]:
+    """A copy of the event with every wall-clock quantity removed.
+
+    Drops the top-level ``t``/``dur`` fields and, recursively, any
+    attr whose key ends in ``_seconds`` or ``_per_sec``.  What remains
+    is the deterministic part of the event: two same-seed runs produce
+    identical stripped sequences.
+    """
+    out = {
+        k: _strip_value(v)
+        for k, v in event.items()
+        if k not in _TIMESTAMP_KEYS
+    }
+    return out
+
+
+def canonical_events(path: str | Path) -> list[dict[str, Any]]:
+    """The trace's deterministic skeleton (for cross-run comparison)."""
+    return [strip_timestamps(e.to_dict()) for e in read_trace(path)]

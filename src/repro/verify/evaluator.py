@@ -21,6 +21,7 @@ never perturbs the rejection strategy's semantics.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -92,6 +93,9 @@ class VerifyingEvaluator:
         #: Divergences detected (the raise interrupts the run, so this
         #: is only ever observed > 0 by code that catches the error).
         self.divergences = 0
+        #: Wall-clock seconds spent inside differential replays — the
+        #: verification overhead a run's phase breakdown reports.
+        self.verify_seconds = 0.0
         # sampling counter: the very first batch is always sampled, so
         # a corrupted kernel is caught at run start, not after hours
         self._budget = 0
@@ -135,6 +139,7 @@ class VerifyingEvaluator:
 
     # ------------------------------------------------------------------
     def _verify_one(self, genome: np.ndarray, value: float) -> None:
+        t0 = time.perf_counter()
         try:
             differential_check(
                 self.ptg, self.table, genome, expected=value
@@ -142,6 +147,8 @@ class VerifyingEvaluator:
         except VerificationError:
             self.divergences += 1
             raise
+        finally:
+            self.verify_seconds += time.perf_counter() - t0
         self.verified += 1
 
     def evaluate(

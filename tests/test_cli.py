@@ -467,3 +467,113 @@ class TestCorpus:
         )
         doc = json.loads(out_file.read_text())
         assert doc["format"] == "repro-ptg-corpus"
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def clean_logging(self):
+        from repro.obs import reset_logging
+
+        yield
+        reset_logging()
+
+    def run_traced(self, tmp_path, *extra):
+        trace = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "schedule",
+                "--kind",
+                "fft",
+                "--size",
+                "4",
+                "--seed",
+                "7",
+                "--platform",
+                "chti",
+                "--algorithm",
+                "emts5",
+                "--trace",
+                str(trace),
+                *extra,
+            ]
+        )
+        return rc, trace
+
+    def test_trace_flag_writes_valid_trace(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        rc, trace = self.run_traced(tmp_path)
+        assert rc == 0
+        assert "wrote trace" in capsys.readouterr().out
+        events = read_trace(trace)
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+
+    def test_report_trace_subcommand(self, tmp_path, capsys):
+        _, trace = self.run_traced(tmp_path)
+        capsys.readouterr()
+        rc = main(["report-trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "emts5" in out
+        assert "phases" in out
+
+    def test_report_trace_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"torn\n')
+        with pytest.raises(SystemExit) as err:
+            main(["report-trace", str(bad)])
+        assert "not valid JSON" in str(err.value)
+
+    def test_report_trace_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["report-trace", str(tmp_path / "nope.jsonl")])
+        assert "cannot read" in str(err.value)
+
+    def test_metrics_out_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc, _ = self.run_traced(tmp_path, "--metrics-out", str(out))
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["emts.evaluations"]["value"] > 0
+
+    def test_metrics_out_prometheus(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        rc, _ = self.run_traced(tmp_path, "--metrics-out", str(out))
+        assert rc == 0
+        text = out.read_text()
+        assert "# TYPE repro_emts_evaluations counter" in text
+
+    def test_trace_rejected_for_heuristics(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "schedule",
+                    "--kind",
+                    "fft",
+                    "--size",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--algorithm",
+                    "mcpa",
+                    "--trace",
+                    str(tmp_path / "t.jsonl"),
+                ]
+            )
+        assert "--trace/--metrics-out" in str(err.value)
+
+    def test_log_level_flag(self, tmp_path, capsys):
+        rc, _ = self.run_traced(tmp_path)
+        assert rc == 0
+        import logging
+
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+
+    def test_log_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--log-json", "corpus"]
+        )
+        assert args.log_level == "debug"
+        assert args.log_json is True

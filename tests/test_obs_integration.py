@@ -1,0 +1,339 @@
+"""End-to-end observability: EMTS runs, evaluators, campaigns.
+
+Covers the acceptance criteria of the observability layer: a traced
+run produces a schema-valid JSONL stream whose deterministic skeleton
+is bit-identical across same-seed runs, observability changes no
+results, and the metrics registry aggregates across every surface
+(serial, pooled, campaign).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import SerialEvaluator, emts5, make_allocator
+from repro.exceptions import TraceError
+from repro.obs import (
+    MetricsRegistry,
+    ObservedEvaluator,
+    PhaseProfiler,
+    Tracer,
+    canonical_events,
+    read_trace,
+    render_trace_report,
+    run_snapshot,
+    validate_event,
+)
+from repro.platform import grelon
+from repro.timemodels import SyntheticModel, TimeTable
+from repro.workloads import generate_fft
+
+#: Phases the EMTS hot path may charge time to.
+KNOWN_PHASES = {
+    "seeding",
+    "seed_fitness",
+    "kernel_build",
+    "mutation",
+    "fitness_batch",
+    "checkpoint",
+    "final_mapping",
+    "verify",
+}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    ptg = generate_fft(8, rng=777)
+    cluster = grelon()
+    table = TimeTable.build(SyntheticModel(), ptg, cluster)
+    return ptg, cluster, table
+
+
+def traced_run(problem, path, seed=42, **kwargs):
+    ptg, cluster, table = problem
+    return emts5().schedule(
+        ptg, cluster, table, rng=seed, trace=path, **kwargs
+    )
+
+
+class TestTracedRun:
+    def test_event_stream_shape(self, problem, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = traced_run(problem, path)
+        events = read_trace(path)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert kinds.count("seed") == 1
+        generations = [e for e in events if e.kind == "generation"]
+        assert len(generations) == result.config.generations + 1
+        for event in events:
+            validate_event(event.to_dict())
+
+    def test_run_start_attrs(self, problem, tmp_path):
+        path = tmp_path / "run.jsonl"
+        traced_run(problem, path)
+        start = read_trace(path)[0]
+        assert start.attrs["algorithm"] == "emts5"
+        assert start.attrs["resumed"] is False
+        fingerprint = start.attrs["problem"]
+        assert fingerprint["num_tasks"] == 39
+        assert fingerprint["cluster_name"] == "grelon"
+
+    def test_run_end_attrs(self, problem, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = traced_run(problem, path)
+        end = read_trace(path)[-1]
+        assert end.attrs["makespan"] == pytest.approx(result.makespan)
+        assert end.attrs["engine"] in ("c", "numpy")
+        assert end.attrs["interrupted"] is False
+        assert (
+            end.attrs["eval_stats"]["evaluations"]
+            == result.evaluation_stats.evaluations
+        )
+
+    def test_phase_breakdown_is_sane(self, problem, tmp_path):
+        path = tmp_path / "run.jsonl"
+        traced_run(problem, path)
+        end = read_trace(path)[-1]
+        phases = end.attrs["phase_seconds"]
+        assert set(phases) <= KNOWN_PHASES
+        assert {"seeding", "mutation", "fitness_batch"} <= set(phases)
+        assert all(v >= 0 for v in phases.values())
+        # phase times nest inside the run span
+        assert sum(phases.values()) <= end.dur * 1.01
+
+    def test_same_seed_traces_bit_identical(self, problem, tmp_path):
+        traced_run(problem, tmp_path / "a.jsonl", seed=7)
+        traced_run(problem, tmp_path / "b.jsonl", seed=7)
+        a = canonical_events(tmp_path / "a.jsonl")
+        b = canonical_events(tmp_path / "b.jsonl")
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_different_seeds_differ(self, problem, tmp_path):
+        traced_run(problem, tmp_path / "a.jsonl", seed=7)
+        traced_run(problem, tmp_path / "b.jsonl", seed=8)
+        assert canonical_events(
+            tmp_path / "a.jsonl"
+        ) != canonical_events(tmp_path / "b.jsonl")
+
+    def test_observability_changes_no_results(self, problem, tmp_path):
+        ptg, cluster, table = problem
+        plain = emts5().schedule(ptg, cluster, table, rng=9)
+        observed = traced_run(
+            problem, tmp_path / "t.jsonl", seed=9,
+            metrics=MetricsRegistry(),
+        )
+        assert observed.makespan == plain.makespan
+        assert (observed.allocation == plain.allocation).all()
+
+    def test_open_tracer_instance_is_shared_not_closed(
+        self, problem, tmp_path
+    ):
+        path = tmp_path / "two.jsonl"
+        with Tracer(path) as tracer:
+            traced_run(problem, tracer, seed=1)
+            assert not tracer.closed
+            traced_run(problem, tracer, seed=2)
+        kinds = [e.kind for e in read_trace(path)]
+        assert kinds.count("run_start") == 2
+        assert kinds.count("run_end") == 2
+
+    def test_unwritable_trace_path_raises(self, problem, tmp_path):
+        target = tmp_path / "a-directory"
+        target.mkdir()
+        with pytest.raises(TraceError, match="cannot open"):
+            traced_run(problem, target)
+
+    def test_checkpoint_events_and_resume_flag(
+        self, problem, tmp_path
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        stop = threading.Event()
+        stop.set()  # interrupt immediately after the first generation
+        interrupted = traced_run(
+            problem,
+            tmp_path / "first.jsonl",
+            seed=5,
+            checkpoint_path=ckpt,
+            stop_event=stop,
+        )
+        assert interrupted.interrupted
+        first = read_trace(tmp_path / "first.jsonl")
+        checkpoints = [e for e in first if e.kind == "checkpoint"]
+        assert checkpoints and not checkpoints[-1].attrs["completed"]
+        assert [e.kind for e in first][-1] == "run_end"
+        assert first[-1].attrs["interrupted"] is True
+
+        resumed = traced_run(
+            problem,
+            tmp_path / "second.jsonl",
+            seed=5,
+            checkpoint_path=ckpt,
+            resume_from=ckpt,
+        )
+        second = read_trace(tmp_path / "second.jsonl")
+        assert second[0].attrs["resumed"] is True
+        assert not resumed.interrupted
+        # the resumed run finishes the same optimization
+        full = traced_run(problem, tmp_path / "full.jsonl", seed=5)
+        assert resumed.makespan == full.makespan
+
+
+class TestRunMetrics:
+    def test_registry_populated(self, problem, tmp_path):
+        registry = MetricsRegistry()
+        ptg, cluster, table = problem
+        result = emts5().schedule(
+            ptg, cluster, table, rng=3, metrics=registry
+        )
+        assert (
+            registry.value("emts.evaluations")
+            == result.evaluation_stats.evaluations
+        )
+        assert registry.value("emts.makespan") == pytest.approx(
+            result.makespan
+        )
+        assert registry.value("evaluation.batches") > 0
+        assert registry.value("evaluation.genomes") > 0
+        batch = registry.get("evaluation.batch_seconds")
+        assert batch.total == registry.value("evaluation.batches")
+
+    def test_worker_metrics_merge_at_chunk_boundaries(
+        self, problem, tmp_path
+    ):
+        registry = MetricsRegistry()
+        ptg, cluster, table = problem
+        result = emts5(workers=2).schedule(
+            ptg, cluster, table, rng=3, metrics=registry
+        )
+        assert registry.value("worker.chunks") > 0
+        # cache hits are served parent-side; only misses reach workers
+        assert (
+            registry.value("worker.genomes")
+            == result.evaluation_stats.cache_misses
+        )
+
+    def test_run_snapshot_matches_result(self, problem):
+        ptg, cluster, table = problem
+        result = emts5().schedule(ptg, cluster, table, rng=3)
+        snap = run_snapshot(result)
+        stats = result.evaluation_stats
+        assert snap["evaluations"] == stats.evaluations
+        assert snap["mapper_calls"] == stats.mapper_calls
+        assert snap["cache_hits"] == stats.cache_hits
+        assert snap["hit_rate"] == pytest.approx(stats.hit_rate)
+        assert snap["interrupted"] is False
+        assert snap["makespan"] == pytest.approx(result.makespan)
+
+
+class TestObservedEvaluator:
+    def test_records_events_and_metrics(self, problem, tmp_path):
+        ptg, _, table = problem
+        path = tmp_path / "t.jsonl"
+        registry = MetricsRegistry()
+        tracer = Tracer(path)
+        tracer.begin("run_start")
+        with ObservedEvaluator(
+            SerialEvaluator(ptg, table),
+            tracer=tracer,
+            metrics=registry,
+        ) as evaluator:
+            genome = make_allocator("mcpa").allocate(ptg, table)
+            values = evaluator.evaluate([genome, genome])
+        tracer.end("run_end")
+        tracer.close()
+        assert len(values) == 2
+        events = [
+            e for e in read_trace(path) if e.kind == "evaluation"
+        ]
+        assert len(events) == 1
+        assert events[0].attrs == {
+            "genomes": 2,
+            "bounded": False,
+            "rejected": 0,
+        }
+        assert registry.value("evaluation.genomes") == 2
+
+    def test_phase_as_redirects_profiler(self, problem):
+        ptg, _, table = problem
+        profiler = PhaseProfiler()
+        with ObservedEvaluator(
+            SerialEvaluator(ptg, table), profiler=profiler
+        ) as evaluator:
+            genome = make_allocator("mcpa").allocate(ptg, table)
+            with evaluator.phase_as("seed_fitness"):
+                evaluator.evaluate([genome])
+            evaluator.evaluate([genome])
+        assert profiler.counts == {
+            "seed_fitness": 1,
+            "fitness_batch": 1,
+        }
+
+    def test_stats_and_genome_key_delegate(self, problem):
+        ptg, _, table = problem
+        inner = SerialEvaluator(ptg, table)
+        evaluator = ObservedEvaluator(inner)
+        genome = make_allocator("mcpa").allocate(ptg, table)
+        evaluator.evaluate([genome])
+        assert evaluator.stats is inner.stats
+        assert evaluator.genome_key(genome) == inner.genome_key(genome)
+        evaluator.close()
+
+
+class TestReportTrace:
+    def test_report_of_full_run(self, problem, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = traced_run(problem, path)
+        report = render_trace_report(path)
+        assert "emts5" in report
+        assert f"{result.makespan:.6g}" in report
+        assert "phases" in report
+        assert "fitness_batch" in report
+        assert "convergence" in report
+
+    def test_report_of_crashed_run_names_incompleteness(
+        self, problem, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        traced_run(problem, path)
+        # drop the run_end line: a process that died mid-run
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        report = render_trace_report(path)
+        assert "incomplete" in report
+
+
+class TestCampaignTrace:
+    def test_campaign_events_and_counters(self, problem, tmp_path):
+        from repro.experiments import run_comparison_campaign
+
+        ptg, cluster, table = problem
+        path = tmp_path / "campaign.jsonl"
+        registry = MetricsRegistry()
+        _, campaign = run_comparison_campaign(
+            {"fft": [ptg]},
+            [cluster],
+            SyntheticModel(),
+            emts5(generations=1),
+            [make_allocator("mcpa")],
+            tmp_path / "campaign",
+            seed=11,
+            trace=path,
+            metrics=registry,
+        )
+        events = read_trace(path)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_end"
+        trials = [e for e in events if e.kind == "campaign_trial"]
+        assert len(trials) == 1
+        assert trials[0].attrs["status"] == "ok"
+        end = events[-1]
+        assert end.attrs["completed"] == 1
+        assert end.attrs["quarantined"] == 0
+        assert registry.value("campaign.trials.ok") == 1
+        assert campaign.complete

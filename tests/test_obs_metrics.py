@@ -1,0 +1,208 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("emts.evaluations", help="genomes")
+        c.inc()
+        c.inc(9)
+        assert c.value == 10
+        assert c.to_dict() == {"kind": "counter", "value": 10}
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("emts.makespan")
+        g.set(21.8)
+        g.set(19.5)
+        assert g.value == 19.5
+
+    def test_timer(self):
+        t = MetricsRegistry().timer("emts.run_seconds")
+        t.observe(0.5)
+        t.observe(1.5)
+        assert t.count == 2
+        assert t.total == pytest.approx(2.0)
+        assert t.min == pytest.approx(0.5)
+        assert t.max == pytest.approx(1.5)
+        assert t.mean == pytest.approx(1.0)
+
+    def test_timer_rejects_negative(self):
+        t = MetricsRegistry().timer("t")
+        with pytest.raises(ValueError, match="negative"):
+            t.observe(-0.1)
+
+    def test_histogram_buckets(self):
+        h = MetricsRegistry().histogram(
+            "lat", buckets=(0.001, 0.01, 0.1)
+        )
+        for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        # per-bucket (non-cumulative) counts + implicit +inf bucket
+        assert h.counts == [1, 2, 1, 1]
+        assert h.total == 5
+        assert h.sum == pytest.approx(5.0605)
+
+    def test_histogram_rejects_bad_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="increasing"):
+            reg.histogram("h", buckets=(0.1, 0.1))
+        with pytest.raises(ValueError, match="bucket"):
+            reg.histogram("h2", buckets=())
+
+    def test_default_buckets_cover_decades(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_SECONDS_BUCKETS[-1] == pytest.approx(100.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_names_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "c" not in reg
+        assert reg.get("c") is None
+
+    def test_value_shortcut(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        assert reg.value("n") == 3
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.timer("t").observe(0.1)
+        reg.histogram("h").observe(0.01)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_merge_accumulates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        a.timer("t").observe(1.0)
+        b.counter("c").inc(3)
+        b.timer("t").observe(3.0)
+        a.merge(b.snapshot())
+        assert a.value("c") == 5
+        t = a.get("t")
+        assert t.count == 2 and t.total == pytest.approx(4.0)
+        assert t.min == pytest.approx(1.0)
+        assert t.max == pytest.approx(3.0)
+
+    def test_merge_creates_missing_metrics(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("worker.genomes").inc(25)
+        worker.histogram("worker.lat", buckets=(0.1, 1.0)).observe(0.5)
+        parent.merge(worker.snapshot())
+        assert parent.value("worker.genomes") == 25
+        assert parent.get("worker.lat").counts == [0, 1, 0]
+
+    def test_merge_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            MetricsRegistry().merge({"m": {"kind": "exotic"}})
+
+    def test_merge_rejects_bucket_mismatch(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(0.1,))
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(0.2,)).observe(0.1)
+        with pytest.raises(ValueError, match="buckets"):
+            parent.merge(worker.snapshot())
+
+    def test_drain_resets_for_delta_shipping(self):
+        """Chunk-boundary protocol: each drain ships only the delta."""
+        worker = MetricsRegistry()
+        worker.counter("g").inc(10)
+        first = worker.drain()
+        assert first["g"]["value"] == 10
+        assert worker.value("g") == 0
+        worker.counter("g").inc(4)
+        second = worker.drain()
+        assert second["g"]["value"] == 4
+        parent = MetricsRegistry()
+        parent.merge(first)
+        parent.merge(second)
+        assert parent.value("g") == 14
+
+    def test_merged_empty_timer_keeps_min_clean(self):
+        parent = MetricsRegistry()
+        parent.timer("t").observe(1.0)
+        worker = MetricsRegistry()
+        worker.timer("t")  # never observed
+        parent.merge(worker.snapshot())
+        t = parent.get("t")
+        assert t.count == 1 and t.min == pytest.approx(1.0)
+        assert not math.isinf(t.min)
+
+
+class TestExporters:
+    @pytest.fixture
+    def reg(self):
+        reg = MetricsRegistry()
+        reg.counter("emts.evaluations", help="genomes").inc(130)
+        reg.gauge("emts.makespan").set(21.8)
+        reg.timer("emts.run_seconds").observe(0.04)
+        reg.histogram(
+            "evaluation.batch_seconds", buckets=(0.001, 0.1)
+        ).observe(0.01)
+        return reg
+
+    def test_render_text(self, reg):
+        text = reg.render_text()
+        assert "emts.evaluations" in text
+        assert "130" in text
+
+    def test_render_prometheus(self, reg):
+        prom = reg.render_prometheus()
+        assert "# TYPE repro_emts_evaluations counter" in prom
+        assert "repro_emts_evaluations 130" in prom
+        assert "repro_emts_makespan 21.8" in prom
+        assert 'le="+Inf"' in prom
+
+    def test_prometheus_does_not_double_seconds_suffix(self, reg):
+        prom = reg.render_prometheus()
+        assert "repro_emts_run_seconds_sum" in prom
+        assert "seconds_seconds" not in prom
+        # a timer without the unit in its name gains it on export
+        reg.timer("campaign.trial").observe(1.0)
+        assert "repro_campaign_trial_seconds_count" in (
+            reg.render_prometheus()
+        )
+
+    def test_dump_json_and_prom(self, reg, tmp_path):
+        out = reg.dump(tmp_path / "m.json")
+        data = json.loads(out.read_text())
+        assert data["emts.evaluations"]["value"] == 130
+        prom = reg.dump(tmp_path / "m.prom")
+        assert prom.read_text().startswith("# TYPE ")
+
+    def test_to_json_round_trips(self, reg):
+        data = json.loads(reg.to_json())
+        fresh = MetricsRegistry()
+        fresh.merge(data)
+        assert fresh.value("emts.evaluations") == 130

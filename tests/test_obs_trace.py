@@ -1,0 +1,249 @@
+"""Tests for the structured trace stream (repro.obs.trace)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.obs import (
+    EVENT_KINDS,
+    TRACE_VERSION,
+    TraceEvent,
+    Tracer,
+    canonical_events,
+    read_trace,
+    strip_timestamps,
+    validate_event,
+)
+
+
+def write_small_trace(path):
+    with Tracer(path) as tracer:
+        tracer.begin("run_start", attrs={"algorithm": "emts5"})
+        tracer.event("seed", attrs={"heuristics": ["mcpa"]})
+        tracer.event(
+            "generation", attrs={"generation": 1, "best": 2.0}
+        )
+        tracer.end("run_end", attrs={"makespan": 2.0})
+    return path
+
+
+class TestTracer:
+    def test_span_ids_are_sequential(self, tmp_path):
+        events = read_trace(write_small_trace(tmp_path / "t.jsonl"))
+        assert [e.span for e in events] == [1, 2, 3, 4]
+
+    def test_nesting_and_parents(self, tmp_path):
+        events = read_trace(write_small_trace(tmp_path / "t.jsonl"))
+        start, seed, gen, end = events
+        assert start.parent is None
+        # in-span events parent to the open span ...
+        assert seed.parent == start.span
+        assert gen.parent == start.span
+        # ... and the closing event parents to the span it closes
+        assert end.parent == start.span
+        assert end.dur is not None and end.dur >= 0
+
+    def test_timestamps_are_monotonic(self, tmp_path):
+        events = read_trace(write_small_trace(tmp_path / "t.jsonl"))
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with Tracer(tmp_path / "t.jsonl") as tracer:
+            with pytest.raises(TraceError, match="unknown trace event"):
+                tracer.event("explosion")
+
+    def test_end_without_open_span(self, tmp_path):
+        with Tracer(tmp_path / "t.jsonl") as tracer:
+            with pytest.raises(TraceError, match="no open span"):
+                tracer.end("run_end")
+
+    def test_write_after_close(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        tracer.close()
+        assert tracer.closed
+        tracer.close()  # idempotent
+        with pytest.raises(TraceError, match="already closed"):
+            tracer.event("seed")
+
+    def test_unwritable_path(self, tmp_path):
+        target = tmp_path / "dir-not-file"
+        target.mkdir()
+        with pytest.raises(TraceError, match="cannot open"):
+            Tracer(target)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "down" / "t.jsonl"
+        write_small_trace(path)
+        assert len(read_trace(path)) == 4
+
+    def test_numpy_attrs_serialize(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            tracer.event(
+                "seed",
+                attrs={
+                    "makespan": np.float64(2.5),
+                    "tasks": np.int64(20),
+                },
+            )
+        event = read_trace(path)[0]
+        assert event.attrs == {"makespan": 2.5, "tasks": 20}
+
+    def test_unserializable_attr_is_contextual(self, tmp_path):
+        with Tracer(tmp_path / "t.jsonl") as tracer:
+            with pytest.raises(TraceError, match="cannot write"):
+                tracer.event("seed", attrs={"bad": object()})
+
+    def test_each_event_is_flushed(self, tmp_path):
+        """Crash-only contract: the file is a valid prefix at any time."""
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.begin("run_start")
+        tracer.event("generation", attrs={"generation": 1})
+        # file readable *before* close — as after a crash
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for lineno, line in enumerate(lines, start=1):
+            validate_event(json.loads(line), line=lineno, path=path)
+        tracer.close()
+
+
+class TestValidation:
+    def good(self):
+        return {"v": TRACE_VERSION, "kind": "seed", "span": 1,
+                "parent": None, "t": 0.5}
+
+    def test_valid_event_passes(self):
+        validate_event(self.good())
+
+    @pytest.mark.parametrize(
+        "patch, message",
+        [
+            ({"v": 99}, "unsupported trace version"),
+            ({"v": None}, "unsupported trace version"),
+            ({"kind": "explosion"}, "unknown event kind"),
+            ({"span": 0}, "span must be"),
+            ({"span": "1"}, "span must be"),
+            ({"span": True}, "span must be"),
+            ({"parent": -1}, "parent must be"),
+            ({"t": -0.1}, "t must be"),
+            ({"t": None}, "t must be"),
+            ({"dur": -1.0}, "dur must be"),
+            ({"attrs": [1, 2]}, "attrs must be"),
+        ],
+    )
+    def test_schema_violations(self, patch, message):
+        event = {**self.good(), **patch}
+        with pytest.raises(TraceError, match=message):
+            validate_event(event)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TraceError, match="JSON object"):
+            validate_event([1, 2, 3])
+
+    def test_error_names_file_and_line(self, tmp_path):
+        with pytest.raises(TraceError, match=r"bad\.jsonl, line 7"):
+            validate_event(
+                {"v": 99}, line=7, path=tmp_path / "bad.jsonl"
+            )
+
+    def test_every_emitted_kind_is_documented(self, tmp_path):
+        events = read_trace(write_small_trace(tmp_path / "t.jsonl"))
+        assert {e.kind for e in events} <= set(EVENT_KINDS)
+
+
+class TestReadTrace:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="no events"):
+            read_trace(path)
+
+    def test_truncated_final_line(self, tmp_path):
+        """A torn write (no trailing newline) is named as truncation."""
+        path = write_small_trace(tmp_path / "t.jsonl")
+        text = path.read_text()
+        path.write_text(text[:-10])
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+
+    def test_corrupt_line_is_contextual(self, tmp_path):
+        path = write_small_trace(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        lines[2] = '{"not": "closed"'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="line 3: not valid JSON"):
+            read_trace(path)
+
+    def test_blank_line_is_contextual(self, tmp_path):
+        path = write_small_trace(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        lines.insert(1, "")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="line 2: blank line"):
+            read_trace(path)
+
+    def test_schema_violation_is_contextual(self, tmp_path):
+        path = write_small_trace(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[1])
+        bad["kind"] = "explosion"
+        lines[1] = json.dumps(bad)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(
+            TraceError, match="line 2.*unknown event kind"
+        ):
+            read_trace(path)
+
+    def test_round_trip(self, tmp_path):
+        path = write_small_trace(tmp_path / "t.jsonl")
+        events = read_trace(path)
+        assert all(isinstance(e, TraceEvent) for e in events)
+        assert events[0].kind == "run_start"
+        assert events[0].attrs["algorithm"] == "emts5"
+        for event in events:
+            validate_event(event.to_dict())
+            assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+class TestDeterminism:
+    def test_strip_removes_wall_clock_recursively(self):
+        event = {
+            "v": 1, "kind": "run_end", "span": 4, "parent": 1,
+            "t": 1.25, "dur": 1.2,
+            "attrs": {
+                "makespan": 21.8,
+                "phase_seconds": {"mutation": 0.1},
+                "eval_stats": {
+                    "evaluations": 130,
+                    "wall_seconds": 0.002,
+                    "nested": [{"evals_per_sec": 1e4, "n": 2}],
+                },
+            },
+        }
+        stripped = strip_timestamps(event)
+        assert "t" not in stripped and "dur" not in stripped
+        attrs = stripped["attrs"]
+        assert "phase_seconds" not in attrs
+        assert attrs["makespan"] == 21.8
+        assert attrs["eval_stats"] == {
+            "evaluations": 130,
+            "nested": [{"n": 2}],
+        }
+
+    def test_same_sequence_same_canonical_events(self, tmp_path):
+        a = canonical_events(write_small_trace(tmp_path / "a.jsonl"))
+        b = canonical_events(write_small_trace(tmp_path / "b.jsonl"))
+        assert a == b
+        # bit-identical once serialized, the acceptance criterion
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
