@@ -40,6 +40,15 @@ DEFAULT_MAX_RATIO = 2.0
 #: Observability promise: instrumentation that is *disabled* may cost
 #: at most this much of hot-path wall time (percent).
 DEFAULT_MAX_OBS_OVERHEAD = 2.0
+#: Batch promise: population-at-once evaluation must beat per-genome
+#: single calls by this much on the compiled engine (same-run ratio).
+DEFAULT_MIN_BATCH_SPEEDUP = 5.0
+#: ... and on the numpy fallback it must at least never be slower.
+DEFAULT_MIN_BATCH_SPEEDUP_NUMPY = 1.0
+#: Pinned floor: the committed batch mean must keep this speedup over
+#: the frozen pre-batch-kernel measurement (committed file only, so it
+#: cannot flake on slower CI hosts).
+MIN_PINNED_BATCH_SPEEDUP = 3.0
 
 # Same-run speedup gates: (fast kernel, reference kernel, committed
 # floor, fresh-run floor).  Both engines are measured in the same run
@@ -239,6 +248,80 @@ def check_obs(obs_path: Path, max_overhead: float) -> int:
     return 0
 
 
+def check_batch(batch_path: Path, min_speedup: float | None) -> int:
+    """Enforce the batch-evaluation gates on a ``BENCH_batch.json``.
+
+    Three gates:
+
+    * ``batch_speedup_x`` (same-run single-call / population-at-once
+      ratio) must reach ``min_speedup`` — default >= 5x on the
+      compiled engine, >= 1x on the numpy fallback (which only saves
+      Python dispatch, not the FFI crossing).
+    * the recorded ``batch_us_per_genome`` must keep a >=
+      ``MIN_PINNED_BATCH_SPEEDUP`` speedup over the pinned
+      pre-optimization mean (committed-file comparison: both numbers
+      come from the baseline host, so a slow CI runner cannot flake
+      it — and a baseline refresh cannot quietly absorb a regression).
+    * ``island_identical`` must be true: same-seed EMTS island runs
+      are bit-identical across execution shard counts.
+    """
+    data = json.loads(batch_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    engine = data.get("engine", "unknown")
+    if min_speedup is None:
+        min_speedup = (
+            DEFAULT_MIN_BATCH_SPEEDUP
+            if engine == "c"
+            else DEFAULT_MIN_BATCH_SPEEDUP_NUMPY
+        )
+    speedup = float(data["batch_speedup_x"])
+    ok = speedup >= min_speedup
+    verdict = "ok" if ok else "<< TOO SLOW"
+    print(
+        f"batch gate batch_speedup_x ({engine} engine): "
+        f"{speedup:.2f}x (floor {min_speedup:.1f}x) {verdict}"
+    )
+    if not ok:
+        failures.append("batch_speedup_x")
+    pinned = data.get("pinned", {})
+    pre = pinned.get("pre_batch_us_per_genome")
+    batch_us = float(data.get("batch_us_per_genome", 0.0))
+    if pre is None or batch_us <= 0:
+        print("batch gate pre_batch_us_per_genome: not recorded, skipped")
+    elif engine != "c":
+        print(
+            "batch gate pre_batch_us_per_genome: numpy engine, skipped"
+        )
+    else:
+        ratio = float(pre) / batch_us
+        ok = ratio >= MIN_PINNED_BATCH_SPEEDUP
+        verdict = "ok" if ok else "<< TOO SLOW"
+        print(
+            f"batch gate pre_batch/batch (pinned): {ratio:.2f}x "
+            f"(floor {MIN_PINNED_BATCH_SPEEDUP:.1f}x) {verdict}"
+        )
+        if not ok:
+            failures.append("pre_batch_us_per_genome")
+    identical = bool(data.get("island_identical", False))
+    makespans = data.get("island_makespans", {})
+    print(
+        f"batch gate island_identical: {identical} "
+        f"(shards {sorted(makespans)}) "
+        f"{'ok' if identical else '<< DIVERGED'}"
+    )
+    if not identical:
+        failures.append("island_identical")
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} batch gate(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: batch speedup and island identity gates hold")
+    return 0
+
+
 def check(
     run_path: Path, baseline_path: Path, max_ratio: float
 ) -> int:
@@ -337,6 +420,29 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--batch",
+        type=Path,
+        default=None,
+        help=(
+            "BENCH_batch.json from benchmarks/bench_batch.py; "
+            "enforces the >= 5x population-at-once speedup and the "
+            "island shard-count bit-identity gates"
+        ),
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=(
+            float(os.environ["REPRO_MIN_BATCH_SPEEDUP"])
+            if "REPRO_MIN_BATCH_SPEEDUP" in os.environ
+            else None
+        ),
+        help=(
+            "override the batch speedup floor (default: 5.0 on the "
+            "compiled engine, 1.0 on the numpy fallback)"
+        ),
+    )
+    parser.add_argument(
         "--max-obs-overhead",
         type=float,
         default=float(
@@ -347,8 +453,10 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when disabled_overhead_pct meets or exceeds this",
     )
     args = parser.parse_args(argv)
-    if args.run is None and args.obs is None:
-        parser.error("provide a benchmark run file and/or --obs")
+    if args.run is None and args.obs is None and args.batch is None:
+        parser.error(
+            "provide a benchmark run file, --obs and/or --batch"
+        )
     if args.update:
         update_baseline(args.run, args.baseline)
         return 0
@@ -357,6 +465,8 @@ def main(argv: list[str] | None = None) -> int:
         rc |= check(args.run, args.baseline, args.max_ratio)
     if args.obs is not None:
         rc |= check_obs(args.obs, args.max_obs_overhead)
+    if args.batch is not None:
+        rc |= check_batch(args.batch, args.min_batch_speedup)
     return rc
 
 

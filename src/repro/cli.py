@@ -30,7 +30,7 @@ from pathlib import Path
 
 from .allocation import AllocationHeuristic
 from .core import EMTS, SEED_REGISTRY, emts5, emts10, make_allocator
-from .exceptions import CheckpointError, TraceError
+from .exceptions import CheckpointError, ConfigurationError, TraceError
 from .graph import PTG, load_ptg, ptg_to_dot, save_ptg
 from .mapping import ascii_gantt, map_allocations, save_svg_gantt
 from .obs import LOG_LEVELS, MetricsRegistry, configure_logging
@@ -103,15 +103,24 @@ def _make_algorithm(
     workers: int = 0,
     fitness_cache: bool = True,
     verify: str = "off",
+    islands: int = 0,
+    migration_interval: int = 1,
 ):
     name = name.lower()
     overrides = dict(
-        workers=workers, fitness_cache=fitness_cache, verify=verify
+        workers=workers,
+        fitness_cache=fitness_cache,
+        verify=verify,
+        islands=islands,
+        migration_interval=migration_interval,
     )
-    if name == "emts5":
-        return emts5(**overrides)
-    if name == "emts10":
-        return emts10(**overrides)
+    try:
+        if name == "emts5":
+            return emts5(**overrides)
+        if name == "emts10":
+            return emts10(**overrides)
+    except ConfigurationError as exc:
+        raise SystemExit(f"configuration error: {exc}") from exc
     if name in SEED_REGISTRY:
         return make_allocator(name)
     known = ", ".join(["emts5", "emts10"] + sorted(SEED_REGISTRY))
@@ -166,6 +175,8 @@ def _cmd_schedule(args) -> int:
         workers=args.workers,
         fitness_cache=not args.no_fitness_cache,
         verify=verify,
+        islands=getattr(args, "islands", 0),
+        migration_interval=getattr(args, "migration_interval", 1),
     )
 
     checkpoint = getattr(args, "checkpoint", None)
@@ -368,6 +379,8 @@ def _cmd_convergence(args) -> int:
         workers=args.workers,
         fitness_cache=not args.no_fitness_cache,
         verify=getattr(args, "verify", "off"),
+        islands=getattr(args, "islands", 0),
+        migration_interval=getattr(args, "migration_interval", 1),
     )
     study = run_convergence_study(
         ptgs,
@@ -424,6 +437,7 @@ def _cmd_campaign(args) -> int:
                 progress=progress,
                 trace=trace,
                 metrics=registry,
+                verify=getattr(args, "verify", "off"),
             )
             print(fig.render())
         elif args.figure == 5:
@@ -435,6 +449,7 @@ def _cmd_campaign(args) -> int:
                 progress=progress,
                 trace=trace,
                 metrics=registry,
+                verify=getattr(args, "verify", "off"),
             )
             print(fig5.render())
         else:
@@ -574,6 +589,27 @@ def build_parser() -> argparse.ArgumentParser:
                 "differentially verify makespans against every "
                 "scheduling engine (sample = cheap spot checks, "
                 "full = every evaluation)"
+            ),
+        )
+        p.add_argument(
+            "--islands",
+            type=int,
+            default=0,
+            help=(
+                "0 = classic panmictic EMTS (default); >= 1 runs the "
+                "island model (mu single-parent islands with ring "
+                "migration) in that many execution shards — the shard "
+                "count never changes the result"
+            ),
+        )
+        p.add_argument(
+            "--migration-interval",
+            type=int,
+            default=1,
+            metavar="G",
+            help=(
+                "generations between island ring migrations "
+                "(island mode only; default 1)"
             ),
         )
 
@@ -741,6 +777,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         default=None,
         help="wall-clock limit per trial attempt",
+    )
+    ca.add_argument(
+        "--verify",
+        choices=["off", "sample", "full"],
+        default="off",
+        help=(
+            "differentially verify makespans inside every EMTS trial "
+            "(sample = cheap spot checks, full = every evaluation)"
+        ),
     )
     ca.add_argument(
         "--status",

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "SEMANTIC_CONFIG_DEFAULTS",
     "Checkpoint",
     "save_checkpoint",
     "load_checkpoint",
@@ -80,7 +81,19 @@ SEMANTIC_CONFIG_FIELDS = (
     "seed_heuristics",
     "selection",
     "use_rejection",
+    "island_mode",
+    "migration_interval",
 )
+
+#: Values assumed for semantic fields absent from older checkpoints, so
+#: documents written before a field existed stay resumable as long as
+#: the run uses the historical behavior.  ``island_mode`` is derived
+#: (``bool(islands)``) rather than the shard count itself: the shard
+#: count is a pure execution knob and must not pin the checkpoint.
+SEMANTIC_CONFIG_DEFAULTS = {
+    "island_mode": False,
+    "migration_interval": 1,
+}
 
 
 def _jsonable(value: Any) -> Any:
@@ -114,6 +127,13 @@ def problem_fingerprint(ptg: "PTG", table: "TimeTable") -> dict[str, Any]:
 
 def _semantic_config(config: "EMTSConfig") -> dict[str, Any]:
     full = asdict(config)
+    full["island_mode"] = bool(full.get("islands", 0))
+    if not full["island_mode"]:
+        # migration only exists in island mode; normalize so classic
+        # runs with different (unused) intervals stay interchangeable
+        full["migration_interval"] = SEMANTIC_CONFIG_DEFAULTS[
+            "migration_interval"
+        ]
     return {k: _jsonable(full[k]) for k in SEMANTIC_CONFIG_FIELDS}
 
 
@@ -160,6 +180,10 @@ class Checkpoint:
     eval_stats: dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     completed: bool = False
+    #: Island-mode only: per-island bit-generator states, index i being
+    #: island i's mutation stream.  ``None`` for classic runs (and for
+    #: checkpoints written before the island model existed).
+    island_rng_states: list[dict[str, Any]] | None = None
     version: int = CHECKPOINT_VERSION
 
     # -- capture -------------------------------------------------------
@@ -177,6 +201,7 @@ class Checkpoint:
         eval_stats: EvaluationStats | None = None,
         elapsed_seconds: float = 0.0,
         completed: bool = False,
+        island_rngs: list[np.random.Generator] | None = None,
     ) -> "Checkpoint":
         """Snapshot the live state of a run at a generation boundary."""
         return cls(
@@ -200,6 +225,14 @@ class Checkpoint:
             ),
             elapsed_seconds=float(elapsed_seconds),
             completed=bool(completed),
+            island_rng_states=(
+                [
+                    copy.deepcopy(g.bit_generator.state)
+                    for g in island_rngs
+                ]
+                if island_rngs is not None
+                else None
+            ),
         )
 
     # -- restoration ---------------------------------------------------
@@ -254,6 +287,28 @@ class Checkpoint:
                 f"different bit generator?"
             ) from exc
 
+    def restore_island_rngs(self) -> list[np.random.Generator] | None:
+        """Rebuild the per-island mutation streams (island mode only).
+
+        Returns ``None`` for classic checkpoints; raises
+        :class:`~repro.exceptions.CheckpointError` when a stored state
+        does not fit the default bit generator.
+        """
+        if self.island_rng_states is None:
+            return None
+        rngs = []
+        for i, state in enumerate(self.island_rng_states):
+            gen = np.random.default_rng()
+            try:
+                gen.bit_generator.state = copy.deepcopy(state)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint island {i} RNG state does not fit "
+                    f"the generator ({exc!r})"
+                ) from exc
+            rngs.append(gen)
+        return rngs
+
     def restore_eval_stats(self) -> EvaluationStats:
         """Evaluation counters accumulated before the checkpoint."""
         known = {
@@ -266,7 +321,7 @@ class Checkpoint:
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable document (inverse of :meth:`from_dict`)."""
-        return {
+        doc = {
             "format": CHECKPOINT_FORMAT,
             "version": self.version,
             "config": self.config,
@@ -280,6 +335,9 @@ class Checkpoint:
             "elapsed_seconds": self.elapsed_seconds,
             "completed": self.completed,
         }
+        if self.island_rng_states is not None:
+            doc["island_rng_states"] = self.island_rng_states
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "Checkpoint":
@@ -314,6 +372,11 @@ class Checkpoint:
                 eval_stats=dict(doc.get("eval_stats", {})),
                 elapsed_seconds=float(doc.get("elapsed_seconds", 0.0)),
                 completed=bool(doc.get("completed", False)),
+                island_rng_states=(
+                    [dict(s) for s in doc["island_rng_states"]]
+                    if doc.get("island_rng_states") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
@@ -390,7 +453,9 @@ def verify_resumable(
     mismatches: list[str] = []
     current_cfg = _semantic_config(config)
     for key in SEMANTIC_CONFIG_FIELDS:
-        saved = checkpoint.config.get(key)
+        saved = checkpoint.config.get(
+            key, SEMANTIC_CONFIG_DEFAULTS.get(key)
+        )
         if saved != current_cfg[key]:
             mismatches.append(
                 f"config.{key}: checkpoint={saved!r} "

@@ -82,6 +82,18 @@ class EMTSConfig:
         differential replay per :data:`repro.verify.evaluator
         .DEFAULT_SAMPLE_INTERVAL` genomes) or ``"full"`` (every finite
         value replayed through every scheduling engine).
+    islands:
+        0 (default) runs the classic panmictic (mu + lambda) engine.
+        Any value >= 1 switches to the island model
+        (:mod:`repro.core.islands`): ``mu`` logical single-parent
+        islands with ring migration, evaluated in ``islands``
+        contiguous execution shards.  The shard count is a pure
+        execution knob — same-seed results are bit-identical for any
+        value in ``{1, ..., mu}``.  Requires plus selection and
+        ``lam >= mu``.
+    migration_interval:
+        Generations between ring migrations in island mode (>= 1;
+        ignored when ``islands == 0``).
     """
 
     mu: int = 5
@@ -107,6 +119,8 @@ class EMTSConfig:
     eval_retry_backoff: float = 0.05
     eval_timeout: float | None = None
     verify: str = "off"
+    islands: int = 0
+    migration_interval: int = 1
     name: str = "emts"
 
     def __post_init__(self) -> None:
@@ -175,6 +189,26 @@ class EMTSConfig:
                 f"verify must be 'off', 'sample' or 'full', got "
                 f"{self.verify!r}"
             )
+        if self.islands < 0:
+            raise ConfigurationError(
+                f"islands must be >= 0, got {self.islands}"
+            )
+        if self.migration_interval < 1:
+            raise ConfigurationError(
+                f"migration_interval must be >= 1, got "
+                f"{self.migration_interval}"
+            )
+        if self.islands > 0:
+            if self.selection != "plus":
+                raise ConfigurationError(
+                    "the island model is elitist per island and "
+                    "requires selection='plus'"
+                )
+            if self.lam < self.mu:
+                raise ConfigurationError(
+                    f"island mode needs lambda >= mu so every island "
+                    f"produces offspring ({self.lam} < {self.mu})"
+                )
 
     def with_updates(self, **changes) -> "EMTSConfig":
         """A modified copy (frozen dataclass helper)."""

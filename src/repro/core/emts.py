@@ -26,8 +26,8 @@ from pathlib import Path
 
 import numpy as np
 
-from .._rng import ensure_generator
-from ..exceptions import ConfigurationError
+from .._rng import ensure_generator, spawn_children
+from ..exceptions import CheckpointError, ConfigurationError
 from ..ea import (
     AnyOf,
     Deadline,
@@ -55,6 +55,7 @@ from .checkpoint import (
 )
 from .config import EMTSConfig, emts5_config, emts10_config
 from .evaluator import EvaluationStats, create_evaluator
+from .islands import IslandStrategy
 from .mutation import AllocationMutation
 from .seeding import seed_population
 
@@ -330,6 +331,7 @@ class EMTS:
             checkpoint: Checkpoint | None = None
             prior_elapsed = 0.0
             prior_eval_stats: EvaluationStats | None = None
+            island_rngs: list[np.random.Generator] | None = None
             if resume_from is not None:
                 checkpoint = load_checkpoint(resume_from)
                 verify_resumable(checkpoint, cfg, ptg, table)
@@ -337,6 +339,13 @@ class EMTS:
                 prior_eval_stats = checkpoint.restore_eval_stats()
                 initial = checkpoint.restore_population()
                 checkpoint.restore_rng(rng)
+                if cfg.islands:
+                    island_rngs = checkpoint.restore_island_rngs()
+                    if island_rngs is None:
+                        raise CheckpointError(
+                            "checkpoint holds no island RNG streams; "
+                            "it was not written by an island-mode run"
+                        )
                 _log.info(
                     "resuming %s from %s at generation %d",
                     cfg.name,
@@ -354,6 +363,12 @@ class EMTS:
                         rng=rng,
                         delta=cfg.delta,
                     )
+                if cfg.islands:
+                    # one mutation stream per logical island, derived
+                    # from the master generator at a fixed point (right
+                    # after seeding) so the decomposition is a pure
+                    # function of the seed
+                    island_rngs = spawn_children(rng, cfg.mu)
             evaluator = create_evaluator(
                 ptg,
                 table,
@@ -440,6 +455,7 @@ class EMTS:
                             elapsed_seconds=prior_elapsed
                             + (time.perf_counter() - t_start),
                             completed=completed,
+                            island_rngs=island_rngs,
                         ),
                         checkpoint_path,
                     )
@@ -460,12 +476,21 @@ class EMTS:
                     )
                 journal(population, generation, log)
 
-            strategy = EvolutionStrategy(
-                mu=cfg.mu,
-                lam=cfg.lam,
-                mutation=mutation,
-                selection=cfg.selection,
-            )
+            if cfg.islands:
+                strategy = IslandStrategy(
+                    mu=cfg.mu,
+                    lam=cfg.lam,
+                    mutation=mutation,
+                    migration_interval=cfg.migration_interval,
+                    shards=cfg.islands,
+                )
+            else:
+                strategy = EvolutionStrategy(
+                    mu=cfg.mu,
+                    lam=cfg.lam,
+                    mutation=mutation,
+                    selection=cfg.selection,
+                )
             if checkpoint is not None:
                 seed_makespans = dict(checkpoint.seed_makespans)
                 resume_log = checkpoint.restore_log()
@@ -496,22 +521,37 @@ class EMTS:
                     },
                 )
 
-            outcome = strategy.evolve(
-                initial,
-                evaluator,
-                rng=rng,
-                termination=termination,
-                total_generations=cfg.generations,
-                abort_bound=abort_bound,
-                on_generation_end=(
-                    on_generation_end
-                    if (checkpoint_path is not None or tracer is not None)
-                    else None
-                ),
-                resume_log=resume_log,
-                start_generation=start_generation,
-                profiler=profiler,
+            generation_hook = (
+                on_generation_end
+                if (checkpoint_path is not None or tracer is not None)
+                else None
             )
+            if cfg.islands:
+                outcome = strategy.evolve(
+                    initial,
+                    evaluator,
+                    island_rngs=island_rngs,
+                    termination=termination,
+                    total_generations=cfg.generations,
+                    abort_bound=abort_bound,
+                    on_generation_end=generation_hook,
+                    resume_log=resume_log,
+                    start_generation=start_generation,
+                    profiler=profiler,
+                )
+            else:
+                outcome = strategy.evolve(
+                    initial,
+                    evaluator,
+                    rng=rng,
+                    termination=termination,
+                    total_generations=cfg.generations,
+                    abort_bound=abort_bound,
+                    on_generation_end=generation_hook,
+                    resume_log=resume_log,
+                    start_generation=start_generation,
+                    profiler=profiler,
+                )
         except BaseException:
             # an escaping error leaves the trace as a valid prefix of
             # complete lines (no run_end — report-trace flags the run

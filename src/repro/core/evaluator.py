@@ -229,6 +229,34 @@ class FitnessEvaluator(ABC):
         self.stats.wall_seconds += time.perf_counter() - t0
         return values
 
+    def evaluate_batch(
+        self,
+        genome_block: np.ndarray,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Makespan of every row of a stacked ``(B, V)`` genome block.
+
+        The population-at-once entry point: the whole block flows to
+        the backend as one array — one vectorized validation, one
+        native batch call, index slices (not pickled genomes) across
+        pool workers.  Results are bit-identical to ``evaluate`` on the
+        same genomes in the same order.
+        """
+        block = np.asarray(genome_block)
+        if block.ndim != 2:
+            raise AllocationError(
+                f"genome block has shape {block.shape}, expected "
+                f"(batch, num_tasks)"
+            )
+        if block.shape[0] == 0:
+            return []
+        t0 = time.perf_counter()
+        values = self._evaluate_block(block, abort_above)
+        self.stats.batches += 1
+        self.stats.evaluations += block.shape[0]
+        self.stats.wall_seconds += time.perf_counter() - t0
+        return values
+
     def __call__(self, genome: np.ndarray) -> float:
         """Single-genome convenience (drop-in for a fitness closure)."""
         return self.evaluate([genome])[0]
@@ -242,7 +270,7 @@ class FitnessEvaluator(ABC):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- subclass hook -------------------------------------------------
+    # -- subclass hooks ------------------------------------------------
     @abstractmethod
     def _evaluate_batch(
         self,
@@ -250,6 +278,18 @@ class FitnessEvaluator(ABC):
         abort_above: float | None,
     ) -> list[float]:
         """Evaluate one batch; must preserve input order."""
+
+    def _evaluate_block(
+        self,
+        block: np.ndarray,
+        abort_above: float | None,
+    ) -> list[float]:
+        """Evaluate one stacked block; must preserve row order.
+
+        Subclasses with a faster whole-block path override this; the
+        default unstacks into the per-genome hook.
+        """
+        return self._evaluate_batch(list(block), abort_above)
 
 
 def _kernel_if_matching(
@@ -266,6 +306,22 @@ def _kernel_if_matching(
 def _genome_bytes(genome: np.ndarray) -> bytes:
     """Fallback cache key: the genome's canonical int64 byte content."""
     return np.ascontiguousarray(genome, dtype=np.int64).tobytes()
+
+
+def _genome_block_bytes(
+    genome_block: np.ndarray,
+) -> tuple[np.ndarray, list[bytes]]:
+    """Fallback batch keys: one contiguous serialization, sliced per row.
+
+    Mirrors ``ScheduleKernel.genome_block_keys`` for backends without a
+    compiled kernel: ``keys[i]`` equals ``_genome_bytes(block[i])``, but
+    the block is canonicalized and serialized once instead of B times.
+    """
+    block = np.ascontiguousarray(genome_block, dtype=np.int64)
+    data = block.tobytes()
+    step = block.shape[1] * 8
+    keys = [data[i * step : (i + 1) * step] for i in range(block.shape[0])]
+    return block, keys
 
 
 class SerialEvaluator(FitnessEvaluator):
@@ -289,6 +345,14 @@ class SerialEvaluator(FitnessEvaluator):
             return self._kernel.genome_key(genome)
         return _genome_bytes(genome)
 
+    def genome_block_keys(
+        self, genome_block: np.ndarray
+    ) -> tuple[np.ndarray, list[bytes]]:
+        """Canonical block plus one cache key per row (hashed once)."""
+        if self._kernel is not None:
+            return self._kernel.genome_block_keys(genome_block)
+        return _genome_block_bytes(genome_block)
+
     def _evaluate_batch(
         self,
         genomes: list[np.ndarray],
@@ -303,6 +367,21 @@ class SerialEvaluator(FitnessEvaluator):
         return [
             makespan_of(self.ptg, self.table, g, abort_above=abort_above)
             for g in genomes
+        ]
+
+    def _evaluate_block(
+        self,
+        block: np.ndarray,
+        abort_above: float | None,
+    ) -> list[float]:
+        self.stats.mapper_calls += block.shape[0]
+        kernel = self._kernel
+        if kernel is not None:
+            # population-at-once: one native call scores the whole block
+            return kernel.makespan_batch(block, abort_above)
+        return [
+            makespan_of(self.ptg, self.table, g, abort_above=abort_above)
+            for g in block
         ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -373,6 +452,68 @@ def _pool_evaluate_chunk(
         time.perf_counter() - t0
     )
     return values, _WORKER_METRICS.drain()
+
+
+# One attached shared-memory segment per worker process: the dispatcher
+# publishes each genome block under a fresh name, so caching the last
+# attachment and swapping it on a name change keeps every slice task of
+# one batch on a single mmap while bounding the worker's footprint to
+# one block.
+_WORKER_SHM = None
+
+
+def _worker_attach_shm(shm_name: str):
+    """Attach (or reuse) the published genome block in a worker."""
+    global _WORKER_SHM
+    if _WORKER_SHM is not None and _WORKER_SHM.name == shm_name:
+        return _WORKER_SHM
+    from multiprocessing import resource_tracker, shared_memory
+
+    if _WORKER_SHM is not None:
+        try:
+            _WORKER_SHM.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        _WORKER_SHM = None
+    # The dispatching process owns the segment's lifetime.  Before
+    # Python 3.13 (`track=False`), merely attaching registers the name
+    # with the resource tracker, which then unlinks it when this worker
+    # dies (spawn) or floods the shared tracker with stale unregisters
+    # (fork) — so suppress shared-memory registration for the attach.
+    original_register = resource_tracker.register
+
+    def _register_except_shm(name, rtype):
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        shm = shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = original_register
+    _WORKER_SHM = shm
+    return shm
+
+
+def _pool_evaluate_slice(
+    shm_name: str,
+    shape: tuple[int, int],
+    start: int,
+    stop: int,
+    abort_above: float | None,
+):
+    """Evaluate rows ``[start, stop)`` of a shared genome block.
+
+    The index-slice wire format: instead of pickling genome arrays into
+    every task, the dispatcher publishes the stacked ``(B, V)`` int64
+    block once through :mod:`multiprocessing.shared_memory` and each
+    task carries only ``(name, shape, start, stop)``.  Fault hook,
+    metrics and the returned wire format are exactly those of
+    :func:`_pool_evaluate_chunk` on the equivalent rows.
+    """
+    shm = _worker_attach_shm(shm_name)
+    block = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+    return _pool_evaluate_chunk(block[start:stop], abort_above)
 
 
 class ProcessPoolEvaluator(FitnessEvaluator):
@@ -521,10 +662,42 @@ class ProcessPoolEvaluator(FitnessEvaluator):
             size = max(1, -(-n // (self.workers * 4)))
         return size
 
-    def _chunks(self, genomes: list[np.ndarray]) -> list[np.ndarray]:
-        size = self._chunk_size_for(len(genomes))
-        block = np.stack(genomes).astype(np.int64, copy=False)
-        return [block[i : i + size] for i in range(0, len(block), size)]
+    def _slices(self, n: int) -> list[tuple[int, int]]:
+        size = self._chunk_size_for(n)
+        return [(i, min(i + size, n)) for i in range(0, n, size)]
+
+    def _publish_block(self, block: np.ndarray):
+        """Copy the block into a fresh shared-memory segment.
+
+        Returns the :class:`~multiprocessing.shared_memory.SharedMemory`
+        handle (the caller owns close+unlink), or ``None`` when shared
+        memory is unavailable — the dispatcher then falls back to
+        pickling row slices into each task.
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=block.nbytes
+            )
+        except Exception as exc:
+            _log.warning(
+                "shared-memory publish unavailable (%s); "
+                "falling back to pickled chunk dispatch",
+                exc,
+            )
+            return None
+        view = np.ndarray(block.shape, dtype=np.int64, buffer=shm.buf)
+        view[:] = block
+        return shm
+
+    def genome_block_keys(
+        self, genome_block: np.ndarray
+    ) -> tuple[np.ndarray, list[bytes]]:
+        """Canonical block plus one cache key per row (hashed once)."""
+        if self._kernel is not None:
+            return self._kernel.genome_block_keys(genome_block)
+        return _genome_block_bytes(genome_block)
 
     def _serial_chunk(
         self, chunk: np.ndarray, abort_above: float | None
@@ -544,11 +717,60 @@ class ProcessPoolEvaluator(FitnessEvaluator):
         genomes: list[np.ndarray],
         abort_above: float | None,
     ) -> list[float]:
-        self.stats.mapper_calls += len(genomes)
-        chunks = self._chunks(genomes)
-        size = self._chunk_size_for(len(genomes))
-        results: list[list[float] | None] = [None] * len(chunks)
-        pending = list(range(len(chunks)))
+        block = np.stack(genomes).astype(np.int64, copy=False)
+        return self._dispatch_block(
+            np.ascontiguousarray(block), abort_above
+        )
+
+    def _evaluate_block(
+        self,
+        block: np.ndarray,
+        abort_above: float | None,
+    ) -> list[float]:
+        if self._kernel is not None:
+            # validate once here so a malformed block raises the same
+            # deterministic AllocationError the serial backend gives,
+            # before any worker round-trip
+            block = self._kernel.load_block(block)
+        else:
+            block = np.ascontiguousarray(block, dtype=np.int64)
+        return self._dispatch_block(block, abort_above)
+
+    def _dispatch_block(
+        self,
+        block: np.ndarray,
+        abort_above: float | None,
+    ) -> list[float]:
+        """Fan a canonical int64 block across the pool as index slices.
+
+        The block is published once through shared memory and each task
+        carries only its ``[start, stop)`` row range; when shared memory
+        is unavailable the same slices ship as pickled sub-blocks.  The
+        retry loop, serial fallback and metrics plumbing are identical
+        in both modes.
+        """
+        self.stats.mapper_calls += block.shape[0]
+        slices = self._slices(block.shape[0])
+        shm = self._publish_block(block)
+        try:
+            return self._run_slices(block, slices, shm, abort_above)
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+    def _run_slices(
+        self,
+        block: np.ndarray,
+        slices: list[tuple[int, int]],
+        shm,
+        abort_above: float | None,
+    ) -> list[float]:
+        results: list[list[float] | None] = [None] * len(slices)
+        pending = list(range(len(slices)))
         attempt = 0
         while pending:
             executor = self._ensure_executor()
@@ -557,9 +779,22 @@ class ProcessPoolEvaluator(FitnessEvaluator):
             last_error: BaseException | None = None
             try:
                 for i in pending:
-                    futures[i] = executor.submit(
-                        _pool_evaluate_chunk, chunks[i], abort_above
-                    )
+                    start, stop = slices[i]
+                    if shm is not None:
+                        futures[i] = executor.submit(
+                            _pool_evaluate_slice,
+                            shm.name,
+                            block.shape,
+                            start,
+                            stop,
+                            abort_above,
+                        )
+                    else:
+                        futures[i] = executor.submit(
+                            _pool_evaluate_chunk,
+                            block[start:stop],
+                            abort_above,
+                        )
             except (BrokenExecutor, RuntimeError) as exc:
                 # a worker killed while the pool sat idle is only
                 # detected asynchronously: the break can surface here,
@@ -605,20 +840,18 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                     last_error,
                 )
                 for i in failed:
-                    indices = range(
-                        i * size, min((i + 1) * size, len(genomes))
-                    )
+                    start, stop = slices[i]
                     try:
                         results[i] = self._serial_chunk(
-                            chunks[i], abort_above
+                            block[start:stop], abort_above
                         )
                     except Exception as exc:
                         raise EvaluationError(
                             f"evaluation of genomes "
-                            f"{list(indices)} failed after "
+                            f"{list(range(start, stop))} failed after "
                             f"{self.max_retries} pool retries and the "
                             f"serial fallback: {exc}",
-                            genome_indices=indices,
+                            genome_indices=range(start, stop),
                         ) from exc
                 pending = []
             else:
@@ -637,7 +870,7 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                     )
                 pending = failed
         values: list[float] = []
-        for chunk_values in results:  # chunk order == input order
+        for chunk_values in results:  # slice order == input order
             values.extend(chunk_values)
         return values
 
@@ -674,6 +907,9 @@ class MemoizedEvaluator(FitnessEvaluator):
         self.inner = inner
         self.max_entries = int(max_entries)
         self._key_fn = getattr(inner, "genome_key", _genome_bytes)
+        self._block_key_fn = getattr(
+            inner, "genome_block_keys", _genome_block_bytes
+        )
         # key -> (value, bound). bound is None for exact values and the
         # abort_above under which the rejection was observed otherwise.
         self._cache: OrderedDict[bytes, tuple[float, float | None]] = (
@@ -720,18 +956,22 @@ class MemoizedEvaluator(FitnessEvaluator):
             self._cache.popitem(last=False)
             self.stats.evictions += 1
 
-    def _evaluate_batch(
+    def _evaluate_keyed(
         self,
-        genomes: list[np.ndarray],
+        keys: list[bytes],
         abort_above: float | None,
+        evaluate_misses: Callable[[list[int]], list[float]],
     ) -> list[float]:
-        key_fn = self._key_fn
-        keys = [key_fn(g) for g in genomes]
+        """Shared hit/miss resolution for the list and block paths.
+
+        ``evaluate_misses`` receives the input positions of the unique
+        misses (first-seen order) and returns their fresh values.
+        """
         values: list[float | None] = []
         miss_order: list[bytes] = []  # unique misses, first-seen order
-        miss_genomes: list[np.ndarray] = []
+        miss_rows: list[int] = []
         pending: set[bytes] = set()
-        for key, genome in zip(keys, genomes):
+        for row, key in enumerate(keys):
             hit = self._lookup(key, abort_above)
             if hit is not None:
                 self.stats.cache_hits += 1
@@ -744,11 +984,11 @@ class MemoizedEvaluator(FitnessEvaluator):
                 self.stats.cache_misses += 1
                 pending.add(key)
                 miss_order.append(key)
-                miss_genomes.append(genome)
+                miss_rows.append(row)
                 values.append(None)
         fresh_by_key: dict[bytes, float] = {}
-        if miss_genomes:
-            fresh = self.inner.evaluate(miss_genomes, abort_above)
+        if miss_rows:
+            fresh = evaluate_misses(miss_rows)
             for key, value in zip(miss_order, fresh):
                 fresh_by_key[key] = value
                 self._store(key, value, abort_above)
@@ -763,6 +1003,37 @@ class MemoizedEvaluator(FitnessEvaluator):
             out.append(value)
         return out
 
+    def _evaluate_batch(
+        self,
+        genomes: list[np.ndarray],
+        abort_above: float | None,
+    ) -> list[float]:
+        key_fn = self._key_fn
+        keys = [key_fn(g) for g in genomes]
+        return self._evaluate_keyed(
+            keys,
+            abort_above,
+            lambda rows: self.inner.evaluate(
+                [genomes[r] for r in rows], abort_above
+            ),
+        )
+
+    def _evaluate_block(
+        self,
+        block: np.ndarray,
+        abort_above: float | None,
+    ) -> list[float]:
+        # one batch validation + one contiguous serialization for the
+        # whole block — not a per-genome re-hash of every row
+        block, keys = self._block_key_fn(block)
+        return self._evaluate_keyed(
+            keys,
+            abort_above,
+            lambda rows: self.inner.evaluate_batch(
+                block[np.asarray(rows)], abort_above
+            ),
+        )
+
     @property
     def mapper_calls(self) -> int:
         """Mapper invocations executed by the wrapped backend."""
@@ -774,13 +1045,25 @@ class MemoizedEvaluator(FitnessEvaluator):
         abort_above: float | None = None,
     ) -> list[float]:
         values = super().evaluate(genomes, abort_above)
+        self._mirror_inner_stats()
+        return values
+
+    def evaluate_batch(
+        self,
+        genome_block: np.ndarray,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        values = super().evaluate_batch(genome_block, abort_above)
+        self._mirror_inner_stats()
+        return values
+
+    def _mirror_inner_stats(self) -> None:
         # mirror the backend's mapper-call and fault-recovery counters
         # into our own stats so callers only ever need to read the
         # outermost evaluator
         self.stats.mapper_calls = self.inner.stats.mapper_calls
         self.stats.retries = self.inner.stats.retries
         self.stats.pool_rebuilds = self.inner.stats.pool_rebuilds
-        return values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -171,9 +171,20 @@ class EvolutionStrategy:
         if hasattr(fitness, "evaluate"):
             stats = getattr(fitness, "stats", None)
             hits_before = stats.cache_hits if stats is not None else 0
-            values = fitness.evaluate(
-                [ind.genome for ind in todo], abort_above=abort_above
-            )
+            evaluate_batch = getattr(fitness, "evaluate_batch", None)
+            if evaluate_batch is not None:
+                # population-at-once: stack the genomes into one block
+                # so the backend validates, hashes and scores them in
+                # single vectorized (or native) passes
+                values = evaluate_batch(
+                    np.stack([ind.genome for ind in todo]),
+                    abort_above=abort_above,
+                )
+            else:
+                values = fitness.evaluate(
+                    [ind.genome for ind in todo],
+                    abort_above=abort_above,
+                )
             if len(values) != len(todo):
                 raise ConfigurationError(
                     f"batch evaluator returned {len(values)} values "

@@ -35,6 +35,7 @@ def generate_figure4(
     progress=None,
     trace=None,
     metrics=None,
+    verify: str = "off",
 ) -> RelativeMakespanFigure:
     """Run the Figure 4 experiment (Model 1, EMTS5).
 
@@ -43,11 +44,14 @@ def generate_figure4(
     each on two platforms) is ``scale=1``.  ``campaign_dir`` runs the
     sweep as a resumable crash-only campaign (see
     :mod:`repro.experiments.campaign`); ``trace`` / ``metrics`` record
-    per-trial observability events in campaign mode.
+    per-trial observability events in campaign mode.  ``verify``
+    enables online differential verification inside every EMTS trial
+    (``"off"``/``"sample"``/``"full"``, see
+    :class:`repro.core.EMTSConfig`).
     """
     return run_relative_makespan_figure(
         AmdahlModel(),
-        emts5(),
+        emts5(verify=verify),
         seed=seed,
         scale=scale,
         panels=panels,

@@ -59,6 +59,7 @@ def generate_figure5(
     progress=None,
     trace=None,
     metrics=None,
+    verify: str = "off",
 ) -> Figure5Data:
     """Run the Figure 5 experiment (Model 2; EMTS5 and EMTS10 rows).
 
@@ -67,7 +68,8 @@ def generate_figure5(
     resumable crash-only campaign in its own subdirectory
     (``<dir>/emts5``, ``<dir>/emts10``); ``trace`` / ``metrics`` record
     per-trial observability events in campaign mode (both rows share
-    the same trace file and registry).
+    the same trace file and registry).  ``verify`` enables online
+    differential verification inside every EMTS trial.
     """
     if panels is None:
         panels = build_panels(seed, scale)
@@ -85,7 +87,7 @@ def generate_figure5(
     try:
         row5 = run_relative_makespan_figure(
             model,
-            emts5(),
+            emts5(verify=verify),
             seed=seed,
             scale=scale,
             panels=panels,
@@ -98,7 +100,7 @@ def generate_figure5(
         if include_emts10:
             row10 = run_relative_makespan_figure(
                 model,
-                emts10(),
+                emts10(verify=verify),
                 seed=seed,
                 scale=scale,
                 panels=panels,

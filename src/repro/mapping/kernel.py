@@ -58,6 +58,7 @@ evaluator builds one per worker).
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappop, heappush
 from math import inf
 from typing import TYPE_CHECKING
@@ -71,11 +72,32 @@ from . import _cscheduler
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..timemodels import TimeTable
 
-__all__ = ["ScheduleKernel", "kernel_for", "check_allocation"]
+__all__ = [
+    "ScheduleKernel",
+    "kernel_for",
+    "check_allocation",
+    "batch_threads",
+]
 
 #: Same slack the reference ``ProcessorState`` uses for the first-fit
 #: candidate scan; keeping it shared is part of the bit-identity story.
 _EPS = 1e-12
+
+
+def batch_threads() -> int:
+    """Thread count for the native batch scheduler.
+
+    ``REPRO_CKERNEL_THREADS`` (default 1) fans batch rows across OpenMP
+    threads when the library was built with ``-fopenmp``; results are
+    bit-identical for any value because each row is scheduled
+    independently.  Invalid or non-positive values fall back to 1.
+    """
+    raw = os.environ.get("REPRO_CKERNEL_THREADS", "1")
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    return n if n >= 1 else 1
 
 
 #: Graphs with more than this many tasks + edges keep the interpreted
@@ -664,6 +686,60 @@ class ScheduleKernel:
             times, alloc.tolist(), abort_above
         )
 
+    def load_block(self, genome_block) -> np.ndarray:
+        """Validate a ``(B, V)`` genome block into canonical form.
+
+        Returns a C-contiguous int64 array — the batch analogue of
+        :meth:`_load_alloc`, with the same checks and messages applied
+        once across the whole block instead of per genome.
+        """
+        block = np.asarray(genome_block)
+        if block.ndim != 2 or block.shape[1] != self.num_tasks:
+            raise AllocationError(
+                f"genome block has shape {block.shape}, expected "
+                f"(batch, {self.num_tasks})"
+            )
+        if block.dtype.kind not in "iu":
+            rounded = np.rint(block)
+            if not np.allclose(block, rounded):
+                raise AllocationError("allocations must be integers")
+            block = rounded.astype(np.int64)
+        else:
+            block = block.astype(np.int64, copy=False)
+        block = np.ascontiguousarray(block)
+        if block.shape[0] == 0:
+            return block
+        # same single-reduction bounds check as _load_alloc, batch-wide
+        if (block - 1).view(np.uint64).max() >= self.num_processors:
+            raise AllocationError(
+                f"allocations must lie in [1, {self.num_processors}]; "
+                f"got range [{block.min()}, {block.max()}]"
+            )
+        return block
+
+    def genome_block_keys(
+        self, genome_block
+    ) -> tuple[np.ndarray, list[bytes]]:
+        """Canonical cache keys for a whole genome block at once.
+
+        Returns ``(block, keys)`` where ``block`` is the canonical
+        int64 form of the input and ``keys[i]`` equals
+        ``genome_key(block[i])`` — one batch validation and one
+        contiguous ``tobytes`` instead of per-genome work, which is
+        what lets the memoization cache hash a population without
+        re-validating every row separately.
+        """
+        block = self.load_block(genome_block)
+        if block.shape[0] == 0:
+            return block, []
+        data = block.tobytes()
+        step = block.shape[1] * 8
+        keys = [
+            data[i * step:(i + 1) * step]
+            for i in range(block.shape[0])
+        ]
+        return block, keys
+
     def makespan_batch(
         self,
         genome_block,
@@ -672,50 +748,41 @@ class ScheduleKernel:
         """Makespans for a whole batch of genomes, in input order.
 
         Accepts anything convertible to a ``(B, V)`` array (a stacked
-        block or a list of genome vectors).  Validation, the time-table
-        gather and the array→list conversions are vectorized across the
-        batch — the per-genome cost is the scheduling loop alone.  Each
-        genome's result is bit-identical to :meth:`makespan`.
+        block or a list of genome vectors).  On the native path the
+        whole block is scored by a single C call into the slot-based
+        batch scheduler (optionally fanned across threads, see
+        ``REPRO_CKERNEL_THREADS``); on the numpy path the validation,
+        time-table gather and array→list conversions are vectorized
+        across the batch.  Each genome's result is bit-identical to
+        :meth:`makespan` on either engine.
         """
-        block = np.asarray(genome_block)
-        if block.ndim != 2 or block.shape[1] != self.num_tasks:
-            raise AllocationError(
-                f"genome block has shape {block.shape}, expected "
-                f"(batch, {self.num_tasks})"
-            )
+        block = self.load_block(genome_block)
         if block.shape[0] == 0:
             return []
-        if block.dtype.kind not in "iu":
-            rounded = np.rint(block)
-            if not np.allclose(block, rounded):
-                raise AllocationError("allocations must be integers")
-            block = rounded.astype(np.int64)
-        else:
-            block = block.astype(np.int64, copy=False)
-        # same single-reduction bounds check as _load_alloc, batch-wide
-        flat = block - 1
-        if flat.view(np.uint64).max() >= self.num_processors:
-            raise AllocationError(
-                f"allocations must lie in [1, {self.num_processors}]; "
-                f"got range [{block.min()}, {block.max()}]"
-            )
         if self._c is not None:
-            ffi, lib, const_ptrs, ws_ptrs = self._c
-            rows = np.ascontiguousarray(block)
-            out = np.empty(rows.shape[0], dtype=np.float64)
+            ffi, lib, const_ptrs, _ws_ptrs = self._c
+            out = np.empty(block.shape[0], dtype=np.float64)
             lib.schedule_makespan_batch(
-                rows.shape[0],
+                block.shape[0],
                 self.num_tasks,
                 self.num_processors,
+                batch_threads(),
                 const_ptrs[0],
-                ffi.cast("const int64_t *", rows.ctypes.data),
+                ffi.cast("const int64_t *", block.ctypes.data),
                 *const_ptrs[2:],
                 inf if abort_above is None else abort_above,
-                *ws_ptrs,
                 ffi.cast("double *", out.ctypes.data),
             )
+            if np.isnan(out).any():
+                # NaN rows mark per-thread workspace allocation
+                # failures inside the C driver; replay them on the
+                # numpy path (no engine ever *computes* NaN)
+                for i in np.flatnonzero(np.isnan(out)):
+                    out[i] = self.makespan_numpy(
+                        block[i], abort_above
+                    )
             return out.tolist()
-        flat += self._row_base  # broadcasts over rows
+        flat = (block - 1) + self._row_base  # broadcasts over rows
         times_rows = self._flat_times.take(flat).tolist()
         alloc_rows = block.tolist()
         if abort_above is None:

@@ -95,22 +95,19 @@ class ObservedEvaluator:
             self.phase = previous
 
     # ------------------------------------------------------------------
-    def evaluate(
+    def _record(
         self,
-        genomes: Sequence,
-        abort_above: float | None = None,
-    ) -> list[float]:
-        genomes = list(genomes)
-        t0 = time.perf_counter()
-        values = self.inner.evaluate(genomes, abort_above=abort_above)
-        dt = time.perf_counter() - t0
+        values: list[float],
+        abort_above: float | None,
+        dt: float,
+    ) -> None:
         self.profiler.add(self.phase, dt)
         rejected = sum(1 for v in values if math.isinf(v))
         if self.tracer is not None:
             self.tracer.event(
                 "evaluation",
                 attrs={
-                    "genomes": len(genomes),
+                    "genomes": len(values),
                     "bounded": abort_above is not None,
                     "rejected": rejected,
                 },
@@ -119,7 +116,7 @@ class ObservedEvaluator:
         if self.metrics is not None:
             self.metrics.counter("evaluation.batches").inc()
             self.metrics.counter("evaluation.genomes").inc(
-                len(genomes)
+                len(values)
             )
             if rejected:
                 self.metrics.counter("evaluation.rejected").inc(
@@ -128,6 +125,29 @@ class ObservedEvaluator:
             self.metrics.histogram(
                 "evaluation.batch_seconds"
             ).observe(dt)
+
+    def evaluate(
+        self,
+        genomes: Sequence,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        genomes = list(genomes)
+        t0 = time.perf_counter()
+        values = self.inner.evaluate(genomes, abort_above=abort_above)
+        self._record(values, abort_above, time.perf_counter() - t0)
+        return values
+
+    def evaluate_batch(
+        self,
+        genome_block,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Block-path analogue of :meth:`evaluate`, same telemetry."""
+        t0 = time.perf_counter()
+        values = self.inner.evaluate_batch(
+            genome_block, abort_above=abort_above
+        )
+        self._record(values, abort_above, time.perf_counter() - t0)
         return values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -164,6 +184,14 @@ def run_metrics(
         reg.counter("emts.pool_rebuilds").inc(stats.pool_rebuilds)
         reg.counter("emts.eval_batches").inc(stats.batches)
         reg.timer("emts.eval_seconds").observe(stats.wall_seconds)
+        reg.gauge(
+            "emts.cache_hit_rate",
+            help="memoization hits / submitted genomes",
+        ).set(
+            stats.cache_hits / stats.evaluations
+            if stats.evaluations
+            else 0.0
+        )
     reg.counter(
         "emts.generations", help="completed evolutionary steps"
     ).inc(max(0, result.log.generations - 1))

@@ -211,12 +211,8 @@ class ChaosEvaluator:
         """Delegate cache-key computation to the wrapped evaluator."""
         return self.inner.genome_key(genome)
 
-    def evaluate(
-        self,
-        genomes: Sequence[np.ndarray],
-        abort_above: float | None = None,
-    ) -> list[float]:
-        """Evaluate one batch, detonating any faults planned for it."""
+    def _pre_batch(self) -> int:
+        """Fire dispatch-side faults; returns this batch's plan index."""
         index = self.batches_seen
         self.batches_seen += 1
         if index in self.plan.delay_batches:
@@ -230,7 +226,12 @@ class ChaosEvaluator:
         if index in self.plan.kill_batches:
             if kill_one_worker(self.inner) is not None:
                 self.faults_injected += 1
-        values = self.inner.evaluate(genomes, abort_above=abort_above)
+        return index
+
+    def _post_batch(
+        self, index: int, values: list[float]
+    ) -> list[float]:
+        """Apply result-corruption faults and the stop trigger."""
         if index in self.plan.nan_batches and values:
             self.faults_injected += 1
             values = list(values)
@@ -251,6 +252,33 @@ class ChaosEvaluator:
         ):
             self.stop_event.set()
         return values
+
+    def evaluate(
+        self,
+        genomes: Sequence[np.ndarray],
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Evaluate one batch, detonating any faults planned for it."""
+        index = self._pre_batch()
+        values = self.inner.evaluate(genomes, abort_above=abort_above)
+        return self._post_batch(index, values)
+
+    def evaluate_batch(
+        self,
+        genome_block: np.ndarray,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Block-path analogue of :meth:`evaluate`, same fault plan.
+
+        Block and list submissions draw from one shared batch-index
+        sequence, so a plan written against batch indices fires at the
+        same points whichever entry point the driver uses.
+        """
+        index = self._pre_batch()
+        values = self.inner.evaluate_batch(
+            genome_block, abort_above=abort_above
+        )
+        return self._post_batch(index, values)
 
     def __call__(self, genome: np.ndarray) -> float:
         """Single-genome convenience entry point."""

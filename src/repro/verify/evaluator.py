@@ -151,19 +151,12 @@ class VerifyingEvaluator:
             self.verify_seconds += time.perf_counter() - t0
         self.verified += 1
 
-    def evaluate(
-        self,
-        genomes: Sequence[np.ndarray],
-        abort_above: float | None = None,
-    ) -> list[float]:
-        """Evaluate through the wrapped backend, then verify.
+    def _post_check(self, genomes, values: list[float]) -> None:
+        """NaN scan plus (sampled or full) differential replay.
 
-        Raises :class:`~repro.exceptions.VerificationError` when a
-        returned value is NaN, or when a (sampled or full) differential
-        replay disagrees with the backend.
+        ``genomes`` is any sequence of genome rows — a list or a
+        stacked ``(B, V)`` block — matching ``values`` positionally.
         """
-        genomes = list(genomes)
-        values = self.inner.evaluate(genomes, abort_above=abort_above)
         # NaN scan in every mode: no engine produces NaN, so one in the
         # result stream is corruption by definition (vectorized — this
         # runs on every batch, so it must cost next to nothing)
@@ -182,13 +175,41 @@ class VerifyingEvaluator:
                 if np.isfinite(value):
                     self._verify_one(genome, value)
         else:
-            self._budget -= len(genomes)
+            self._budget -= len(values)
             if self._budget <= 0:
                 for genome, value in zip(genomes, values):
                     if np.isfinite(value):
                         self._verify_one(genome, value)
                         self._budget = self.sample_interval
                         break
+
+    def evaluate(
+        self,
+        genomes: Sequence[np.ndarray],
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Evaluate through the wrapped backend, then verify.
+
+        Raises :class:`~repro.exceptions.VerificationError` when a
+        returned value is NaN, or when a (sampled or full) differential
+        replay disagrees with the backend.
+        """
+        genomes = list(genomes)
+        values = self.inner.evaluate(genomes, abort_above=abort_above)
+        self._post_check(genomes, values)
+        return values
+
+    def evaluate_batch(
+        self,
+        genome_block: np.ndarray,
+        abort_above: float | None = None,
+    ) -> list[float]:
+        """Block-path analogue of :meth:`evaluate`, same checks."""
+        block = np.asarray(genome_block)
+        values = self.inner.evaluate_batch(
+            block, abort_above=abort_above
+        )
+        self._post_check(block, values)
         return values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

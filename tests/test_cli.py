@@ -257,6 +257,24 @@ class TestSchedule:
                 ]
             )
 
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--islands", "-2"],
+            ["--islands", "1", "--migration-interval", "0"],
+        ],
+    )
+    def test_bad_island_flags_exit_cleanly(self, flags):
+        """Invalid island parameters are a SystemExit message, not a
+        ConfigurationError traceback."""
+        with pytest.raises(SystemExit, match="configuration error"):
+            main(
+                [
+                    "schedule", "--kind", "fft", "--size", "4",
+                    "--algorithm", "emts5", *flags,
+                ]
+            )
+
     def test_checkpoint_and_resume_flags(self, tmp_path, capsys):
         """--checkpoint writes a resumable file; --resume reproduces
         the uninterrupted run's makespan bit-identically."""

@@ -383,3 +383,77 @@ class TestStrategyBatchPath:
         )
         rows = result.log.to_rows()
         assert all("cache_hits" in row for row in rows)
+
+
+class TestEvaluateBatch:
+    """Population-at-once blocks: one call, identical results."""
+
+    def test_serial_block_matches_list(self, problem, genomes):
+        ptg, _, table = problem
+        block = np.stack(genomes)
+        with SerialEvaluator(ptg, table) as ev:
+            assert ev.evaluate_batch(block) == ev.evaluate(genomes)
+            assert ev.stats.batches == 2
+
+    def test_block_shape_validated(self, problem, genomes):
+        from repro.exceptions import AllocationError
+
+        ptg, _, table = problem
+        with SerialEvaluator(ptg, table) as ev:
+            with pytest.raises(AllocationError, match="shape"):
+                ev.evaluate_batch(genomes[0])  # 1-D
+            assert ev.evaluate_batch(
+                np.empty((0, ptg.num_tasks), dtype=np.int64)
+            ) == []
+
+    @pytest.mark.parametrize("mp_context", ["fork", "spawn"])
+    def test_pool_block_ships_shared_memory_slices(
+        self, problem, genomes, mp_context
+    ):
+        """The pool publishes the block once (shared memory) and ships
+        index slices; results equal serial, with zero retries."""
+        ptg, _, table = problem
+        block = np.stack(genomes)
+        with SerialEvaluator(ptg, table) as serial:
+            expected = serial.evaluate_batch(block)
+        with ProcessPoolEvaluator(
+            ptg, table, workers=2, chunk_size=4, mp_context=mp_context
+        ) as pool:
+            values = pool.evaluate_batch(block)
+            assert values == expected
+            assert pool.stats.retries == 0
+            bound = sorted(expected)[len(expected) // 2]
+            gated = pool.evaluate_batch(block, abort_above=bound)
+        with SerialEvaluator(ptg, table) as serial:
+            assert gated == serial.evaluate_batch(
+                block, abort_above=bound
+            )
+
+    def test_memoized_block_hashes_once_and_mirrors_stats(
+        self, problem, genomes
+    ):
+        ptg, _, table = problem
+        block = np.stack(genomes)
+        memo = MemoizedEvaluator(SerialEvaluator(ptg, table))
+        try:
+            first = memo.evaluate_batch(block)
+            again = memo.evaluate_batch(block)
+            assert first == again
+            assert memo.stats.cache_hits == len(genomes)
+            assert memo.stats.cache_misses == len(genomes)
+            # mapper calls mirrored up from the inner evaluator: the
+            # second pass never reached it
+            assert memo.stats.mapper_calls == len(genomes)
+        finally:
+            memo.close()
+
+    def test_cache_hit_rate_gauge_in_run_metrics(self, problem):
+        from repro.obs import run_metrics
+
+        ptg, cluster, table = problem
+        result = emts5().schedule(ptg, cluster, table, rng=31)
+        snap = run_metrics(result).snapshot()
+        stats = result.evaluation_stats
+        assert snap["emts.cache_hit_rate"]["value"] == pytest.approx(
+            stats.cache_hits / stats.evaluations
+        )

@@ -300,23 +300,28 @@ class TestNativeCacheRecovery:
         return _cscheduler
 
     def test_corrupt_cached_library_is_rebuilt(self, tmp_path, monkeypatch):
-        import hashlib
-
         pytest.importorskip("cffi")
         _cscheduler = self._reset_loader(monkeypatch, tmp_path)
-        digest = hashlib.sha256(
-            _cscheduler._C_SOURCE.encode("utf-8")
-        ).hexdigest()[:16]
-        corrupt = tmp_path / f"scheduler-{digest}.so"
+        # both build variants (with and without OpenMP) have their own
+        # cached artifact; corrupt them all so whichever the loader
+        # picks must go through the delete-and-rebuild path
         garbage = b"not an ELF shared object"
-        corrupt.write_bytes(garbage)
+        candidates = [
+            _cscheduler._lib_path(openmp) for openmp in (True, False)
+        ]
+        for path in candidates:
+            path.write_bytes(garbage)
 
         ffi, lib = _cscheduler.load()
         if ffi is None:
             pytest.skip("no C compiler available to rebuild the cache")
         assert lib is not None
-        # the garbage file was deleted and replaced by a real build
-        assert corrupt.read_bytes() != garbage
+        # the loaded variant's garbage file was deleted and replaced
+        # by a real build
+        assert any(
+            path.exists() and path.read_bytes() != garbage
+            for path in candidates
+        )
         assert lib.schedule_makespan is not None
 
     def test_build_failure_degrades_to_numpy_path(
