@@ -49,6 +49,16 @@ DEFAULT_MIN_BATCH_SPEEDUP_NUMPY = 1.0
 #: the frozen pre-batch-kernel measurement (committed file only, so it
 #: cannot flake on slower CI hosts).
 MIN_PINNED_BATCH_SPEEDUP = 3.0
+#: Service promise: an exact repeat request (cross-request result
+#: cache) must beat a cold start by this much, same run, same host.
+DEFAULT_MIN_SERVICE_WARM_SPEEDUP = 10.0
+#: Latency budgets (ms) used when a BENCH_service.json predates the
+#: pinned ``budgets`` section; the committed file's own pinned budgets
+#: take precedence and a refresh never relaxes them.
+SERVICE_BUDGET_DEFAULTS: dict[str, float] = {
+    "p99_ms": 5000.0,
+    "warm_p99_ms": 500.0,
+}
 
 # Same-run speedup gates: (fast kernel, reference kernel, committed
 # floor, fresh-run floor).  Both engines are measured in the same run
@@ -322,6 +332,98 @@ def check_batch(batch_path: Path, min_speedup: float | None) -> int:
     return 0
 
 
+def check_service(
+    service_path: Path, min_warm_speedup: float | None
+) -> int:
+    """Enforce the scheduling-service gates on a ``BENCH_service.json``.
+
+    Four gates:
+
+    * ``warm_over_cold_x`` — an exact repeat request (served from the
+      cross-request result cache) must beat a cold start (table +
+      kernel + full EMTS run) by >= 10x.  Same-run ratio, so hardware
+      differences cancel.
+    * latency budgets — ``p99_ms`` (whole concurrent mixed load) and
+      ``warm_p99_ms`` (quiescent repeats) must stay within the pinned
+      ``budgets`` committed in the file; a baseline refresh never
+      relaxes them.
+    * cache integrity — the daemon's own counters must show every
+      repeat request served from the result cache, and every
+      submitted job completed.
+    * liveness — the mixed load must have measured a positive
+      throughput over a non-trivial request count.
+    """
+    data = json.loads(service_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    if min_warm_speedup is None:
+        min_warm_speedup = DEFAULT_MIN_SERVICE_WARM_SPEEDUP
+    budgets = dict(SERVICE_BUDGET_DEFAULTS)
+    budgets.update(data.get("budgets", {}))
+
+    speedup = float(data["warm_over_cold_x"])
+    ok = speedup >= min_warm_speedup
+    print(
+        f"service gate warm_over_cold_x: {speedup:.1f}x "
+        f"(floor {min_warm_speedup:.1f}x) "
+        f"{'ok' if ok else '<< TOO SLOW'}"
+    )
+    if not ok:
+        failures.append("warm_over_cold_x")
+
+    for key in ("p99_ms", "warm_p99_ms"):
+        value = float(data[key])
+        budget = float(budgets[key])
+        ok = value <= budget
+        print(
+            f"service gate {key}: {value:.1f} ms "
+            f"(budget {budget:.0f} ms) "
+            f"{'ok' if ok else '<< OVER BUDGET'}"
+        )
+        if not ok:
+            failures.append(key)
+
+    server = data.get("server", {})
+    repeats = int(data.get("repeat_requests", 0))
+    cache_hits = int(server.get("result_cache_hits", 0))
+    ok = repeats > 0 and cache_hits >= repeats
+    print(
+        f"service gate result-cache integrity: {cache_hits} hits for "
+        f"{repeats} repeat requests "
+        f"{'ok' if ok else '<< CACHE MISSED REPEATS'}"
+    )
+    if not ok:
+        failures.append("result_cache_integrity")
+    submitted = int(server.get("jobs_submitted", 0))
+    completed = int(server.get("jobs_completed", 0))
+    ok = submitted > 0 and completed == submitted
+    print(
+        f"service gate completion: {completed}/{submitted} jobs "
+        f"completed {'ok' if ok else '<< LOST JOBS'}"
+    )
+    if not ok:
+        failures.append("completion")
+
+    rps = float(data.get("requests_per_sec", 0.0))
+    total = int(data.get("requests_total", 0))
+    ok = rps > 0 and total >= 50
+    print(
+        f"service gate liveness: {total} requests at {rps:.0f} req/s "
+        f"{'ok' if ok else '<< NO LOAD MEASURED'}"
+    )
+    if not ok:
+        failures.append("liveness")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} service gate(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: service warm-cache speedup and latency budgets hold")
+    return 0
+
+
 def check(
     run_path: Path, baseline_path: Path, max_ratio: float
 ) -> int:
@@ -430,6 +532,29 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--service",
+        type=Path,
+        default=None,
+        help=(
+            "BENCH_service.json from benchmarks/bench_service.py; "
+            "enforces the >= 10x warm-over-cold speedup, the pinned "
+            "latency budgets and the cache-integrity gates"
+        ),
+    )
+    parser.add_argument(
+        "--min-service-warm-speedup",
+        type=float,
+        default=(
+            float(os.environ["REPRO_MIN_SERVICE_WARM_SPEEDUP"])
+            if "REPRO_MIN_SERVICE_WARM_SPEEDUP" in os.environ
+            else None
+        ),
+        help=(
+            "override the service warm-over-cold floor "
+            "(default: 10.0)"
+        ),
+    )
+    parser.add_argument(
         "--min-batch-speedup",
         type=float,
         default=(
@@ -453,9 +578,15 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when disabled_overhead_pct meets or exceeds this",
     )
     args = parser.parse_args(argv)
-    if args.run is None and args.obs is None and args.batch is None:
+    if (
+        args.run is None
+        and args.obs is None
+        and args.batch is None
+        and args.service is None
+    ):
         parser.error(
-            "provide a benchmark run file, --obs and/or --batch"
+            "provide a benchmark run file, --obs, --batch and/or "
+            "--service"
         )
     if args.update:
         update_baseline(args.run, args.baseline)
@@ -467,6 +598,10 @@ def main(argv: list[str] | None = None) -> int:
         rc |= check_obs(args.obs, args.max_obs_overhead)
     if args.batch is not None:
         rc |= check_batch(args.batch, args.min_batch_speedup)
+    if args.service is not None:
+        rc |= check_service(
+            args.service, args.min_service_warm_speedup
+        )
     return rc
 
 

@@ -507,6 +507,115 @@ def _cmd_corpus(args) -> int:
 
 
 # ----------------------------------------------------------------------
+#: `submit` exit codes (sysexits-style so shell scripts can branch):
+#: 75 = EX_TEMPFAIL, the queue rejected us and a retry may succeed;
+#: 124 mirrors timeout(1) for jobs still pending at the deadline.
+EXIT_QUEUE_FULL = 75
+EXIT_TIMEOUT = 124
+
+
+def _cmd_serve(args) -> int:
+    from .service import serve
+
+    spool = args.spool
+    if spool is not None:
+        Path(spool).mkdir(parents=True, exist_ok=True)
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.service_workers,
+        spool=spool,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        result_cache_size=args.result_cache_size,
+        warm_max_problems=args.warm_problems,
+    )
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .graph import ptg_to_dict
+    from .service import (
+        JobTimeout,
+        QueueFullError,
+        ServiceClient,
+        ServiceUnavailable,
+    )
+    from .exceptions import ServiceError
+
+    if args.ptg:
+        ptg = load_ptg(args.ptg)
+    else:
+        ptg = _generate_ptg(args)
+    request = {
+        "ptg": ptg_to_dict(ptg),
+        "platform": args.platform,
+        "model": args.model,
+        "algorithm": args.algorithm,
+        "seed": args.seed,
+        "tenant": args.tenant,
+        "priority": args.priority,
+    }
+    if args.generations is not None:
+        request["generations"] = args.generations
+    if args.max_wall_time is not None:
+        request["max_wall_time"] = args.max_wall_time
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        doc = client.schedule(
+            request,
+            timeout=args.timeout,
+            poll_interval=args.poll_interval,
+        )
+    except QueueFullError as exc:
+        hint = (
+            f" (retry after {exc.retry_after:g}s)"
+            if exc.retry_after
+            else ""
+        )
+        print(f"rejected: {exc}{hint}", file=sys.stderr)
+        return EXIT_QUEUE_FULL
+    except JobTimeout as exc:
+        print(f"timed out: {exc}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except (ServiceUnavailable, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    job = doc.get("job", {})
+    if job.get("state") == "failed":
+        error = doc.get("error") or {}
+        print(
+            f"job {job.get('id')} failed: "
+            f"{error.get('code')}: {error.get('message')}",
+            file=sys.stderr,
+        )
+        return 1
+    result = doc.get("result") or {}
+    if args.output:
+        Path(args.output).write_text(
+            _json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"job {job.get('id')}: {job.get('state')} "
+            f"(served from {job.get('served_from')})"
+        )
+        print(
+            f"  {ptg.name}: makespan {result.get('makespan'):.6g} on "
+            f"{request['platform']} "
+            f"({result.get('generations')} generations, "
+            f"{result.get('evaluations')} evaluations, "
+            f"algorithm {result.get('algorithm')}, "
+            f"seed {result.get('seed')})"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -810,6 +919,126 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--scale", type=float, default=1.0)
     c.add_argument("--output", default=None)
     c.set_defaults(func=_cmd_corpus)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the scheduling-as-a-service HTTP daemon",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port; 0 picks a free one (printed on startup)",
+    )
+    sv.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="warm worker threads executing EMTS runs (default: 2)",
+    )
+    sv.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help=(
+            "job spool directory: jobs and run checkpoints persist "
+            "here, so a drained/crashed daemon resumes on restart "
+            "(default: in-memory only)"
+        ),
+    )
+    sv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="global queue depth before 429 backpressure",
+    )
+    sv.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=64,
+        help="max queued jobs per tenant before 429",
+    )
+    sv.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=256,
+        help="entries in the cross-request result cache",
+    )
+    sv.add_argument(
+        "--warm-problems",
+        type=int,
+        default=32,
+        help="prepared problems kept warm per worker",
+    )
+    sv.set_defaults(func=_cmd_serve)
+
+    sb = sub.add_parser(
+        "submit",
+        help="submit a scheduling job to a running daemon",
+    )
+    sb.add_argument("--host", default="127.0.0.1")
+    sb.add_argument("--port", type=int, default=8787)
+    sb.add_argument(
+        "--ptg", help="PTG JSON file (omit to generate one)", default=None
+    )
+    add_ptg_options(sb, require_kind=False)
+    sb.add_argument(
+        "--platform",
+        default="grelon",
+        help="platform preset (chti | grelon)",
+    )
+    sb.add_argument(
+        "--model", default="model2", help="execution-time model"
+    )
+    sb.add_argument(
+        "--algorithm", default="emts5", help="emts5 | emts10"
+    )
+    sb.add_argument(
+        "--generations",
+        type=int,
+        default=None,
+        help="override the preset's generation budget",
+    )
+    sb.add_argument(
+        "--max-wall-time",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="server-side wall-clock budget for the run",
+    )
+    sb.add_argument("--tenant", default="default")
+    sb.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority 0 (default) .. 9 (highest)",
+    )
+    sb.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="give up after this many seconds (exit code 124)",
+    )
+    sb.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        help="job status polling period in seconds",
+    )
+    sb.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full response document as JSON",
+    )
+    sb.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the response document to this file",
+    )
+    sb.set_defaults(func=_cmd_submit)
 
     return parser
 

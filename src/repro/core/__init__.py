@@ -20,6 +20,7 @@ Public API:
 
 from .checkpoint import (
     Checkpoint,
+    fingerprint_digest,
     load_checkpoint,
     problem_fingerprint,
     save_checkpoint,
@@ -78,5 +79,6 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "problem_fingerprint",
+    "fingerprint_digest",
     "verify_resumable",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "problem_fingerprint",
+    "fingerprint_digest",
     "verify_resumable",
 ]
 
@@ -123,6 +124,21 @@ def problem_fingerprint(ptg: "PTG", table: "TimeTable") -> dict[str, Any]:
         "num_processors": int(table.num_processors),
         "table_sha256": hashlib.sha256(array.tobytes()).hexdigest(),
     }
+
+
+def fingerprint_digest(fingerprint: dict[str, Any]) -> str:
+    """Collapse a :func:`problem_fingerprint` (or any JSON-serializable
+    identity document) into one stable hex digest.
+
+    The scheduling service keys its warm problem caches and its
+    cross-request result memoization on this digest; stability across
+    processes is guaranteed by hashing the canonical (sorted-key,
+    compact) JSON rendering.
+    """
+    canonical = json.dumps(
+        fingerprint, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _semantic_config(config: "EMTSConfig") -> dict[str, Any]:

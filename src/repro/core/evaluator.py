@@ -922,6 +922,26 @@ class MemoizedEvaluator(FitnessEvaluator):
     def close(self) -> None:
         self.inner.close()
 
+    def rebind(self, inner: FitnessEvaluator) -> "MemoizedEvaluator":
+        """Swap the wrapped backend while keeping the cache contents.
+
+        The scheduling service keeps one :class:`MemoizedEvaluator` per
+        problem fingerprint alive across requests; each EMTS run builds
+        a fresh backend stack, and ``rebind`` splices the long-lived
+        cache around it (via ``EMTS.schedule(evaluator_wrapper=...)``).
+        Sound because cached finite values are exact makespans of the
+        *problem*, not of any particular backend — every backend is
+        bit-identical — and rejection markers keep their recorded
+        bounds.  Returns ``self`` so it can be used directly as an
+        ``evaluator_wrapper`` callable.
+        """
+        self.inner = inner
+        self._key_fn = getattr(inner, "genome_key", _genome_bytes)
+        self._block_key_fn = getattr(
+            inner, "genome_block_keys", _genome_block_bytes
+        )
+        return self
+
     def _lookup(
         self, key: bytes, abort_above: float | None
     ) -> float | None:

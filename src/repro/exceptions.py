@@ -25,6 +25,7 @@ __all__ = [
     "CheckpointError",
     "CampaignError",
     "TraceError",
+    "ServiceError",
 ]
 
 
@@ -167,3 +168,28 @@ class TraceError(ReproError):
     The message always names the offending file (and line, when one is
     identifiable).
     """
+
+
+class ServiceError(ReproError):
+    """A scheduling-service request could not be served.
+
+    ``status`` is the HTTP status the daemon maps the error to and
+    ``code`` a stable machine-checkable tag (``"bad-request"``,
+    ``"queue-full"``, ``"quota-exceeded"``, ``"not-found"``,
+    ``"draining"``, ...) so clients can branch without parsing the
+    human-readable message.  ``retry_after`` carries the backpressure
+    hint (seconds) that becomes the ``Retry-After`` header on 429/503
+    responses.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "bad-request",
+        status: int = 400,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = int(status)
+        self.retry_after = retry_after

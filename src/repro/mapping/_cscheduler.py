@@ -52,6 +52,7 @@ import hashlib
 import os
 import subprocess
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 
 from ..obs.log import get_logger
@@ -684,6 +685,41 @@ def _lib_path(openmp: bool) -> Path:
     return _cache_dir() / f"scheduler-{digest}.so"
 
 
+@contextmanager
+def _compile_cache_lock(cache: Path):
+    """Exclusive inter-process lock over compile-cache mutation.
+
+    Concurrent service workers (and parallel CI jobs sharing one cache
+    directory) race the corrupt-``.so`` delete+rebuild path: without
+    serialization one process can unlink a *good* library another
+    process published (or is mid-``dlopen`` on).  An ``flock`` on a
+    sidecar lock file makes "inspect, delete, rebuild, publish" atomic
+    across processes.  Where :mod:`fcntl` is unavailable, or the lock
+    file cannot be opened (read-only cache), this degrades to a no-op:
+    the atomic ``os.replace`` publish still keeps races *benign* (never
+    corrupting), just wasteful.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-posix platforms
+        yield
+        return
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        handle = open(cache / ".build.lock", "a+b")
+    except OSError:  # pragma: no cover - unwritable cache directory
+        yield
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    finally:
+        handle.close()
+
+
 def _build(openmp: bool) -> Path:
     """Compile the shared library (cached by source + flag hash).
 
@@ -699,22 +735,27 @@ def _build(openmp: bool) -> Path:
     lib_path = _lib_path(openmp)
     if lib_path.exists():
         return lib_path
-    src_path = lib_path.with_suffix(".c")
-    src_path.write_text(_C_SOURCE, encoding="utf-8")
-    tmp_path = cache / f"{lib_path.stem}.{os.getpid()}.tmp.so"
-    compiler = os.environ.get("CC", "cc")
-    try:
-        subprocess.run(
-            [compiler, *flags, str(src_path), "-o", str(tmp_path)],
-            check=True,
-            capture_output=True,
-            timeout=120,
-        )
-        # atomic publish: concurrent builders race benignly to the
-        # same file
-        os.replace(tmp_path, lib_path)
-    finally:
-        tmp_path.unlink(missing_ok=True)
+    with _compile_cache_lock(cache):
+        # double-checked under the lock: a concurrent worker may have
+        # published the artifact while we waited for the flock
+        if lib_path.exists():
+            return lib_path
+        src_path = lib_path.with_suffix(".c")
+        src_path.write_text(_C_SOURCE, encoding="utf-8")
+        tmp_path = cache / f"{lib_path.stem}.{os.getpid()}.tmp.so"
+        compiler = os.environ.get("CC", "cc")
+        try:
+            subprocess.run(
+                [compiler, *flags, str(src_path), "-o", str(tmp_path)],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            # atomic publish: even an unlocked racer (no fcntl) only
+            # replaces the file with identical content
+            os.replace(tmp_path, lib_path)
+        finally:
+            tmp_path.unlink(missing_ok=True)
     return lib_path
 
 
@@ -787,9 +828,19 @@ def load():
                 _describe_failure(exc),
             )
             try:
-                Path(lib_path).unlink(missing_ok=True)
-                lib_path = _build(openmp)
-                lib = _dlopen_checked(ffi, lib_path)
+                with _compile_cache_lock(_cache_dir()):
+                    # under the lock: a concurrent worker may already
+                    # have replaced the bad artifact while we waited —
+                    # retry the load before deleting, so a *good*
+                    # library is never unlinked from under a peer
+                    try:
+                        lib = _dlopen_checked(ffi, lib_path)
+                    except Exception:
+                        Path(lib_path).unlink(missing_ok=True)
+                        lib = None
+                if lib is None:
+                    lib_path = _build(openmp)
+                    lib = _dlopen_checked(ffi, lib_path)
                 break
             except Exception as exc2:
                 failures.append(_describe_failure(exc2))

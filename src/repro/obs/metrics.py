@@ -200,6 +200,33 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Prometheus-style linear interpolation inside the bucket that
+        crosses the target rank; values in the implicit ``+inf`` bucket
+        clamp to the last finite bound (the estimate is then a lower
+        bound).  Returns 0.0 for an empty histogram.  Used by the
+        scheduling service to derive p50/p99 request latencies from the
+        live histogram without storing raw samples.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            prev_cumulative = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                if self.counts[i] == 0:  # pragma: no cover - defensive
+                    return bound
+                fraction = (rank - prev_cumulative) / self.counts[i]
+                return lower + (bound - lower) * fraction
+        return self.buckets[-1]
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "kind": self.kind,

@@ -1,0 +1,68 @@
+"""Scheduling-as-a-service: the ``repro-emts serve`` daemon.
+
+High-throughput front-end over the EMTS stack: an asyncio HTTP/JSON
+server (:mod:`.server`) backed by warm worker threads (:mod:`.worker`),
+a per-tenant fair queue with backpressure (:mod:`.queue`), two cache
+tiers (:mod:`.cache` — prepared problems + finished results), a
+crash-only job spool (:mod:`.jobs`) and a small client (:mod:`.client`)
+used by ``repro-emts submit`` and the load bench.
+"""
+
+from .cache import (
+    CacheStats,
+    PreparedProblem,
+    ResultCache,
+    WarmCache,
+    prepare_problem,
+)
+from .client import (
+    JobTimeout,
+    QueueFullError,
+    ServiceClient,
+    ServiceUnavailable,
+)
+from .jobs import JOB_STATES, Job, JobStore
+from .protocol import (
+    KNOWN_ALGORITHMS,
+    KNOWN_MODELS,
+    KNOWN_PLATFORMS,
+    PROTOCOL_VERSION,
+    ScheduleRequest,
+    canonical_json,
+    parse_request,
+    problem_digest,
+    result_key,
+)
+from .queue import FairQueue, QueueFull
+from .server import SchedulingService, serve
+from .worker import WorkerPool, run_request
+
+__all__ = [
+    "ScheduleRequest",
+    "parse_request",
+    "problem_digest",
+    "result_key",
+    "canonical_json",
+    "PROTOCOL_VERSION",
+    "KNOWN_ALGORITHMS",
+    "KNOWN_MODELS",
+    "KNOWN_PLATFORMS",
+    "PreparedProblem",
+    "prepare_problem",
+    "WarmCache",
+    "ResultCache",
+    "CacheStats",
+    "FairQueue",
+    "QueueFull",
+    "Job",
+    "JobStore",
+    "JOB_STATES",
+    "WorkerPool",
+    "run_request",
+    "SchedulingService",
+    "serve",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "QueueFullError",
+    "JobTimeout",
+]

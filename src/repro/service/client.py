@@ -1,0 +1,193 @@
+"""Small synchronous client for the scheduling service.
+
+Built on :mod:`http.client` only (no third-party HTTP stack) so the
+``repro-emts submit`` CLI and the load-bench harness share one tested
+code path.  Errors map to typed exceptions carrying the server's error
+code and ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from ..exceptions import ServiceError
+
+__all__ = [
+    "ServiceClient",
+    "ServiceUnavailable",
+    "QueueFullError",
+    "JobTimeout",
+]
+
+
+class ServiceUnavailable(ServiceError):
+    """Connection refused / 5xx — the daemon is not serving."""
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(
+            message, code="unavailable", status=503, retry_after=retry_after
+        )
+
+
+class QueueFullError(ServiceError):
+    """429 backpressure from the daemon."""
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(
+            message, code="queue-full", status=429, retry_after=retry_after
+        )
+
+
+class JobTimeout(ServiceError):
+    """The job did not finish within the client's polling budget."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="timeout", status=504)
+
+
+class ServiceClient:
+    """Talk to one ``repro-emts serve`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                raise ServiceUnavailable(
+                    f"cannot reach service at "
+                    f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+            try:
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                doc = {"raw": raw.decode("utf-8", "replace")}
+            return resp.status, resp_headers, doc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _retry_after(headers: dict[str, str]) -> float | None:
+        value = headers.get("retry-after")
+        try:
+            return float(value) if value is not None else None
+        except ValueError:
+            return None
+
+    def _raise_for(self, status: int, headers: dict, doc: dict) -> None:
+        error = doc.get("error", {}) if isinstance(doc, dict) else {}
+        message = error.get("message", f"HTTP {status}")
+        if status == 429:
+            raise QueueFullError(message, self._retry_after(headers))
+        if status == 503:
+            raise ServiceUnavailable(message, self._retry_after(headers))
+        raise ServiceError(
+            message, code=error.get("code", "error"), status=status
+        )
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        status, headers, doc = self._request("GET", "/healthz")
+        if status != 200:
+            self._raise_for(status, headers, doc)
+        return doc
+
+    def stats(self) -> dict[str, Any]:
+        status, headers, doc = self._request("GET", "/v1/stats")
+        if status != 200:
+            self._raise_for(status, headers, doc)
+        return doc
+
+    def metrics_text(self) -> str:
+        status, headers, doc = self._request("GET", "/metrics")
+        if status != 200:
+            self._raise_for(status, headers, doc)
+        return doc.get("raw", "")
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, request_doc: dict[str, Any], wait: float | None = None
+    ) -> dict[str, Any]:
+        """POST one scheduling request; returns the job document.
+
+        ``wait`` asks the server to hold the connection until the job
+        finishes (bounded); the returned document then carries the
+        result inline.  Raises :class:`QueueFullError` on backpressure
+        and :class:`ServiceUnavailable` while draining/down.
+        """
+        path = "/v1/jobs"
+        if wait is not None:
+            path += f"?wait={float(wait)}"
+        status, headers, doc = self._request("POST", path, body=request_doc)
+        if status in (200, 202):
+            return doc
+        self._raise_for(status, headers, doc)
+        raise AssertionError("unreachable")
+
+    def get_job(self, job_id: str) -> dict[str, Any]:
+        status, headers, doc = self._request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            self._raise_for(status, headers, doc)
+        return doc
+
+    def wait_for(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.1,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state.
+
+        Raises :class:`JobTimeout` if it is still pending at the
+        deadline (exit code 124 in the CLI).
+        """
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            doc = self.get_job(job_id)
+            state = doc.get("job", {}).get("state")
+            if state in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise JobTimeout(
+                    f"job {job_id} still {state!r} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def schedule(
+        self,
+        request_doc: dict[str, Any],
+        timeout: float = 120.0,
+        poll_interval: float = 0.1,
+    ) -> dict[str, Any]:
+        """Submit and block until done (server wait + client polling)."""
+        server_wait = min(float(timeout), 30.0)
+        doc = self.submit(request_doc, wait=server_wait)
+        job = doc.get("job", {})
+        if job.get("state") in ("done", "failed"):
+            return doc
+        remaining = max(0.0, timeout - server_wait)
+        return self.wait_for(
+            job["id"], timeout=remaining, poll_interval=poll_interval
+        )

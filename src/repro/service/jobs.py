@@ -1,0 +1,236 @@
+"""Job lifecycle and crash-only spool persistence.
+
+A job moves through ``queued -> running -> done`` (or ``failed``), with
+one extra state — ``interrupted`` — for jobs stopped at a generation
+boundary by a drain: their EMTS checkpoint (written by the run itself,
+PR 3 machinery) lives next to the job record, and a restarted daemon
+re-enqueues them and resumes bit-identically.
+
+Persistence is a spool directory of one JSON file per job, written
+atomically (temp file + ``os.replace``), so a crash at any instant
+leaves either the old or the new record — never a torn one.  Passing
+``spool=None`` runs the store fully in memory (tests, ephemeral
+benches).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import ServiceError
+from .protocol import ScheduleRequest, parse_request, result_key
+
+__all__ = ["Job", "JobStore", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "interrupted", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One scheduling request travelling through the service."""
+
+    id: str
+    request: ScheduleRequest
+    state: str = "queued"
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    served_from: str = "run"  # "run" | "result-cache" | "resume"
+    attempts: int = 0
+    done_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+    stop_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    @property
+    def key(self) -> str:
+        return result_key(self.request)
+
+    def wait_seconds(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def total_seconds(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Small status document (job listing, poll responses)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "tenant": self.request.tenant,
+            "priority": self.request.priority,
+            "algorithm": self.request.algorithm,
+            "seed": self.request.seed,
+            "served_from": self.served_from,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full persistent record (spool file content)."""
+        doc = self.summary()
+        doc["request"] = {
+            "ptg": self.request.ptg_doc,
+            "platform": self.request.platform,
+            "model": self.request.model,
+            "algorithm": self.request.algorithm,
+            "seed": self.request.seed,
+            "generations": self.request.generations,
+            "max_wall_time": self.request.max_wall_time,
+            "tenant": self.request.tenant,
+            "priority": self.request.priority,
+        }
+        doc["result"] = self.result
+        doc["error"] = self.error
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Job":
+        state = doc.get("state", "queued")
+        if state not in JOB_STATES:
+            raise ServiceError(
+                f"job record has unknown state {state!r}",
+                code="corrupt-job",
+                status=500,
+            )
+        job = cls(
+            id=str(doc["id"]),
+            request=parse_request(doc["request"]),
+            state=state,
+            result=doc.get("result"),
+            error=doc.get("error"),
+            submitted_at=float(doc.get("submitted_at", 0.0)),
+            started_at=doc.get("started_at"),
+            finished_at=doc.get("finished_at"),
+            served_from=doc.get("served_from", "run"),
+            attempts=int(doc.get("attempts", 0)),
+        )
+        if job.state in ("done", "failed"):
+            job.done_event.set()
+        return job
+
+
+def new_job_id() -> str:
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+class JobStore:
+    """Registry of jobs plus (optionally) their on-disk spool records."""
+
+    def __init__(self, spool: str | Path | None = None) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self.spool = Path(spool) if spool is not None else None
+        if self.spool is not None:
+            (self.spool / "jobs").mkdir(parents=True, exist_ok=True)
+            (self.spool / "checkpoints").mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, job: Job) -> Path | None:
+        """Where the job's EMTS run journals its resumable checkpoint."""
+        if self.spool is None:
+            return None
+        return self.spool / "checkpoints" / f"{job.id}.json"
+
+    def _record_path(self, job_id: str) -> Path:
+        assert self.spool is not None
+        return self.spool / "jobs" / f"{job_id}.json"
+
+    # ------------------------------------------------------------------
+    def create(self, request: ScheduleRequest) -> Job:
+        job = Job(
+            id=new_job_id(), request=request, submitted_at=time.time()
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+        self.persist(job)
+        return job
+
+    def adopt(self, job: Job) -> None:
+        """Register a job recovered from the spool."""
+        with self._lock:
+            self._jobs[job.id] = job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda j: j.submitted_at
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    def persist(self, job: Job) -> None:
+        """Atomically write the job's spool record (no-op in-memory)."""
+        if self.spool is None:
+            return
+        path = self._record_path(job.id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(job.to_dict(), sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def forget_checkpoint(self, job: Job) -> None:
+        """Delete the job's checkpoint once it finished cleanly."""
+        path = self.checkpoint_path(job)
+        if path is not None:
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def recover(self) -> list[Job]:
+        """Load every unfinished job from the spool, oldest first.
+
+        ``running`` records (daemon died mid-run without a clean drain)
+        come back as ``queued``/``interrupted`` depending on whether
+        their run left a resumable checkpoint behind.
+        """
+        if self.spool is None:
+            return []
+        pending: list[Job] = []
+        for path in sorted((self.spool / "jobs").glob("*.json")):
+            try:
+                job = Job.from_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except Exception:
+                # a torn record cannot exist (atomic writes); anything
+                # unreadable here was tampered with — skip, don't crash
+                continue
+            self.adopt(job)
+            if job.state in ("done", "failed"):
+                continue
+            ckpt = self.checkpoint_path(job)
+            if job.state == "running":
+                job.state = (
+                    "interrupted"
+                    if ckpt is not None and ckpt.exists()
+                    else "queued"
+                )
+                self.persist(job)
+            pending.append(job)
+        return pending

@@ -1,0 +1,204 @@
+"""Request/response protocol of the scheduling service.
+
+One request = one scheduling problem: an inline ``repro-ptg`` document,
+a platform preset, an execution-time model, an algorithm preset and a
+seed, plus an optional budget (generations / wall-time) and queueing
+metadata (tenant, priority).
+
+Two identities are derived from a request:
+
+* :func:`problem_digest` — hash of the *problem* only (PTG + platform +
+  model).  Two requests with the same digest share a prepared time
+  table, compiled kernel and fitness-cache shard (the warm tier).
+* :func:`result_key` — hash of everything that determines the *answer*
+  (problem + algorithm + seed + budget).  Requests with the same key
+  receive bit-identical responses from the cross-request result cache.
+
+Responses split into a deterministic ``result`` section (bit-identical
+for equal result keys, whether computed cold, warm or served from
+cache) and a ``stats`` envelope (timings, cache provenance) that is
+allowed to differ between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import ServiceError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "KNOWN_ALGORITHMS",
+    "KNOWN_MODELS",
+    "KNOWN_PLATFORMS",
+    "ScheduleRequest",
+    "parse_request",
+    "problem_digest",
+    "result_key",
+    "canonical_json",
+]
+
+PROTOCOL_VERSION = 1
+
+# mirrors repro.cli._MODELS / repro.platform.presets / the EMTS presets;
+# validated here so a bad request fails at parse time with a 400 instead
+# of deep inside a worker thread
+KNOWN_ALGORITHMS = ("emts5", "emts10")
+KNOWN_MODELS = ("model1", "amdahl", "model2", "synthetic", "downey")
+KNOWN_PLATFORMS = ("chti", "grelon")
+
+_MAX_PRIORITY = 9
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """A validated scheduling request.
+
+    ``seed`` is always a concrete int (``null`` in the wire document
+    resolves to :data:`repro._rng.DEFAULT_SEED`), so every request is
+    deterministic and therefore cacheable.
+    """
+
+    ptg_doc: dict[str, Any] = field(hash=False)
+    platform: str = "chti"
+    model: str = "amdahl"
+    algorithm: str = "emts5"
+    seed: int = 0
+    generations: int | None = None
+    max_wall_time: float | None = None
+    tenant: str = "default"
+    priority: int = 0
+
+    def semantic_doc(self) -> dict[str, Any]:
+        """Everything that determines the answer, canonically ordered."""
+        return {
+            "ptg": self.ptg_doc,
+            "platform": self.platform,
+            "model": self.model,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "generations": self.generations,
+            "max_wall_time": self.max_wall_time,
+        }
+
+
+def canonical_json(doc: Any) -> str:
+    """Stable, whitespace-free JSON used for hashing."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _bad(message: str) -> ServiceError:
+    return ServiceError(message, code="bad-request", status=400)
+
+
+def _require_str(doc: dict, key: str, default: str, known: tuple) -> str:
+    value = doc.get(key, default)
+    if not isinstance(value, str):
+        raise _bad(f"{key!r} must be a string, got {type(value).__name__}")
+    value = value.lower()
+    if value not in known:
+        raise _bad(
+            f"unknown {key} {value!r}; known: {', '.join(sorted(set(known)))}"
+        )
+    return value
+
+
+def parse_request(doc: Any) -> ScheduleRequest:
+    """Validate a wire document into a :class:`ScheduleRequest`.
+
+    Raises :class:`repro.exceptions.ServiceError` (status 400) on any
+    malformed field; the message is safe to echo back to the client.
+    """
+    # imported here: protocol stays importable without numpy for clients
+    from .._rng import DEFAULT_SEED
+
+    if not isinstance(doc, dict):
+        raise _bad(
+            f"request must be a JSON object, got {type(doc).__name__}"
+        )
+    ptg_doc = doc.get("ptg")
+    if not isinstance(ptg_doc, dict):
+        raise _bad("'ptg' must be an inline repro-ptg document")
+    if ptg_doc.get("format") != "repro-ptg":
+        raise _bad(
+            f"'ptg' is not a repro PTG document "
+            f"(format={ptg_doc.get('format')!r})"
+        )
+
+    platform = _require_str(doc, "platform", "chti", KNOWN_PLATFORMS)
+    model = _require_str(doc, "model", "amdahl", KNOWN_MODELS)
+    algorithm = _require_str(doc, "algorithm", "emts5", KNOWN_ALGORITHMS)
+
+    seed = doc.get("seed", None)
+    if seed is None:
+        seed = DEFAULT_SEED
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise _bad(f"'seed' must be an integer or null, got {seed!r}")
+    if seed < 0:
+        raise _bad(f"'seed' must be >= 0, got {seed}")
+
+    generations = doc.get("generations", None)
+    if generations is not None:
+        if isinstance(generations, bool) or not isinstance(generations, int):
+            raise _bad(f"'generations' must be an integer, got {generations!r}")
+        if generations < 1:
+            raise _bad(f"'generations' must be >= 1, got {generations}")
+
+    max_wall_time = doc.get("max_wall_time", None)
+    if max_wall_time is not None:
+        if isinstance(max_wall_time, bool) or not isinstance(
+            max_wall_time, (int, float)
+        ):
+            raise _bad(
+                f"'max_wall_time' must be a number, got {max_wall_time!r}"
+            )
+        max_wall_time = float(max_wall_time)
+        if not max_wall_time > 0:
+            raise _bad(f"'max_wall_time' must be > 0, got {max_wall_time}")
+
+    tenant = doc.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+        raise _bad("'tenant' must be a non-empty string (<= 64 chars)")
+
+    priority = doc.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise _bad(f"'priority' must be an integer, got {priority!r}")
+    if not 0 <= priority <= _MAX_PRIORITY:
+        raise _bad(f"'priority' must be in [0, {_MAX_PRIORITY}], got {priority}")
+
+    return ScheduleRequest(
+        ptg_doc=ptg_doc,
+        platform=platform,
+        model=model,
+        algorithm=algorithm,
+        seed=seed,
+        generations=generations,
+        max_wall_time=max_wall_time,
+        tenant=tenant,
+        priority=priority,
+    )
+
+
+def problem_digest(request: ScheduleRequest) -> str:
+    """Identity of the prepared problem (PTG + platform + model).
+
+    This is the warm-tier cache key: requests sharing it reuse one
+    built time table, one compiled kernel binding and one fitness-cache
+    shard, whatever their algorithm, seed or budget.
+    """
+    doc = {
+        "ptg": request.ptg_doc,
+        "platform": request.platform,
+        "model": request.model,
+    }
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def result_key(request: ScheduleRequest) -> str:
+    """Identity of the full deterministic answer (result-cache key)."""
+    return hashlib.sha256(
+        canonical_json(request.semantic_doc()).encode("utf-8")
+    ).hexdigest()

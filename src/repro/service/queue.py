@@ -1,0 +1,157 @@
+"""Priority job queue with per-tenant fairness and backpressure.
+
+Ordering
+    Jobs are drained highest *priority* first.  Within one priority
+    level tenants take strict round-robin turns (a tenant that floods
+    the queue cannot starve the others); within one tenant jobs stay
+    FIFO.
+
+Backpressure
+    ``put`` rejects once the global depth limit or the submitting
+    tenant's quota is reached, raising :class:`QueueFull` — the server
+    turns that into ``429 Too Many Requests`` with a ``Retry-After``
+    hint so well-behaved clients back off instead of hammering.
+
+The queue is a plain thread-safe structure (condition variable, no
+asyncio): the event loop ``put``\\ s from coroutines (non-blocking) and
+worker threads block in ``get``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any
+
+from ..exceptions import ServiceError
+
+__all__ = ["FairQueue", "QueueFull"]
+
+DEFAULT_MAX_DEPTH = 256
+DEFAULT_TENANT_QUOTA = 64
+
+
+class QueueFull(ServiceError):
+    """The queue (or one tenant's quota slice) is at capacity."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(
+            message,
+            code="queue-full",
+            status=429,
+            retry_after=retry_after,
+        )
+
+
+class FairQueue:
+    """Bounded priority queue, round-robin fair across tenants."""
+
+    def __init__(
+        self,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if tenant_quota < 1:
+            raise ValueError(
+                f"tenant_quota must be >= 1, got {tenant_quota}"
+            )
+        self.max_depth = int(max_depth)
+        self.tenant_quota = int(tenant_quota)
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # priority -> tenant -> FIFO of jobs; tenants kept in insertion
+        # order and rotated on each take for round-robin fairness
+        self._lanes: dict[int, OrderedDict[str, deque]] = {}
+        self._tenant_depth: dict[str, int] = {}
+        self._depth = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def tenant_depth(self, tenant: str) -> int:
+        with self._lock:
+            return self._tenant_depth.get(tenant, 0)
+
+    # ------------------------------------------------------------------
+    def put(self, job: Any, *, tenant: str, priority: int = 0) -> None:
+        """Enqueue ``job``; raises :class:`QueueFull` on backpressure."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError(
+                    "service is draining; not accepting new jobs",
+                    code="draining",
+                    status=503,
+                    retry_after=self.retry_after,
+                )
+            if self._depth >= self.max_depth:
+                raise QueueFull(
+                    f"queue is full ({self._depth}/{self.max_depth} jobs)",
+                    retry_after=self.retry_after,
+                )
+            held = self._tenant_depth.get(tenant, 0)
+            if held >= self.tenant_quota:
+                raise QueueFull(
+                    f"tenant {tenant!r} is at its quota "
+                    f"({held}/{self.tenant_quota} queued jobs)",
+                    retry_after=self.retry_after,
+                )
+            lanes = self._lanes.setdefault(int(priority), OrderedDict())
+            lanes.setdefault(tenant, deque()).append(job)
+            self._tenant_depth[tenant] = held + 1
+            self._depth += 1
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    def get(self, timeout: float | None = None) -> Any | None:
+        """Dequeue the next job, or ``None`` after ``timeout`` seconds."""
+        with self._not_empty:
+            if self._depth == 0 and not self._not_empty.wait_for(
+                lambda: self._depth > 0, timeout=timeout
+            ):
+                return None
+            return self._take_locked()
+
+    def _take_locked(self) -> Any:
+        priority = max(self._lanes)
+        lanes = self._lanes[priority]
+        # head tenant takes its turn, then moves to the back of the ring
+        tenant, fifo = next(iter(lanes.items()))
+        job = fifo.popleft()
+        if fifo:
+            lanes.move_to_end(tenant)
+        else:
+            del lanes[tenant]
+        if not lanes:
+            del self._lanes[priority]
+        held = self._tenant_depth[tenant] - 1
+        if held:
+            self._tenant_depth[tenant] = held
+        else:
+            del self._tenant_depth[tenant]
+        self._depth -= 1
+        return job
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting new jobs (drain mode); ``get`` still works."""
+        with self._lock:
+            self._closed = True
+
+    def drain_remaining(self) -> list[Any]:
+        """Remove and return every queued job (used at shutdown)."""
+        out = []
+        with self._lock:
+            while self._depth:
+                out.append(self._take_locked())
+        return out

@@ -1,0 +1,292 @@
+"""Warm worker pool: threads that drain the queue and run EMTS.
+
+Each worker thread owns a private :class:`~repro.service.cache.WarmCache`
+(no locking on the hot path): the first request for a problem pays for
+PTG parsing, time-table construction and the compiled-kernel binding;
+every later request on that problem starts evolving immediately and
+reuses the problem's persistent fitness-cache shard via
+``EMTS.schedule(evaluator_wrapper=...)``.
+
+Every run journals a resumable checkpoint into the job spool, so a
+drain (SIGTERM) stops runs at the next generation boundary and a
+restarted daemon resumes them bit-identically (PR 3 contract).
+
+Metrics discipline: worker threads record into a thread-local
+:class:`~repro.obs.MetricsRegistry` and merge deltas into the shared
+registry under the pool's metrics lock — shared instruments are never
+mutated concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..core import (
+    emts5,
+    emts10,
+    fingerprint_digest,
+    problem_fingerprint,
+)
+from ..mapping import schedule_to_dict
+from ..obs import MetricsRegistry
+from ..verify import ScheduleVerifier
+from .cache import ResultCache, WarmCache
+from .jobs import Job, JobStore
+from .protocol import PROTOCOL_VERSION, ScheduleRequest
+from .queue import FairQueue
+
+__all__ = ["WorkerPool", "run_request", "LATENCY_BUCKETS"]
+
+#: log-spaced seconds buckets, 1 ms .. 60 s — wide enough for cold
+#: compiles, fine enough to gate p99 on warm hits
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _make_service_algorithm(request: ScheduleRequest):
+    factory = emts5 if request.algorithm == "emts5" else emts10
+    overrides: dict[str, Any] = {}
+    if request.generations is not None:
+        overrides["generations"] = request.generations
+    return factory(**overrides)
+
+
+def run_request(
+    job: Job,
+    warm: WarmCache,
+    *,
+    checkpoint_path=None,
+    resume_from=None,
+) -> dict[str, Any]:
+    """Execute one job's EMTS run and build its ``result`` document.
+
+    The document contains only run-deterministic fields (no wall-clock
+    timings, no cumulative evaluator counters), so for a fixed request
+    it is bit-identical whether produced by a cold worker, a warm
+    worker replaying its fitness-cache shard, a resumed run after a
+    drain, or the offline ``repro-emts`` CLI with the same seed.
+    """
+    request = job.request
+    prepared = warm.get_or_prepare(request)
+    prepared.runs += 1
+    algorithm = _make_service_algorithm(request)
+    result = algorithm.schedule(
+        prepared.ptg,
+        prepared.cluster,
+        prepared.table,
+        rng=request.seed,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+        max_wall_time=request.max_wall_time,
+        stop_event=job.stop_event,
+        evaluator_wrapper=prepared.evaluator_wrapper,
+    )
+    if result.interrupted and job.stop_event.is_set():
+        # stopped by a drain: the run already journaled its checkpoint;
+        # signal the caller to park the job for resumption
+        raise _Interrupted()
+    report = ScheduleVerifier(prepared.ptg, prepared.table).verify(
+        result.schedule, expected_makespan=result.makespan
+    )
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "algorithm": request.algorithm,
+        "seed": request.seed,
+        "makespan": result.makespan,
+        "schedule": schedule_to_dict(result.schedule),
+        "seed_makespans": {
+            k: float(v) for k, v in sorted(result.seed_makespans.items())
+        },
+        "generations": result.log.generations,
+        "evaluations": result.log.total_evaluations,
+        "problem_fingerprint": fingerprint_digest(
+            problem_fingerprint(prepared.ptg, prepared.table)
+        ),
+        "verified": True,
+        "verified_tasks": report.tasks,
+        "interrupted": bool(result.interrupted),
+    }
+
+
+class _Interrupted(Exception):
+    """Internal: the run was stopped by a drain at a generation boundary."""
+
+
+class WorkerPool:
+    """N worker threads draining a :class:`FairQueue`."""
+
+    def __init__(
+        self,
+        queue: FairQueue,
+        store: JobStore,
+        result_cache: ResultCache,
+        *,
+        workers: int = 2,
+        metrics: MetricsRegistry | None = None,
+        metrics_lock: threading.Lock | None = None,
+        warm_max_problems: int = 32,
+        eval_cache_entries: int = 65_536,
+        poll_interval: float = 0.1,
+        on_job_done: Callable[[Job], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need workers >= 1, got {workers}")
+        self.queue = queue
+        self.store = store
+        self.result_cache = result_cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics_lock = metrics_lock or threading.Lock()
+        self.warm_max_problems = warm_max_problems
+        self.eval_cache_entries = eval_cache_entries
+        self.poll_interval = poll_interval
+        self.on_job_done = on_job_done
+        self.num_workers = int(workers)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._running_lock = threading.Lock()
+        self._running: dict[str, Job] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for i in range(self.num_workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                args=(i,),
+                name=f"repro-service-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def running_jobs(self) -> list[Job]:
+        with self._running_lock:
+            return list(self._running.values())
+
+    def initiate_drain(self) -> None:
+        """Stop taking new jobs; interrupt running runs gracefully."""
+        self._draining.set()
+        self._stop.set()
+        self.queue.close()
+        for job in self.running_jobs():
+            job.stop_event.set()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Signal workers to exit and join them."""
+        self._stop.set()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        warm = WarmCache(
+            self.warm_max_problems,
+            eval_cache_entries=self.eval_cache_entries,
+        )
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=self.poll_interval)
+            if job is None:
+                continue
+            local = MetricsRegistry()
+            try:
+                self._run_one(job, warm, local)
+            finally:
+                self._merge_metrics(local, warm)
+                if self.on_job_done is not None:
+                    self.on_job_done(job)
+
+    # ------------------------------------------------------------------
+    def _run_one(
+        self, job: Job, warm: WarmCache, local: MetricsRegistry
+    ) -> None:
+        store = self.store
+        job.attempts += 1
+        job.state = "running"
+        job.started_at = time.time()
+        with self._running_lock:
+            self._running[job.id] = job
+        store.persist(job)
+        t0 = time.perf_counter()
+        try:
+            # an identical request may have completed while we queued
+            cached = self.result_cache.get(job.key)
+            if cached is not None:
+                job.result = cached
+                job.served_from = "result-cache"
+                local.counter("service.jobs.served_from_cache").inc()
+                self._finish(job, "done")
+                return
+
+            ckpt = store.checkpoint_path(job)
+            resume = ckpt if ckpt is not None and ckpt.exists() else None
+            if self._draining.is_set():
+                job.stop_event.set()
+            warm_hits_before = warm.stats.hits
+            result_doc = run_request(
+                job, warm, checkpoint_path=ckpt, resume_from=resume
+            )
+            if warm.stats.hits > warm_hits_before:
+                local.counter("service.cache.warm.hits").inc()
+            else:
+                local.counter("service.cache.warm.misses").inc()
+            job.result = result_doc
+            job.served_from = "resume" if resume is not None else "run"
+            if not result_doc["interrupted"]:
+                # wall-time-truncated answers are valid but depend on
+                # machine speed; only deterministic runs are cacheable
+                self.result_cache.put(job.key, result_doc)
+            local.counter("service.jobs.completed").inc()
+            local.histogram(
+                "service.run_seconds", buckets=LATENCY_BUCKETS
+            ).observe(time.perf_counter() - t0)
+            self._finish(job, "done")
+        except _Interrupted:
+            job.state = "interrupted"
+            local.counter("service.jobs.interrupted").inc()
+            with self._running_lock:
+                self._running.pop(job.id, None)
+            store.persist(job)
+        except Exception as exc:
+            job.error = {
+                "code": getattr(exc, "code", type(exc).__name__),
+                "message": str(exc),
+            }
+            local.counter("service.jobs.failed").inc()
+            self._finish(job, "failed")
+
+    def _finish(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        with self._running_lock:
+            self._running.pop(job.id, None)
+        self.store.persist(job)
+        self.store.forget_checkpoint(job)
+        wait = job.wait_seconds()
+        total = job.total_seconds()
+        job.done_event.set()
+        self._observe_latency(wait, total)
+
+    def _observe_latency(
+        self, wait: float | None, total: float | None
+    ) -> None:
+        with self.metrics_lock:
+            if wait is not None:
+                self.metrics.histogram(
+                    "service.wait_seconds", buckets=LATENCY_BUCKETS
+                ).observe(wait)
+            if total is not None:
+                self.metrics.histogram(
+                    "service.request_seconds", buckets=LATENCY_BUCKETS
+                ).observe(total)
+
+    def _merge_metrics(
+        self, local: MetricsRegistry, warm: WarmCache
+    ) -> None:
+        snapshot = local.drain()
+        with self.metrics_lock:
+            self.metrics.merge(snapshot)

@@ -1,0 +1,131 @@
+"""CLI round trip: a real `repro-emts serve` daemon driven by `submit`."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_QUEUE_FULL, EXIT_TIMEOUT, build_parser
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """`repro-emts serve` as a subprocess on an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--service-workers", "1",
+            "--spool", str(tmp_path / "spool"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            break
+        m = re.search(r"listening on http://[\d.]+:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+            break
+    if port is None:
+        proc.kill()
+        pytest.fail("serve never printed its bound address")
+    yield proc, port, env
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def run_submit(port, env, *extra):
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "submit",
+            "--port", str(port),
+            "--kind", "fft", "--size", "4", "--seed", "7",
+            "--platform", "chti", "--model", "amdahl",
+            "--timeout", "120",
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+    )
+
+
+class TestServeSubmitRoundTrip:
+    def test_submit_succeeds_and_prints_makespan(self, daemon, tmp_path):
+        proc, port, env = daemon
+        out_path = tmp_path / "response.json"
+        result = run_submit(port, env, "--output", str(out_path))
+        assert result.returncode == 0, result.stderr
+        assert "makespan" in result.stdout
+        doc = json.loads(out_path.read_text())
+        assert doc["job"]["state"] == "done"
+        assert doc["result"]["verified"] is True
+
+        # a repeat submission is served from the cross-request cache
+        again = run_submit(port, env, "--json")
+        assert again.returncode == 0, again.stderr
+        doc2 = json.loads(again.stdout)
+        assert doc2["job"]["served_from"] == "result-cache"
+        assert json.dumps(
+            doc["result"], sort_keys=True
+        ) == json.dumps(doc2["result"], sort_keys=True)
+
+    def test_sigterm_drains_cleanly(self, daemon):
+        proc, port, env = daemon
+        assert run_submit(port, env).returncode == 0
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        rest = proc.stdout.read()
+        assert "drain complete" in rest
+
+    def test_unreachable_daemon_exit_code(self, daemon):
+        _, port, env = daemon
+        # a port nothing listens on: generic failure, not 75/124
+        result = run_submit(1, env)
+        assert result.returncode == 1
+        assert "error" in result.stderr
+
+
+class TestExitCodes:
+    def test_exit_code_constants(self):
+        # sysexits EX_TEMPFAIL and timeout(1) conventions, pinned so
+        # shell scripts can rely on them
+        assert EXIT_QUEUE_FULL == 75
+        assert EXIT_TIMEOUT == 124
+
+    def test_parser_has_serve_and_submit(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--service-workers", "3"]
+        )
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.service_workers == 3
+        args = parser.parse_args(
+            ["submit", "--kind", "fft", "--size", "4", "--priority", "2"]
+        )
+        assert args.func.__name__ == "_cmd_submit"
+        assert args.priority == 2

@@ -13,7 +13,9 @@ The seeded sweep covers well over 200 (graph, model, allocation) cases;
 silently shrink the coverage.
 """
 
+import os
 import pickle
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -338,3 +340,94 @@ class TestNativeCacheRecovery:
             "falling back to the numpy path" in r.message
             for r in caplog.records
         )
+
+
+class TestCompileCacheLock:
+    """The cffi build cache is file-locked: concurrent workers cannot
+    race the delete+rebuild path into loading a half-written library."""
+
+    def test_lock_excludes_concurrent_holder(self, tmp_path):
+        import threading
+        import time as _time
+
+        pytest.importorskip("fcntl")
+        from repro.mapping._cscheduler import _compile_cache_lock
+
+        events = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with _compile_cache_lock(tmp_path):
+                events.append("holder-in")
+                entered.set()
+                release.wait(timeout=10)
+                events.append("holder-out")
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert entered.wait(timeout=10)
+        # flock is per-fd, so a second acquisition in this process
+        # must block until the holder releases — same as a second
+        # worker process would
+        waiter_done = threading.Event()
+
+        def waiter():
+            with _compile_cache_lock(tmp_path):
+                events.append("waiter-in")
+            waiter_done.set()
+
+        w = threading.Thread(target=waiter)
+        w.start()
+        _time.sleep(0.1)
+        assert not waiter_done.is_set(), "lock did not exclude"
+        release.set()
+        assert waiter_done.wait(timeout=10)
+        t.join(timeout=10)
+        w.join(timeout=10)
+        assert events == ["holder-in", "holder-out", "waiter-in"]
+
+    def test_lock_file_lives_in_cache_dir(self, tmp_path):
+        pytest.importorskip("fcntl")
+        from repro.mapping._cscheduler import _compile_cache_lock
+
+        with _compile_cache_lock(tmp_path):
+            assert (tmp_path / ".build.lock").exists()
+
+    def test_concurrent_fresh_builds_all_load(self, tmp_path):
+        """N processes pointed at one empty cache all get a working
+        kernel; the lock serializes the compile instead of letting the
+        unlink/rebuild races corrupt it."""
+        import subprocess
+        import sys
+
+        pytest.importorskip("cffi")
+        from repro.mapping import _cscheduler
+
+        if _cscheduler.load()[0] is None:
+            pytest.skip("no C compiler available")
+        code = (
+            "from repro.mapping import _cscheduler\n"
+            "ffi, lib = _cscheduler.load()\n"
+            "assert lib is not None and lib.schedule_makespan is not None\n"
+            "print('loaded')\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_CKERNEL_CACHE"] = str(tmp_path)
+        env.pop("REPRO_NO_CKERNEL", None)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", code],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for _ in range(3)
+        ]
+        for p in procs:
+            out, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err
+            assert "loaded" in out

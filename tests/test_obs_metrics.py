@@ -206,3 +206,55 @@ class TestExporters:
         fresh = MetricsRegistry()
         fresh.merge(data)
         assert fresh.value("emts.evaluations") == 130
+
+
+class TestHistogramQuantile:
+    """Prometheus-style linear-interpolated quantiles, used by the
+    scheduling service to derive p50/p99 latencies for its gates."""
+
+    def _hist(self, values, buckets=(1.0, 2.0, 5.0, 10.0)):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_returns_zero(self):
+        assert self._hist([]).quantile(0.99) == 0.0
+
+    def test_median_interpolates_within_bucket(self):
+        # 100 samples spread uniformly over (0, 1]: the p50 estimate
+        # lands mid-bucket
+        h = self._hist([i / 100 for i in range(1, 101)])
+        assert 0.4 <= h.quantile(0.5) <= 0.6
+
+    def test_monotone_in_q(self):
+        h = self._hist([0.5, 1.5, 3.0, 7.0, 9.0, 9.5])
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_p99_hits_upper_buckets(self):
+        h = self._hist([0.1] * 99 + [9.0])
+        assert h.quantile(0.5) <= 1.0
+        assert h.quantile(0.999) > 5.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        h = self._hist([100.0, 200.0])  # all in the +inf bucket
+        assert h.quantile(0.99) == 10.0
+
+    def test_validates_q(self):
+        h = self._hist([1.0])
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_preserves_quantiles(self):
+        a = self._hist([0.5] * 50)
+        b = self._hist([9.0] * 50)
+        merged = self._hist([])
+        merged.merge(a.to_dict())
+        merged.merge(b.to_dict())
+        assert merged.total == 100
+        assert merged.quantile(0.25) <= 1.0
+        assert merged.quantile(0.9) > 5.0
