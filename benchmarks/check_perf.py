@@ -59,6 +59,14 @@ SERVICE_BUDGET_DEFAULTS: dict[str, float] = {
     "p99_ms": 5000.0,
     "warm_p99_ms": 500.0,
 }
+#: Online reactive-runtime budgets (ms per reschedule reaction) used
+#: when a BENCH_online.json predates the pinned ``budgets`` section;
+#: the committed file's own pinned budgets take precedence and a
+#: refresh never relaxes them.
+ONLINE_BUDGET_DEFAULTS: dict[str, float] = {
+    "reaction_p50_ms": 100.0,
+    "reaction_p99_ms": 500.0,
+}
 
 # Same-run speedup gates: (fast kernel, reference kernel, committed
 # floor, fresh-run floor).  Both engines are measured in the same run
@@ -424,6 +432,97 @@ def check_service(
     return 0
 
 
+def check_online(online_path: Path) -> int:
+    """Enforce the online-runtime gates on a ``BENCH_online.json``.
+
+    Five gates:
+
+    * zero-fault identity — executing a faultless plan online must
+      reproduce the static simulator's makespan bit for bit across
+      every paper-corpus class; the whole reactive runtime hangs off
+      this equivalence.
+    * determinism — the same fault seeds replayed twice must yield
+      identical canonical traces and makespans.
+    * reaction latency — per-reschedule wall-clock p50/p99 must stay
+      within the pinned ``budgets`` committed in the file; a baseline
+      refresh never relaxes them.
+    * verification — every run that produced an as-executed schedule
+      must have passed :class:`ScheduleVerifier` checks.
+    * liveness — the battery must actually have exercised the
+      recovery ladder (faults injected, reschedules applied, latency
+      samples collected).
+    """
+    data = json.loads(online_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    budgets = dict(ONLINE_BUDGET_DEFAULTS)
+    budgets.update(data.get("budgets", {}))
+
+    identical = bool(data.get("zero_fault_identical", False))
+    cases = int(data.get("zero_fault_cases", 0))
+    ok = identical and cases >= 4
+    print(
+        f"online gate zero-fault identity: {cases} cases "
+        f"{'ok' if ok else '<< IDENTITY BROKEN'}"
+    )
+    if not ok:
+        failures.append("zero_fault_identity")
+
+    deterministic = bool(data.get("determinism_identical", False))
+    print(
+        f"online gate same-seed determinism: "
+        f"{'ok' if deterministic else '<< NONDETERMINISTIC'}"
+    )
+    if not deterministic:
+        failures.append("determinism")
+
+    for key in ("reaction_p50_ms", "reaction_p99_ms"):
+        value = float(data[key])
+        budget = float(budgets[key])
+        ok = value <= budget
+        print(
+            f"online gate {key}: {value:.2f} ms "
+            f"(budget {budget:.0f} ms) "
+            f"{'ok' if ok else '<< OVER BUDGET'}"
+        )
+        if not ok:
+            failures.append(key)
+
+    unverified = int(data.get("unverified_runs", 0))
+    ok = unverified == 0
+    print(
+        f"online gate verification: {unverified} unverified runs "
+        f"{'ok' if ok else '<< UNVERIFIED SCHEDULES'}"
+    )
+    if not ok:
+        failures.append("verification")
+
+    runs = int(data.get("runs", 0))
+    reschedules = int(data.get("reschedules_total", 0))
+    samples = int(data.get("reaction_samples", 0))
+    faults = int(data.get("faults_total", 0))
+    ok = runs >= 10 and faults > 0 and reschedules > 0 and samples > 0
+    print(
+        f"online gate liveness: {runs} runs, {faults} faults, "
+        f"{reschedules} reschedules, {samples} latency samples "
+        f"{'ok' if ok else '<< NO REACTIONS MEASURED'}"
+    )
+    if not ok:
+        failures.append("liveness")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} online gate(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "\nOK: online zero-fault identity, determinism and "
+        "reaction-latency budgets hold"
+    )
+    return 0
+
+
 def check(
     run_path: Path, baseline_path: Path, max_ratio: float
 ) -> int:
@@ -542,6 +641,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--online",
+        type=Path,
+        default=None,
+        help=(
+            "BENCH_online.json from benchmarks/bench_online.py; "
+            "enforces the zero-fault bit-identity, same-seed "
+            "determinism and pinned reaction-latency gates"
+        ),
+    )
+    parser.add_argument(
         "--min-service-warm-speedup",
         type=float,
         default=(
@@ -583,10 +692,11 @@ def main(argv: list[str] | None = None) -> int:
         and args.obs is None
         and args.batch is None
         and args.service is None
+        and args.online is None
     ):
         parser.error(
-            "provide a benchmark run file, --obs, --batch and/or "
-            "--service"
+            "provide a benchmark run file, --obs, --batch, "
+            "--service and/or --online"
         )
     if args.update:
         update_baseline(args.run, args.baseline)
@@ -602,6 +712,8 @@ def main(argv: list[str] | None = None) -> int:
         rc |= check_service(
             args.service, args.min_service_warm_speedup
         )
+    if args.online is not None:
+        rc |= check_online(args.online)
     return rc
 
 

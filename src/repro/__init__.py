@@ -37,6 +37,7 @@ from . import (
     graph,
     mapping,
     obs,
+    online,
     platform,
     simulator,
     timemodels,
@@ -66,6 +67,7 @@ from .core import EMTS, EMTSConfig, EMTSResult, emts5, emts10
 from .graph import PTG, PTGBuilder, Task
 from .mapping import Schedule, makespan_of, map_allocations
 from .platform import Cluster, chti, grelon
+from .online import FaultPlan, ReactionPolicy, execute_online
 from .simulator import simulate
 from .timemodels import (
     AmdahlModel,
@@ -100,6 +102,7 @@ __all__ = [
     "exceptions",
     "verify",
     "obs",
+    "online",
     # error hierarchy
     "ReproError",
     "EvaluationError",
@@ -143,4 +146,8 @@ __all__ = [
     "emts5",
     "emts10",
     "simulate",
+    # online runtime
+    "execute_online",
+    "FaultPlan",
+    "ReactionPolicy",
 ]

@@ -10,6 +10,10 @@ Subcommands:
     chart.
 ``figure``
     Regenerate one of the paper's figures (1-6) and print/save its data.
+``online``
+    Execute a schedule reactively under injected faults (crashes,
+    transient failures, stragglers) with frontier rescheduling and an
+    optional deadline.
 ``runtime``
     Run the Section V runtime measurement (experiment E7).
 ``corpus``
@@ -274,6 +278,124 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_online(args) -> int:
+    from .obs import Tracer
+    from .online import FaultPlan, ReactionPolicy, execute_online
+
+    if args.ptg:
+        ptg = load_ptg(args.ptg)
+    else:
+        ptg = _generate_ptg(args)
+    cluster: Cluster = by_name(args.platform)
+    model = _make_model(args.model)
+    table = TimeTable.build(model, ptg, cluster)
+    algorithm = _make_algorithm(args.algorithm)
+    if isinstance(algorithm, EMTS):
+        planned = algorithm.schedule(
+            ptg, cluster, table, rng=args.seed
+        ).schedule
+    else:
+        assert isinstance(algorithm, AllocationHeuristic)
+        alloc = algorithm.allocate(ptg, table)
+        planned = map_allocations(ptg, table, alloc)
+
+    rates = (args.crash_rate, args.failure_rate, args.straggler_rate)
+    if any(r < 0 or r > 1 for r in rates):
+        raise SystemExit("fault rates must be within [0, 1]")
+    try:
+        if any(rates):
+            plan = FaultPlan.sampled(
+                args.fault_seed,
+                ptg.num_tasks,
+                cluster.num_processors,
+                horizon=planned.makespan,
+                crash_rate=args.crash_rate,
+                failure_rate=args.failure_rate,
+                straggler_rate=args.straggler_rate,
+                straggler_factor=args.straggler_factor,
+                max_retries=args.max_retries,
+            )
+        else:
+            plan = FaultPlan(max_retries=args.max_retries)
+        policy = ReactionPolicy(
+            budget_evaluations=args.reaction_budget
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"configuration error: {exc}") from exc
+
+    deadline = args.deadline
+    if args.deadline_factor is not None:
+        if deadline is not None:
+            raise SystemExit(
+                "--deadline and --deadline-factor are mutually "
+                "exclusive"
+            )
+        deadline = args.deadline_factor * planned.makespan
+
+    tracer = Tracer(args.trace) if args.trace else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    try:
+        result = execute_online(
+            planned,
+            table,
+            plan=plan,
+            policy=policy,
+            deadline=deadline,
+            rng=args.seed,
+            tracer=tracer,
+            metrics=registry,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"configuration error: {exc}") from exc
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    print(f"algorithm : {algorithm.name}")
+    print(f"planned   : {result.planned_makespan:.6g} s")
+    faults = plan.summary()
+    print(
+        f"faults    : {faults['crashes']} crashes, "
+        f"{faults['failures']} failures, "
+        f"{faults['stragglers']} stragglers "
+        f"({result.faults_injected} injected, "
+        f"{result.retries} retries)"
+    )
+    rungs = (
+        ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(result.rungs.items())
+        )
+        or "none"
+    )
+    print(
+        f"replans   : {result.reschedules} ({rungs}); "
+        f"budget used {result.budget_used}"
+        f"/{policy.budget_evaluations}"
+    )
+    if result.deadline is not None:
+        print(f"deadline  : {result.deadline:.6g} s")
+    print(f"makespan  : {result.makespan:.6g} s")
+    print(f"outcome   : {result.outcome}")
+    if result.reason:
+        print(f"reason    : {result.reason}")
+    if result.schedule is not None:
+        print(f"verified  : {result.verified}")
+    if args.trace:
+        print(
+            f"wrote trace -> {args.trace} "
+            f"(summarize with: repro-emts report-trace {args.trace})"
+        )
+    if registry is not None:
+        out = registry.dump(args.metrics_out)
+        print(f"wrote metrics -> {out}")
+    if result.outcome == "deadline-missed":
+        return EXIT_DEADLINE_MISSED
+    if result.outcome == "aborted":
+        return EXIT_ABORTED
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from .experiments import figures as F
 
@@ -512,6 +634,12 @@ def _cmd_corpus(args) -> int:
 #: 124 mirrors timeout(1) for jobs still pending at the deadline.
 EXIT_QUEUE_FULL = 75
 EXIT_TIMEOUT = 124
+
+#: `online` exit codes: a run that misses its deadline or aborts
+#: (retry budget exhausted / every processor lost) signals the outcome
+#: distinctly so chaos harnesses can branch on it.
+EXIT_DEADLINE_MISSED = 3
+EXIT_ABORTED = 4
 
 
 def _cmd_serve(args) -> int:
@@ -800,6 +928,101 @@ def build_parser() -> argparse.ArgumentParser:
     add_evaluator_options(s)
     add_obs_options(s)
     s.set_defaults(func=_cmd_schedule)
+
+    o = sub.add_parser(
+        "online",
+        help=(
+            "execute a schedule reactively under injected faults "
+            "(crashes, failures, stragglers) with frontier "
+            "rescheduling"
+        ),
+    )
+    o.add_argument(
+        "--ptg", help="PTG JSON file (omit to generate one)", default=None
+    )
+    add_ptg_options(o, require_kind=False)
+    o.add_argument(
+        "--platform",
+        default="grelon",
+        help="platform preset (chti | grelon)",
+    )
+    o.add_argument(
+        "--model", default="model2", help="execution-time model"
+    )
+    o.add_argument(
+        "--algorithm",
+        default="mcpa",
+        help="planner for the initial schedule (mcpa | hcpa | emts5 ...)",
+    )
+    o.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="per-processor crash probability (never kills them all)",
+    )
+    o.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="per-task transient-failure probability",
+    )
+    o.add_argument(
+        "--straggler-rate",
+        type=float,
+        default=0.0,
+        help="per-task straggler probability",
+    )
+    o.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=2.0,
+        help="duration inflation applied to straggling tasks",
+    )
+    o.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help=(
+            "seed for sampling the fault plan (independent of --seed "
+            "so the same faults can hit different plans)"
+        ),
+    )
+    o.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="retries per task before the run aborts",
+    )
+    o.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="absolute completion deadline in simulated seconds",
+    )
+    o.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "deadline as a multiple of the planned makespan "
+            "(e.g. 1.2 = 20%% slack)"
+        ),
+    )
+    o.add_argument(
+        "--reaction-budget",
+        type=int,
+        default=2048,
+        metavar="EVALS",
+        help=(
+            "total frontier-mapper evaluations available for "
+            "rescheduling; exhausting it degrades the reaction from "
+            "evolution to repair to greedy patching"
+        ),
+    )
+    add_obs_options(o)
+    o.set_defaults(func=_cmd_online)
 
     f = sub.add_parser("figure", help="regenerate a paper figure")
     f.add_argument(

@@ -178,6 +178,7 @@ class EMTS:
         evaluator_wrapper=None,
         trace: str | Path | Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        warm_start: np.ndarray | None = None,
     ) -> EMTSResult:
         """Schedule ``ptg`` on ``cluster`` under ``model``.
 
@@ -218,6 +219,15 @@ class EMTS:
             Callable applied to the freshly built fitness evaluator
             (e.g. :class:`repro.testing.chaos.ChaosEvaluator` for fault
             injection); must return an object with the same interface.
+        warm_start:
+            Optional incumbent allocation vector injected as the first
+            individual of the initial population (origin
+            ``"seed:warm-start"``, reported in ``seed_makespans``).
+            Used by the online rescheduler to seed the search with the
+            currently executing schedule; under plus selection the
+            result can never be worse than the incumbent.  Ignored when
+            resuming from a checkpoint (the checkpointed population
+            already embodies it).
 
         Observability parameters (keyword-only, off by default)
         ------------------------------------------------------
@@ -362,6 +372,7 @@ class EMTS:
                         mutation=mutation,
                         rng=rng,
                         delta=cfg.delta,
+                        incumbent=warm_start,
                     )
                 if cfg.islands:
                     # one mutation stream per logical island, derived

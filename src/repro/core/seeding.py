@@ -73,6 +73,7 @@ def seed_population(
     rng: np.random.Generator,
     delta: float = 0.9,
     random_seeds: bool = False,
+    incumbent: np.ndarray | None = None,
 ) -> tuple[list[Individual], dict[str, np.ndarray]]:
     """Build the initial population.
 
@@ -89,6 +90,13 @@ def seed_population(
     random_seeds:
         Replace the heuristic seeds with uniform random allocations while
         keeping the same population size — the "no seeding" ablation.
+    incumbent:
+        Optional warm-start allocation vector inserted as the *first*
+        individual (origin ``"seed:warm-start"``), ahead of the
+        heuristic seeds.  The online rescheduler uses this to seed the
+        search with the currently executing schedule, so under plus
+        selection the evolved result can never be worse than the plan
+        it replaces.
 
     Returns
     -------
@@ -115,6 +123,19 @@ def seed_population(
             )
         return individuals, seed_allocs
 
+    if incumbent is not None:
+        incumbent = np.asarray(incumbent, dtype=np.int64)
+        if incumbent.shape != (V,):
+            raise ConfigurationError(
+                f"warm-start allocation has shape {incumbent.shape}, "
+                f"expected ({V},)"
+            )
+        incumbent = np.clip(incumbent, 1, P)
+        seed_allocs["warm-start"] = incumbent
+        individuals.append(
+            Individual(genome=incumbent, origin="seed:warm-start")
+        )
+
     for name in heuristics:
         allocator = make_allocator(name, delta=delta)
         alloc = allocator.allocate(ptg, table)
@@ -122,11 +143,17 @@ def seed_population(
         individuals.append(
             Individual(genome=alloc, origin=f"seed:{name}")
         )
+    if not individuals:
+        raise ConfigurationError(
+            "seed_population needs at least one heuristic or a "
+            "warm-start incumbent"
+        )
 
     # fill remaining slots with perturbed copies of the seeds, cycling
+    num_seeds = len(individuals)
     i = 0
     while len(individuals) < population_size:
-        base = individuals[i % len(heuristics)]
+        base = individuals[i % num_seeds]
         genome = mutation.mutate(base.genome, rng, 0, 1)
         individuals.append(
             Individual(genome=genome, origin=f"{base.origin}+mutated")

@@ -86,7 +86,31 @@ class VerificationError(ScheduleError):
 
 
 class SimulationError(ReproError):
-    """The discrete-event simulator detected an inconsistency."""
+    """The discrete-event simulator detected an inconsistency.
+
+    Raised by :func:`repro.simulator.simulate` (and the online runtime
+    built on top of it) when a replayed schedule violates precedence,
+    exclusivity or duration consistency.  The structured fields make a
+    divergence actionable without parsing the message: ``task`` is the
+    offending task index, ``processors`` the processor set involved and
+    ``time`` the simulated instant at which the violation was observed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task: int | None = None,
+        processors: tuple[int, ...] | None = None,
+        time: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.task = task
+        self.processors = (
+            None
+            if processors is None
+            else tuple(int(p) for p in processors)
+        )
+        self.time = None if time is None else float(time)
 
 
 class ModelError(ReproError):

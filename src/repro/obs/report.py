@@ -257,20 +257,91 @@ def _render_campaign(events: list[TraceEvent]) -> str:
     return "\n".join(lines)
 
 
+def _render_online(events: list[TraceEvent]) -> str:
+    """Digest of ``online_start``..``online_end`` reactive executions.
+
+    Online runtimes (:func:`repro.online.execute_online`) emit flat
+    events rather than spans; runs are paired up in file order, and a
+    start without a matching end is reported as incomplete.
+    """
+    starts = [e for e in events if e.kind == "online_start"]
+    if not starts:
+        return ""
+    lines: list[str] = []
+    run_no = 0
+    current: TraceEvent | None = None
+    faults: dict[str, int] = {}
+    replans = 0
+    for event in events:
+        if event.kind == "online_start":
+            current = event
+            faults = {}
+            replans = 0
+            run_no += 1
+        elif current is None:
+            continue
+        elif event.kind == "fault":
+            name = event.attrs.get("event", "?")
+            faults[name] = faults.get(name, 0) + 1
+        elif event.kind == "reschedule":
+            if event.attrs.get("event") == "reschedule-applied":
+                replans += 1
+        elif event.kind == "online_end":
+            a, z = current.attrs, event.attrs
+            deadline = a.get("deadline")
+            bound = (
+                f", deadline {deadline:.6g} s"
+                if deadline is not None
+                else ""
+            )
+            lines.append(
+                f"online    : {a.get('tasks', '?')} tasks on "
+                f"{a.get('processors', '?')} processors — planned "
+                f"{_fmt_opt(a.get('planned_makespan'))} s{bound}"
+            )
+            if faults:
+                detail = ", ".join(
+                    f"{n} {k}" for k, n in sorted(faults.items())
+                )
+                lines.append(
+                    f"  faults  : {z.get('faults_injected', 0)} "
+                    f"injected ({detail}), "
+                    f"{z.get('retries', 0)} retries"
+                )
+            lines.append(
+                f"  replans : {replans} applied, budget used "
+                f"{z.get('budget_used', 0)} evaluations"
+            )
+            verified = " (verified)" if z.get("verified") else ""
+            lines.append(
+                f"  outcome : {z.get('outcome', '?')} — makespan "
+                f"{_fmt_opt(z.get('makespan'))} s{verified}"
+            )
+            current = None
+    if current is not None:  # writer died mid-run
+        lines.append(
+            f"online    : run {run_no} incomplete (no online_end)"
+        )
+    return "\n".join(lines)
+
+
 def render_trace_report(path: str | Path) -> str:
     """The full ``report-trace`` text for one trace file."""
     path = Path(path)
     events = read_trace(path)
     summaries = summarize_runs(events)
     campaign = _render_campaign(events)
-    if not summaries and not campaign:
+    online = _render_online(events)
+    if not summaries and not campaign and not online:
         raise TraceError(
-            f"trace file {path} contains no run or campaign spans "
-            f"({len(events)} events of other kinds)"
+            f"trace file {path} contains no run, campaign or online "
+            f"spans ({len(events)} events of other kinds)"
         )
     blocks = [f"trace     : {path} ({len(events)} events)"]
     if campaign:
         blocks.append(campaign)
+    if online:
+        blocks.append(online)
     for i, summary in enumerate(summaries):
         blocks.append(_render_run(summary, i, len(summaries)))
     return "\n".join(blocks)

@@ -65,7 +65,11 @@ __all__ = [
 TRACE_FORMAT = "repro-trace"
 TRACE_VERSION = 1
 
-#: Every kind a version-1 trace may contain.
+#: Every kind a version-1 trace may contain.  The ``online_*``, ``fault``
+#: and ``reschedule`` kinds are emitted by the reactive execution runtime
+#: (:mod:`repro.online`): an ``online_start`` .. ``online_end`` span with
+#: one ``fault`` event per injected/observed fault and one ``reschedule``
+#: event per frontier re-optimization.
 EVENT_KINDS = (
     "run_start",
     "run_end",
@@ -77,6 +81,10 @@ EVENT_KINDS = (
     "campaign_start",
     "campaign_trial",
     "campaign_end",
+    "online_start",
+    "online_end",
+    "fault",
+    "reschedule",
 )
 
 

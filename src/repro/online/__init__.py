@@ -1,0 +1,58 @@
+"""Online reactive scheduling runtime.
+
+Static scheduling (the rest of this library) assumes the time table is
+the truth: once EMTS or a CPA-family heuristic has produced a schedule,
+:func:`repro.simulator.simulate` replays it passively and nothing ever
+deviates.  Real clusters deviate constantly — processors crash, tasks
+fail and need retries, stragglers run slower than any model predicted.
+
+This package closes the loop.  :func:`execute_online` executes a planned
+schedule under a declarative, seeded :class:`FaultPlan`; an
+:class:`ExecutionMonitor` compares observed against predicted finish
+times and raises reschedule events; a :class:`Rescheduler` re-optimises
+only the not-yet-started frontier of the task graph under a bounded
+reaction budget, degrading gracefully from a warm-started evolutionary
+search down to a greedy list-scheduler patch.  The as-executed schedule
+is re-verified by :meth:`repro.verify.ScheduleVerifier.verify_execution`
+and, with an empty fault plan, reproduces the static simulator's
+makespan bit for bit.
+"""
+
+from .events import (
+    DeadlineBreached,
+    OnlineEvent,
+    ProcessorCrashed,
+    RescheduleApplied,
+    RescheduleTriggered,
+    StragglerDetected,
+    TaskAbandoned,
+    TaskFailed,
+)
+from .faults import FaultPlan, ProcessorCrash, Straggler, TaskFailure
+from .monitor import ExecutionMonitor
+from .policies import REACTION_RUNGS, ReactionPolicy
+from .rescheduler import Rescheduler, RescheduleResult
+from .runtime import ONLINE_OUTCOMES, OnlineResult, execute_online
+
+__all__ = [
+    "OnlineEvent",
+    "TaskFailed",
+    "TaskAbandoned",
+    "ProcessorCrashed",
+    "StragglerDetected",
+    "DeadlineBreached",
+    "RescheduleTriggered",
+    "RescheduleApplied",
+    "ProcessorCrash",
+    "TaskFailure",
+    "Straggler",
+    "FaultPlan",
+    "ExecutionMonitor",
+    "ReactionPolicy",
+    "REACTION_RUNGS",
+    "Rescheduler",
+    "RescheduleResult",
+    "ONLINE_OUTCOMES",
+    "OnlineResult",
+    "execute_online",
+]

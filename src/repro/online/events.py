@@ -1,0 +1,146 @@
+"""Observable events emitted by the online runtime.
+
+These are *runtime* events — faults firing, reschedules triggering and
+resolving — distinct from the simulator's
+:class:`~repro.simulator.TaskStarted`/:class:`~repro.simulator.TaskFinished`
+execution events.  The runtime collects them in order on
+:attr:`repro.online.OnlineResult.events` and mirrors each onto the
+observability tracer (``fault`` and ``reschedule`` trace kinds), so a
+post-mortem can replay exactly what the monitor saw and when.
+
+All fields are simulated quantities; every event carries the simulated
+``time`` at which it occurred.  Two runs with the same schedule, fault
+plan and policy produce identical event lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "OnlineEvent",
+    "TaskFailed",
+    "TaskAbandoned",
+    "ProcessorCrashed",
+    "StragglerDetected",
+    "DeadlineBreached",
+    "RescheduleTriggered",
+    "RescheduleApplied",
+]
+
+
+@dataclass(frozen=True)
+class OnlineEvent:
+    """Base class: something the monitor observed at simulated ``time``."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        """Stable event-type label used in traces and summaries."""
+        return _KIND_BY_TYPE[type(self).__name__]
+
+    def to_attrs(self) -> dict:
+        """Flat primitive dict for trace/metrics emission."""
+        attrs = {"event": self.kind}
+        for key, value in asdict(self).items():
+            if key == "time":
+                attrs["sim_time"] = float(value)
+            elif isinstance(value, tuple):
+                attrs[key] = list(value)
+            else:
+                attrs[key] = value
+        return attrs
+
+
+@dataclass(frozen=True)
+class TaskFailed(OnlineEvent):
+    """An executing task attempt failed (transient fault or crash victim).
+
+    ``retry_at`` is the simulated time at which the retry becomes
+    eligible (failure time plus exponential backoff); ``None`` means the
+    retry budget is exhausted and a :class:`TaskAbandoned` follows.
+    """
+
+    task: int
+    task_name: str
+    processors: tuple[int, ...]
+    attempt: int
+    retry_at: float | None
+
+
+@dataclass(frozen=True)
+class TaskAbandoned(OnlineEvent):
+    """A task exhausted its retry budget; the run aborts."""
+
+    task: int
+    task_name: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class ProcessorCrashed(OnlineEvent):
+    """A processor failed permanently; ``victims`` were running on it."""
+
+    processor: int
+    victims: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StragglerDetected(OnlineEvent):
+    """A running task overshot its predicted finish time.
+
+    Detection happens at the *predicted* finish (the earliest moment the
+    monitor can observe "still running past the model's promise"), at
+    which point the runtime re-estimates the true completion as
+    ``expected_finish``.
+    """
+
+    task: int
+    task_name: str
+    factor: float
+    expected_finish: float
+
+
+@dataclass(frozen=True)
+class DeadlineBreached(OnlineEvent):
+    """The projected makespan first exceeded the deadline."""
+
+    projected: float
+    deadline: float
+
+
+@dataclass(frozen=True)
+class RescheduleTriggered(OnlineEvent):
+    """The monitor decided the remaining frontier must be re-planned."""
+
+    reason: str
+    frontier: int
+
+
+@dataclass(frozen=True)
+class RescheduleApplied(OnlineEvent):
+    """A frontier re-plan was computed and installed.
+
+    ``rung`` names the degradation-ladder level that produced the plan
+    (``"emts"``, ``"repair"`` or ``"greedy"``); ``evaluations`` is the
+    number of schedule evaluations it consumed from the reaction budget.
+    """
+
+    reason: str
+    rung: str
+    frontier: int
+    evaluations: int
+    budget_remaining: int
+    projected_makespan: float
+
+
+_KIND_BY_TYPE = {
+    "TaskFailed": "task-failed",
+    "TaskAbandoned": "task-abandoned",
+    "ProcessorCrashed": "processor-crashed",
+    "StragglerDetected": "straggler-detected",
+    "DeadlineBreached": "deadline-breached",
+    "RescheduleTriggered": "reschedule-triggered",
+    "RescheduleApplied": "reschedule-applied",
+}

@@ -1,0 +1,124 @@
+"""Execution monitoring: observed versus predicted finish times.
+
+The monitor is the runtime's *belief state*.  It records, for every
+running task, when the model says it should finish; compares that
+against what actually happens; and decides when the frontier must be
+re-planned.  Three conditions fire a reschedule:
+
+* **task failure** — a retry changes the precedence frontier's timing;
+* **processor loss** — the plan references capacity that no longer
+  exists;
+* **straggler detection** — a task observably ran past its predicted
+  finish by more than the policy's threshold, so every successor's
+  planned start is stale.
+
+A fourth condition, **deadline breach**, fires at most once: when the
+projected makespan (completed work, running tasks' expected finishes,
+and the current frontier plan, whichever ends last) first exceeds the
+deadline, the monitor grants one extra emergency re-plan and then
+latches — a breached deadline that stays breached must not re-trigger
+on every subsequent event.
+
+The monitor deliberately knows *less* than the fault injector: an
+undetected straggler's expected finish is the model's prediction, not
+the inflated truth.  Only at the predicted finish time — the earliest
+instant "still running late" is observable — does the monitor learn the
+re-estimated completion.  Keeping that epistemic line honest is what
+makes the rescheduler's decisions realistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .policies import ReactionPolicy
+
+__all__ = ["ExecutionMonitor", "RESCHEDULE_REASONS"]
+
+#: Reschedule reasons the monitor can emit.
+RESCHEDULE_REASONS = (
+    "task-failure",
+    "processor-lost",
+    "straggler",
+    "deadline",
+)
+
+
+class ExecutionMonitor:
+    """Tracks predicted finishes and decides when to re-plan.
+
+    Parameters
+    ----------
+    num_tasks:
+        Size of the task graph being executed.
+    policy:
+        Supplies the straggler-detection threshold.
+    deadline:
+        Optional absolute completion deadline (simulated seconds).
+    """
+
+    def __init__(
+        self,
+        num_tasks: int,
+        policy: ReactionPolicy,
+        deadline: float | None = None,
+    ) -> None:
+        self.policy = policy
+        self.deadline = None if deadline is None else float(deadline)
+        self.deadline_flagged = False
+        #: Expected finish of each *running* task (NaN = not running).
+        self.expected_finish = np.full(
+            num_tasks, np.nan, dtype=np.float64
+        )
+        #: Latest observed completion time so far.
+        self.completed_until = 0.0
+
+    # -- lifecycle notifications ---------------------------------------
+    def task_started(self, task: int, predicted_finish: float) -> None:
+        """A task began; the model promises ``predicted_finish``."""
+        self.expected_finish[task] = float(predicted_finish)
+
+    def task_finished(self, task: int, time: float) -> None:
+        """A task completed at ``time``."""
+        self.expected_finish[task] = np.nan
+        if time > self.completed_until:
+            self.completed_until = float(time)
+
+    def task_stopped(self, task: int) -> None:
+        """A task left the processors without finishing (fail/crash)."""
+        self.expected_finish[task] = np.nan
+
+    # -- straggler detection -------------------------------------------
+    def is_straggler(self, factor: float) -> bool:
+        """Would an inflation ``factor`` exceed the detection threshold?"""
+        return float(factor) > self.policy.straggler_threshold
+
+    def straggler_detected(
+        self, task: int, expected_finish: float
+    ) -> None:
+        """Re-estimate a running task's finish after observing overrun."""
+        self.expected_finish[task] = float(expected_finish)
+
+    # -- projection and deadline ---------------------------------------
+    def projected_makespan(self, plan_completion: float) -> float:
+        """Best current estimate of the final makespan.
+
+        The maximum of work already completed, the expected finishes of
+        everything running, and the frontier plan's completion time.
+        """
+        running = self.expected_finish[
+            ~np.isnan(self.expected_finish)
+        ]
+        running_max = float(running.max()) if running.size else 0.0
+        return max(
+            self.completed_until, running_max, float(plan_completion)
+        )
+
+    def deadline_breach(self, projected: float) -> bool:
+        """True exactly once: the first projection past the deadline."""
+        if self.deadline is None or self.deadline_flagged:
+            return False
+        if projected > self.deadline + 1e-9:
+            self.deadline_flagged = True
+            return True
+        return False

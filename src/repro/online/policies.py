@@ -1,0 +1,124 @@
+"""Reaction policies: how hard the runtime may think before acting.
+
+When a fault fires, the frontier must be re-planned *now* — a scheduler
+that deliberates for longer than the tasks it reschedules is useless.
+The paper's offline luxury (minutes of evolution) collapses online into
+a bounded **reaction budget**, and the :class:`Rescheduler` spends it
+down a graceful-degradation ladder:
+
+====================  ==================================================
+rung                  strategy
+====================  ==================================================
+``emts``              warm-started (mu + lambda) evolution over the
+                      frontier, incumbent-seeded so the result can never
+                      be worse than the current plan
+``repair``            CPA-family heuristic re-allocation of the
+                      frontier, best of {heuristic, current plan}
+``greedy``            list-scheduler patch of the current allocation —
+                      the floor, always affordable
+====================  ==================================================
+
+The budget is measured in **schedule evaluations**, not wall-clock
+seconds.  An evaluation (one frontier mapping) is the rescheduler's unit
+of work, and counting units keeps rung selection — and therefore the
+entire event history — bit-identical across machines of different
+speeds.  Wall-clock reaction times are still *measured* and exported to
+metrics and benchmarks (``check_perf.py --online`` gates them); they
+just never influence control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.seeding import SEED_REGISTRY
+from ..exceptions import ConfigurationError
+
+__all__ = ["ReactionPolicy", "REACTION_RUNGS"]
+
+#: The degradation ladder, strongest rung first.
+REACTION_RUNGS = ("emts", "repair", "greedy")
+
+
+@dataclass(frozen=True)
+class ReactionPolicy:
+    """Tunable limits on one run's rescheduling effort.
+
+    Attributes
+    ----------
+    budget_evaluations:
+        Total frontier evaluations the run may spend across *all*
+        reschedules.  Each reschedule picks the strongest rung still
+        affordable from the remainder; the greedy floor runs even at
+        zero, so a plan is always produced.
+    emts_mu / emts_lam / emts_generations:
+        Shape of the warm-started evolution rung (deliberately tiny
+        next to the offline EMTS5/EMTS10 configurations).
+    heuristics:
+        Seed allocators for the evolution rung's initial population,
+        alongside the incumbent.
+    repair_heuristic:
+        The single allocator used by the ``repair`` rung.
+    straggler_threshold:
+        Relative overshoot of a task's predicted finish before the
+        monitor flags it as a straggler (1.05 = 5 % late).
+    """
+
+    budget_evaluations: int = 2048
+    emts_mu: int = 4
+    emts_lam: int = 12
+    emts_generations: int = 4
+    heuristics: tuple[str, ...] = ("mcpa", "hcpa")
+    repair_heuristic: str = "hcpa"
+    straggler_threshold: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.budget_evaluations < 0:
+            raise ConfigurationError(
+                f"reaction budget must be >= 0 evaluations, got "
+                f"{self.budget_evaluations}"
+            )
+        if self.emts_mu < 1 or self.emts_lam < 1:
+            raise ConfigurationError(
+                f"emts rung needs mu >= 1 and lambda >= 1, got "
+                f"({self.emts_mu}, {self.emts_lam})"
+            )
+        if self.emts_generations < 1:
+            raise ConfigurationError(
+                f"emts rung needs >= 1 generation, got "
+                f"{self.emts_generations}"
+            )
+        for name in (*self.heuristics, self.repair_heuristic):
+            if name not in SEED_REGISTRY:
+                known = ", ".join(sorted(SEED_REGISTRY))
+                raise ConfigurationError(
+                    f"unknown reaction heuristic {name!r}; known: "
+                    f"{known}"
+                )
+        if self.straggler_threshold <= 1.0:
+            raise ConfigurationError(
+                f"straggler threshold must exceed 1.0, got "
+                f"{self.straggler_threshold}"
+            )
+
+    # -- rung arithmetic ------------------------------------------------
+    def emts_cost(self) -> int:
+        """Worst-case evaluations of one evolution-rung reschedule."""
+        seeds = len(self.heuristics) + 1  # heuristics + incumbent
+        return (
+            max(seeds, self.emts_mu)
+            + self.emts_lam * self.emts_generations
+            + 1  # final plan rebuild
+        )
+
+    def repair_cost(self) -> int:
+        """Evaluations of one repair-rung reschedule (heuristic + incumbent)."""
+        return 2
+
+    def rung_for(self, remaining: int) -> str:
+        """Strongest ladder rung affordable with ``remaining`` budget."""
+        if remaining >= self.emts_cost():
+            return "emts"
+        if remaining >= self.repair_cost():
+            return "repair"
+        return "greedy"

@@ -1,0 +1,724 @@
+"""The closed-loop online execution runtime.
+
+:func:`execute_online` takes a planned :class:`~repro.mapping.Schedule`
+and *executes* it under a :class:`FaultPlan`, reacting to every
+deviation instead of replaying passively:
+
+* tasks dispatch when the plan says so — but only once their
+  predecessors have actually finished and their processors are actually
+  free, so a deferred dispatch absorbs upstream slippage;
+* injected faults (transient failures with exponential-backoff retries,
+  permanent processor crashes, silent stragglers) perturb execution;
+* the :class:`ExecutionMonitor` detects each deviation and the
+  :class:`Rescheduler` re-plans the not-yet-started frontier within the
+  policy's reaction budget.
+
+**Determinism contract.**  Simulated time is the only clock that drives
+control flow: fault times come from the plan, rung selection counts
+evaluation units, and random draws flow from the seeded rescheduler
+stream.  Two runs with identical inputs produce identical event lists,
+identical as-executed schedules and — after
+:func:`repro.obs.strip_timestamps` removes wall-clock attributes —
+bit-identical traces on any machine.  With an *empty* fault plan the
+runtime reduces exactly to :func:`repro.simulator.simulate`: every
+dispatch fires at its planned start, every duration matches the plan,
+and the final makespan is bit-identical to the static simulator's.
+
+**Event ordering.**  A single heap drives execution, keyed by
+``(time, priority, sequence)`` with priorities *crash < failure <
+finish < straggler-detect < retry-release < dispatch*.  Finishes
+preceding dispatches at equal times mirrors the static simulator's
+finish-before-start rule; crashes preceding everything makes a
+processor that dies at *t* unavailable to any task starting at *t*.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..mapping import Schedule
+from ..simulator import SimulationTrace, TaskFinished, TaskStarted
+from ..timemodels import TimeTable
+from ..verify import ScheduleVerifier
+from .events import (
+    DeadlineBreached,
+    OnlineEvent,
+    ProcessorCrashed,
+    RescheduleApplied,
+    RescheduleTriggered,
+    StragglerDetected,
+    TaskAbandoned,
+    TaskFailed,
+)
+from .faults import FaultPlan
+from .monitor import ExecutionMonitor
+from .policies import ReactionPolicy
+from .rescheduler import Rescheduler
+
+__all__ = ["execute_online", "OnlineResult", "ONLINE_OUTCOMES"]
+
+#: Terminal states of one online run.
+ONLINE_OUTCOMES = ("completed", "deadline-missed", "aborted")
+
+# task lifecycle
+_PENDING, _RUNNING, _DONE, _WAITING = 0, 1, 2, 3
+
+# heap priorities: what happens first at equal simulated time
+_PRIO_CRASH = 0
+_PRIO_FAIL = 1
+_PRIO_FINISH = 2
+_PRIO_DETECT = 3
+_PRIO_RELEASE = 4
+_PRIO_DISPATCH = 5
+
+_EPS = 1e-9
+
+
+@dataclass
+class OnlineResult:
+    """Everything one online run produced.
+
+    ``outcome`` is one of :data:`ONLINE_OUTCOMES`; ``schedule`` and
+    ``trace`` describe the as-executed placements (``None`` when the
+    run aborted before completing every task).
+    """
+
+    outcome: str
+    makespan: float
+    planned_makespan: float
+    schedule: Schedule | None
+    trace: SimulationTrace | None
+    events: list[OnlineEvent] = field(default_factory=list)
+    reschedules: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    rungs: dict = field(default_factory=dict)
+    budget_used: int = 0
+    deadline: float | None = None
+    verified: bool = False
+    reason: str | None = None
+
+    def summary(self) -> dict:
+        """Flat primitive dict for CLI/JSON reporting."""
+        return {
+            "outcome": self.outcome,
+            "makespan": self.makespan,
+            "planned_makespan": self.planned_makespan,
+            "events": len(self.events),
+            "reschedules": self.reschedules,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "rungs": dict(self.rungs),
+            "budget_used": self.budget_used,
+            "deadline": self.deadline,
+            "verified": self.verified,
+            "reason": self.reason,
+        }
+
+
+class _OnlineRun:
+    """Mutable state of one execution; see :func:`execute_online`."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        table: TimeTable,
+        plan: FaultPlan,
+        policy: ReactionPolicy,
+        deadline: float | None,
+        rng,
+        tracer,
+        metrics,
+    ) -> None:
+        ptg = schedule.ptg
+        V = ptg.num_tasks
+        P = schedule.cluster.num_processors
+        plan.validate(V, P)
+        self.schedule = schedule
+        self.table = table
+        self.ptg = ptg
+        self.V, self.P = V, P
+        self.plan = plan
+        self.policy = policy
+        self.tracer = tracer
+        self.metrics = metrics
+        self.monitor = ExecutionMonitor(V, policy, deadline)
+        self.rescheduler = Rescheduler(ptg, table, policy, rng)
+
+        # the *current* plan, rewritten by every reschedule
+        self.plan_start = schedule.start.astype(np.float64).copy()
+        self.plan_finish = schedule.finish.astype(np.float64).copy()
+        self.plan_procs = [ps.copy() for ps in schedule.proc_sets]
+        self.plan_version = 0
+
+        # fault bookkeeping
+        self.fail_left = np.zeros(V, dtype=np.int64)
+        self.fail_fraction = np.full(V, 0.5, dtype=np.float64)
+        for failure in plan.failures:
+            self.fail_left[failure.task] = failure.attempts
+            self.fail_fraction[failure.task] = failure.at_fraction
+        self.inflation = np.ones(V, dtype=np.float64)
+        for straggler in plan.stragglers:
+            self.inflation[straggler.task] = straggler.factor
+
+        # execution state
+        self.status = np.full(V, _PENDING, dtype=np.int64)
+        self.attempts = np.zeros(V, dtype=np.int64)
+        self.retry_at = np.zeros(V, dtype=np.float64)
+        self.actual_start = np.zeros(V, dtype=np.float64)
+        self.actual_finish = np.zeros(V, dtype=np.float64)
+        self.actual_procs: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(V)
+        ]
+        self.alive = np.ones(P, dtype=bool)
+        self.proc_free = np.zeros(P, dtype=np.float64)
+        self.running_on = np.full(P, -1, dtype=np.int64)
+        self.done_count = 0
+
+        # result accumulators
+        self.events: list[OnlineEvent] = []
+        self.reschedules = 0
+        self.faults_injected = 0
+        self.retries = 0
+        self.rungs: dict[str, int] = {}
+        self.budget_used = 0
+        self.outcome: str | None = None
+        self.reason: str | None = None
+
+        self.heap: list = []
+        self._seq = 0
+
+    # -- heap helpers ---------------------------------------------------
+    def push(self, time: float, prio: int, kind: str, a: int, b: int = 0):
+        heapq.heappush(
+            self.heap, (float(time), prio, self._seq, kind, a, b)
+        )
+        self._seq += 1
+
+    def wake_pending(self, now: float) -> None:
+        """Re-arm a dispatch for every pending task.
+
+        Dispatch events are cheap and idempotent (the handler re-checks
+        feasibility), so over-waking is safe; under-waking would
+        deadlock a deferred task.
+        """
+        for v in np.flatnonzero(self.status == _PENDING):
+            v = int(v)
+            self.push(
+                max(now, self.plan_start[v]),
+                _PRIO_DISPATCH,
+                "dispatch",
+                v,
+                self.plan_version,
+            )
+
+    # -- event emission -------------------------------------------------
+    def emit(self, event: OnlineEvent, trace_kind: str | None) -> None:
+        self.events.append(event)
+        if self.tracer is not None and trace_kind is not None:
+            self.tracer.event(trace_kind, attrs=event.to_attrs())
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    # -- run ------------------------------------------------------------
+    def run(self) -> OnlineResult:
+        for crash in self.plan.crashes:
+            self.push(
+                crash.time, _PRIO_CRASH, "crash", crash.processor
+            )
+        self.wake_pending(0.0)
+        # a deadline tighter than the plan itself breaches immediately
+        # and gets its emergency re-plan before anything dispatches
+        self._check_deadline(0.0)
+
+        while self.heap and self.outcome is None:
+            t, _prio, _seq, kind, a, b = heapq.heappop(self.heap)
+            if kind == "crash":
+                self._on_crash(t, a)
+            elif kind == "fail":
+                self._on_fail(t, a, b)
+            elif kind == "finish":
+                self._on_finish(t, a, b)
+            elif kind == "detect":
+                self._on_detect(t, a, b)
+            elif kind == "release":
+                self._on_release(t, a)
+            else:
+                self._on_dispatch(t, a, b)
+
+        if self.outcome is None:
+            if self.done_count != self.V:
+                stuck = int(np.flatnonzero(self.status != _DONE)[0])
+                raise SimulationError(
+                    f"online run drained its event heap with task "
+                    f"{self.ptg.task(stuck).name!r} not done",
+                    task=stuck,
+                )
+            makespan = float(self.actual_finish.max()) if self.V else 0.0
+            if (
+                self.monitor.deadline is not None
+                and makespan > self.monitor.deadline + _EPS
+            ):
+                self.outcome = "deadline-missed"
+                self.reason = (
+                    f"finished at {makespan:.6g}, deadline was "
+                    f"{self.monitor.deadline:.6g}"
+                )
+            else:
+                self.outcome = "completed"
+        else:
+            makespan = (
+                float(self.actual_finish[self.status == _DONE].max())
+                if self.done_count
+                else 0.0
+            )
+        return self._finalize(makespan)
+
+    # -- handlers -------------------------------------------------------
+    def _on_dispatch(self, t: float, v: int, version: int) -> None:
+        if self.status[v] != _PENDING or version != self.plan_version:
+            return
+        if t < self.plan_start[v] - _EPS:
+            return  # superseded by a later re-arm
+        procs = self.plan_procs[v]
+        if not self.alive[procs].all():
+            raise SimulationError(
+                f"plan places task {self.ptg.task(v).name!r} on a "
+                "crashed processor — reschedule-on-crash failed",
+                task=v,
+                processors=tuple(int(p) for p in procs),
+                time=t,
+            )
+        ready = all(
+            self.status[u] == _DONE for u in self.ptg.predecessors(v)
+        )
+        free = bool((self.proc_free[procs] <= t + _EPS).all())
+        if not (ready and free):
+            return  # deferred; a finish/release/reschedule re-arms it
+        base = float(self.plan_finish[v] - self.plan_start[v])
+        predicted = t + base
+        true_dur = base * float(self.inflation[v])
+        self.status[v] = _RUNNING
+        self.attempts[v] += 1
+        attempt = int(self.attempts[v])
+        self.actual_start[v] = t
+        self.actual_procs[v] = procs.copy()
+        self.monitor.task_started(v, predicted)
+        if self.fail_left[v] > 0:
+            ends = t + true_dur * float(self.fail_fraction[v])
+            self.push(ends, _PRIO_FAIL, "fail", v, attempt)
+        else:
+            ends = t + true_dur
+            self.push(ends, _PRIO_FINISH, "finish", v, attempt)
+            if self.inflation[v] > 1.0 and self.monitor.is_straggler(
+                self.inflation[v]
+            ):
+                self.push(predicted, _PRIO_DETECT, "detect", v, attempt)
+        self.proc_free[procs] = ends
+        self.running_on[procs] = v
+
+    def _on_finish(self, t: float, v: int, attempt: int) -> None:
+        if self.status[v] != _RUNNING or self.attempts[v] != attempt:
+            return
+        self.status[v] = _DONE
+        self.actual_finish[v] = t
+        self.done_count += 1
+        procs = self.actual_procs[v]
+        self.proc_free[procs] = t
+        self.running_on[procs] = -1
+        self.monitor.task_finished(v, t)
+        self.wake_pending(t)
+        self._check_deadline(t)
+
+    def _fail_attempt(self, t: float, v: int) -> bool:
+        """Shared failure path (transient fault or crash victim).
+
+        Returns ``True`` when the task may retry, ``False`` when it is
+        abandoned (the run aborts).
+        """
+        procs = self.actual_procs[v]
+        for p in procs:
+            if self.alive[p]:
+                self.proc_free[p] = t
+            self.running_on[p] = -1
+        self.monitor.task_stopped(v)
+        self.faults_injected += 1
+        self.count("online.faults.failure")
+        name = self.ptg.task(v).name
+        attempt = int(self.attempts[v])
+        if attempt <= self.plan.max_retries:
+            backoff = self.plan.backoff_seconds * (
+                self.plan.backoff_factor ** (attempt - 1)
+            )
+            retry = t + backoff
+            self.status[v] = _WAITING
+            self.retry_at[v] = retry
+            self.retries += 1
+            self.count("online.retries")
+            self.emit(
+                TaskFailed(
+                    time=t,
+                    task=v,
+                    task_name=name,
+                    processors=tuple(int(p) for p in procs),
+                    attempt=attempt,
+                    retry_at=retry,
+                ),
+                "fault",
+            )
+            self.push(retry, _PRIO_RELEASE, "release", v)
+            return True
+        self.emit(
+            TaskFailed(
+                time=t,
+                task=v,
+                task_name=name,
+                processors=tuple(int(p) for p in procs),
+                attempt=attempt,
+                retry_at=None,
+            ),
+            "fault",
+        )
+        self.emit(
+            TaskAbandoned(
+                time=t, task=v, task_name=name, attempts=attempt
+            ),
+            "fault",
+        )
+        self.count("online.tasks.abandoned")
+        self.outcome = "aborted"
+        self.reason = (
+            f"task {name!r} failed {attempt} times, retry budget "
+            f"({self.plan.max_retries}) exhausted"
+        )
+        return False
+
+    def _on_fail(self, t: float, v: int, attempt: int) -> None:
+        if self.status[v] != _RUNNING or self.attempts[v] != attempt:
+            return
+        self.fail_left[v] -= 1
+        if self._fail_attempt(t, v):
+            self._reschedule(t, "task-failure")
+            self._check_deadline(t)
+
+    def _on_detect(self, t: float, v: int, attempt: int) -> None:
+        if self.status[v] != _RUNNING or self.attempts[v] != attempt:
+            return
+        base = float(self.plan_finish[v] - self.plan_start[v])
+        expected = self.actual_start[v] + base * float(
+            self.inflation[v]
+        )
+        self.monitor.straggler_detected(v, expected)
+        self.faults_injected += 1
+        self.count("online.faults.straggler")
+        self.emit(
+            StragglerDetected(
+                time=t,
+                task=v,
+                task_name=self.ptg.task(v).name,
+                factor=float(self.inflation[v]),
+                expected_finish=expected,
+            ),
+            "fault",
+        )
+        self._reschedule(t, "straggler")
+        self._check_deadline(t)
+
+    def _on_crash(self, t: float, p: int) -> None:
+        if not self.alive[p]:
+            return
+        self.alive[p] = False
+        self.proc_free[p] = np.inf
+        victim = int(self.running_on[p])
+        self.running_on[p] = -1
+        self.faults_injected += 1
+        self.count("online.faults.crash")
+        victims = (victim,) if victim >= 0 else ()
+        self.emit(
+            ProcessorCrashed(time=t, processor=p, victims=victims),
+            "fault",
+        )
+        if not self.alive.any():
+            self.outcome = "aborted"
+            self.reason = "every processor has crashed"
+            return
+        if victim >= 0:
+            # the victim's attempt dies with the processor; this
+            # consumes one retry attempt, exactly like a transient
+            # failure — the runtime cannot tell the causes apart
+            if not self._fail_attempt(t, victim):
+                return
+        self._reschedule(t, "processor-lost")
+        self._check_deadline(t)
+
+    def _on_release(self, t: float, v: int) -> None:
+        if self.status[v] != _WAITING:
+            return
+        self.status[v] = _PENDING
+        self.push(
+            max(t, self.plan_start[v]),
+            _PRIO_DISPATCH,
+            "dispatch",
+            v,
+            self.plan_version,
+        )
+
+    # -- rescheduling ---------------------------------------------------
+    def _plan_completion(self) -> float:
+        """Last planned finish over everything not yet done."""
+        not_done = self.status != _DONE
+        if not not_done.any():
+            return 0.0
+        return float(self.plan_finish[not_done].max())
+
+    def _reschedule(self, now: float, reason: str) -> None:
+        frontier = np.flatnonzero(
+            (self.status == _PENDING) | (self.status == _WAITING)
+        ).astype(np.int64)
+        if frontier.size == 0:
+            return
+        self.emit(
+            RescheduleTriggered(
+                time=now, reason=reason, frontier=int(frontier.size)
+            ),
+            None,
+        )
+        release = np.full(frontier.size, now, dtype=np.float64)
+        for i, v in enumerate(frontier):
+            v = int(v)
+            if self.status[v] == _WAITING:
+                release[i] = max(release[i], self.retry_at[v])
+            for u in self.ptg.predecessors(v):
+                if self.status[u] == _DONE:
+                    release[i] = max(release[i], self.actual_finish[u])
+                elif self.status[u] == _RUNNING:
+                    release[i] = max(
+                        release[i], self.monitor.expected_finish[u]
+                    )
+        alive = np.flatnonzero(self.alive).astype(np.int64)
+        avail = np.full(alive.size, now, dtype=np.float64)
+        for i, p in enumerate(alive):
+            occupant = int(self.running_on[p])
+            if occupant >= 0:
+                # the monitor's belief, not the fault plan's truth: an
+                # undetected straggler still looks punctual here
+                avail[i] = max(
+                    now, self.monitor.expected_finish[occupant]
+                )
+        allocation = np.array(
+            [len(self.plan_procs[int(v)]) for v in frontier],
+            dtype=np.int64,
+        )
+        remaining = max(
+            0, self.policy.budget_evaluations - self.budget_used
+        )
+        t0 = _time.perf_counter()
+        result = self.rescheduler.reschedule(
+            now, frontier, release, allocation, alive, avail, remaining
+        )
+        reaction = _time.perf_counter() - t0
+        self.budget_used += result.evaluations
+        for i, v in enumerate(frontier):
+            v = int(v)
+            self.plan_start[v] = result.start[i]
+            self.plan_finish[v] = result.finish[i]
+            self.plan_procs[v] = result.proc_sets[i]
+        self.plan_version += 1
+        self.reschedules += 1
+        self.rungs[result.rung] = self.rungs.get(result.rung, 0) + 1
+        projected = self.monitor.projected_makespan(
+            self._plan_completion()
+        )
+        applied = RescheduleApplied(
+            time=now,
+            reason=reason,
+            rung=result.rung,
+            frontier=int(frontier.size),
+            evaluations=result.evaluations,
+            budget_remaining=max(
+                0, self.policy.budget_evaluations - self.budget_used
+            ),
+            projected_makespan=projected,
+        )
+        self.emit(applied, None)
+        if self.tracer is not None:
+            attrs = applied.to_attrs()
+            # wall-clock, deliberately under a *_seconds suffix so
+            # strip_timestamps removes it from canonical traces
+            attrs["reaction_seconds"] = reaction
+            self.tracer.event("reschedule", attrs=attrs)
+        self.count("online.reschedules")
+        self.count(f"online.reschedule.rung.{result.rung}")
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "online.reaction.seconds"
+            ).observe(reaction)
+        self.wake_pending(now)
+
+    def _check_deadline(self, now: float) -> None:
+        projected = self.monitor.projected_makespan(
+            self._plan_completion()
+        )
+        if self.monitor.deadline_breach(projected):
+            self.emit(
+                DeadlineBreached(
+                    time=now,
+                    projected=projected,
+                    deadline=self.monitor.deadline,
+                ),
+                "fault",
+            )
+            self.count("online.deadline.breaches")
+            # one emergency re-plan; the latch stops any repetition
+            self._reschedule(now, "deadline")
+
+    # -- result assembly ------------------------------------------------
+    def _finalize(self, makespan: float) -> OnlineResult:
+        completed = self.outcome in ("completed", "deadline-missed")
+        schedule = trace = None
+        verified = False
+        if completed:
+            schedule = Schedule(
+                self.ptg,
+                self.schedule.cluster,
+                self.actual_start.copy(),
+                self.actual_finish.copy(),
+                [ps.copy() for ps in self.actual_procs],
+            )
+            trace = SimulationTrace(num_processors=self.P)
+            # same ordering as simulate(): by time, finishes before
+            # starts at equal times, task index breaking ties
+            entries = sorted(
+                [
+                    (float(self.actual_finish[v]), 1, v)
+                    for v in range(self.V)
+                ]
+                + [
+                    (float(self.actual_start[v]), 0, v)
+                    for v in range(self.V)
+                ],
+                key=lambda e: (e[0], -e[1], e[2]),
+            )
+            for when, is_finish, v in entries:
+                cls = TaskFinished if is_finish else TaskStarted
+                trace.record(
+                    cls(
+                        time=when,
+                        task=v,
+                        task_name=self.ptg.task(v).name,
+                        processors=tuple(
+                            int(p) for p in self.actual_procs[v]
+                        ),
+                    )
+                )
+            verifier = ScheduleVerifier(self.ptg, self.table)
+            verifier.verify_execution(
+                schedule, expected_makespan=makespan
+            )
+            verified = True
+        if self.metrics is not None:
+            self.metrics.gauge("online.makespan").set(makespan)
+        return OnlineResult(
+            outcome=self.outcome,
+            makespan=makespan,
+            planned_makespan=float(self.schedule.makespan),
+            schedule=schedule,
+            trace=trace,
+            events=self.events,
+            reschedules=self.reschedules,
+            faults_injected=self.faults_injected,
+            retries=self.retries,
+            rungs=self.rungs,
+            budget_used=self.budget_used,
+            deadline=self.monitor.deadline,
+            verified=verified,
+            reason=self.reason,
+        )
+
+
+def execute_online(
+    schedule: Schedule,
+    table: TimeTable,
+    plan: FaultPlan | None = None,
+    policy: ReactionPolicy | None = None,
+    deadline: float | None = None,
+    rng=None,
+    tracer=None,
+    metrics=None,
+) -> OnlineResult:
+    """Execute ``schedule`` reactively under an optional fault plan.
+
+    Parameters
+    ----------
+    schedule:
+        The planned schedule (from EMTS, a heuristic, or a file).
+    table:
+        The time table the schedule was planned against; re-used for
+        frontier re-planning and as-executed verification.
+    plan:
+        Fault injections; ``None`` or an empty plan reproduces the
+        static simulator's makespan bit for bit.
+    policy:
+        Reaction limits (see :class:`ReactionPolicy`).
+    deadline:
+        Optional absolute completion deadline in simulated seconds;
+        breaching its projection triggers one emergency reschedule and
+        an over-deadline completion is reported as ``deadline-missed``.
+    rng:
+        Seed or generator for the rescheduler's evolution rung.
+    tracer / metrics:
+        Optional :class:`repro.obs.Tracer` / metrics registry; the
+        runtime emits ``fault`` and ``reschedule`` events and
+        ``online.*`` instruments.
+
+    Returns
+    -------
+    OnlineResult
+        Typed outcome, as-executed schedule and trace (verified by
+        :meth:`repro.verify.ScheduleVerifier.verify_execution`), the
+        ordered online event list and reaction accounting.
+    """
+    run = _OnlineRun(
+        schedule,
+        table,
+        plan or FaultPlan(),
+        policy or ReactionPolicy(),
+        deadline,
+        rng,
+        tracer,
+        metrics,
+    )
+    if run.tracer is not None:
+        run.tracer.event(
+            "online_start",
+            attrs={
+                "tasks": run.V,
+                "processors": run.P,
+                "planned_makespan": float(schedule.makespan),
+                "deadline": deadline,
+                "budget_evaluations": run.policy.budget_evaluations,
+                **run.plan.summary(),
+            },
+        )
+    result = run.run()
+    if run.tracer is not None:
+        run.tracer.event(
+            "online_end",
+            attrs={
+                "outcome": result.outcome,
+                "makespan": result.makespan,
+                "reschedules": result.reschedules,
+                "faults_injected": result.faults_injected,
+                "retries": result.retries,
+                "budget_used": result.budget_used,
+                "verified": result.verified,
+            },
+        )
+    return result

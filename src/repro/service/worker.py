@@ -15,6 +15,17 @@ Metrics discipline: worker threads record into a thread-local
 :class:`~repro.obs.MetricsRegistry` and merge deltas into the shared
 registry under the pool's metrics lock — shared instruments are never
 mutated concurrently.
+
+Worker-death robustness: job-level errors are caught inside
+:meth:`WorkerPool._run_one`, but a fault that escapes it —
+``SystemExit`` from library code, a ``MemoryError`` mid-evolution, a
+bug in the worker loop itself — would silently shrink the pool and
+strand the in-flight job in ``running`` forever.  Each thread therefore
+runs under a guard that, on any escaping exception, requeues the
+in-flight job (bounded by ``max_job_attempts``, after which it fails
+with code ``worker-crashed``), counts the death in
+``service.workers.died``, and spawns a replacement thread unless the
+pool is stopping.
 """
 
 from __future__ import annotations
@@ -132,9 +143,14 @@ class WorkerPool:
         eval_cache_entries: int = 65_536,
         poll_interval: float = 0.1,
         on_job_done: Callable[[Job], None] | None = None,
+        max_job_attempts: int = 3,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need workers >= 1, got {workers}")
+        if max_job_attempts < 1:
+            raise ValueError(
+                f"need max_job_attempts >= 1, got {max_job_attempts}"
+            )
         self.queue = queue
         self.store = store
         self.result_cache = result_cache
@@ -144,24 +160,31 @@ class WorkerPool:
         self.eval_cache_entries = eval_cache_entries
         self.poll_interval = poll_interval
         self.on_job_done = on_job_done
+        self.max_job_attempts = int(max_job_attempts)
         self.num_workers = int(workers)
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._draining = threading.Event()
         self._running_lock = threading.Lock()
         self._running: dict[str, Job] = {}
+        #: worker index -> the job it is processing right now; read by
+        #: the death guard to recover in-flight work
+        self._inflight: dict[int, Job] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         for i in range(self.num_workers):
-            t = threading.Thread(
-                target=self._worker_loop,
-                args=(i,),
-                name=f"repro-service-worker-{i}",
-                daemon=True,
-            )
-            t.start()
-            self._threads.append(t)
+            self._spawn(i)
+
+    def _spawn(self, index: int) -> None:
+        t = threading.Thread(
+            target=self._worker_guard,
+            args=(index,),
+            name=f"repro-service-worker-{index}",
+            daemon=True,
+        )
+        t.start()
+        self._threads.append(t)
 
     def running_jobs(self) -> list[Job]:
         with self._running_lock:
@@ -183,6 +206,61 @@ class WorkerPool:
             t.join(max(0.0, deadline - time.monotonic()))
 
     # ------------------------------------------------------------------
+    def _worker_guard(self, index: int) -> None:
+        """Run the worker loop; survive its death by any exception.
+
+        ``_run_one`` already contains job-level error handling, so only
+        faults *outside* that net reach here: ``SystemExit`` or
+        ``KeyboardInterrupt`` raised inside library code, resource
+        exhaustion, or a bug in the loop itself.  The in-flight job (if
+        any) is requeued or failed, the death is counted, and a
+        replacement thread takes over the index.
+        """
+        try:
+            self._worker_loop(index)
+        except BaseException as exc:  # noqa: BLE001 — the whole point
+            with self._running_lock:
+                job = self._inflight.pop(index, None)
+            with self.metrics_lock:
+                self.metrics.counter("service.workers.died").inc()
+            if job is not None:
+                self._recover_inflight(job, exc)
+            if not self._stop.is_set():
+                self._spawn(index)
+
+    def _recover_inflight(self, job: Job, exc: BaseException) -> None:
+        """Requeue (bounded) or fail the job a dying worker dropped."""
+        with self._running_lock:
+            self._running.pop(job.id, None)
+        if job.attempts < self.max_job_attempts:
+            try:
+                job.state = "queued"
+                self.store.persist(job)
+                self.queue.put(
+                    job,
+                    tenant=job.request.tenant,
+                    priority=job.request.priority,
+                )
+                with self.metrics_lock:
+                    self.metrics.counter("service.jobs.requeued").inc()
+                return
+            except Exception:
+                # queue closed (drain) or full: fall through to fail
+                pass
+        job.error = {
+            "code": "worker-crashed",
+            "message": (
+                f"worker thread died ({type(exc).__name__}: {exc}) on "
+                f"attempt {job.attempts}/{self.max_job_attempts}"
+            ),
+        }
+        job.state = "failed"
+        job.finished_at = time.time()
+        self.store.persist(job)
+        job.done_event.set()
+        with self.metrics_lock:
+            self.metrics.counter("service.jobs.failed").inc()
+
     def _worker_loop(self, index: int) -> None:
         warm = WarmCache(
             self.warm_max_problems,
@@ -192,6 +270,8 @@ class WorkerPool:
             job = self.queue.get(timeout=self.poll_interval)
             if job is None:
                 continue
+            with self._running_lock:
+                self._inflight[index] = job
             local = MetricsRegistry()
             try:
                 self._run_one(job, warm, local)
@@ -199,6 +279,8 @@ class WorkerPool:
                 self._merge_metrics(local, warm)
                 if self.on_job_done is not None:
                     self.on_job_done(job)
+            with self._running_lock:
+                self._inflight.pop(index, None)
 
     # ------------------------------------------------------------------
     def _run_one(

@@ -85,7 +85,12 @@ def simulate(
             raise SimulationError(
                 f"task {ptg.task(bad).name!r}: schedule duration "
                 f"{durations[bad]:.9g} disagrees with the time table's "
-                f"{expected[bad]:.9g}"
+                f"{expected[bad]:.9g}",
+                task=bad,
+                processors=tuple(
+                    int(p) for p in schedule.proc_sets[bad]
+                ),
+                time=float(schedule.start[bad]),
             )
 
     # event queue: (time, order, is_finish, task) — starts sort before
@@ -110,14 +115,20 @@ def simulate(
                 if not done[u]:
                     raise SimulationError(
                         f"task {name!r} started at t={t} before "
-                        f"predecessor {ptg.task(u).name!r} finished"
+                        f"predecessor {ptg.task(u).name!r} finished",
+                        task=v,
+                        processors=procs,
+                        time=t,
                     )
             for p in procs:
                 if busy_until[p] > t + _EPS:
                     raise SimulationError(
                         f"task {name!r} started at t={t} on busy "
                         f"processor {p} (occupied by task "
-                        f"{running_on[p]} until {busy_until[p]})"
+                        f"{running_on[p]} until {busy_until[p]})",
+                        task=v,
+                        processors=(int(p),),
+                        time=t,
                     )
             finish = t + float(durations[v])
             for p in procs:
@@ -141,14 +152,18 @@ def simulate(
             )
 
     if not done.all():
+        first = int(np.flatnonzero(~done)[0])
         missing = [ptg.task(v).name for v in np.flatnonzero(~done)]
         raise SimulationError(
-            f"simulation ended with unfinished tasks: {missing[:5]}"
+            f"simulation ended with unfinished tasks: {missing[:5]}",
+            task=first,
+            time=trace.makespan,
         )
     makespan = trace.makespan
     if abs(makespan - schedule.makespan) > 1e-6 * max(1.0, makespan):
         raise SimulationError(
             f"simulated makespan {makespan} disagrees with the "
-            f"schedule's {schedule.makespan}"
+            f"schedule's {schedule.makespan}",
+            time=makespan,
         )
     return SimulationResult(trace=trace, makespan=makespan)

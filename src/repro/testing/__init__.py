@@ -18,9 +18,11 @@ from .chaos import (
     ChaosEvaluator,
     ChaosPlan,
     FlakyChunkFault,
+    ProcessorCrashFault,
     SleepFault,
     WorkerKillFault,
     kill_one_worker,
+    sample_indices,
 )
 
 __all__ = [
@@ -29,7 +31,9 @@ __all__ = [
     "ChaosEvaluator",
     "FlakyChunkFault",
     "WorkerKillFault",
+    "ProcessorCrashFault",
     "AlwaysFailFault",
     "SleepFault",
     "kill_one_worker",
+    "sample_indices",
 ]

@@ -41,9 +41,11 @@ __all__ = [
     "ChaosEvaluator",
     "FlakyChunkFault",
     "WorkerKillFault",
+    "ProcessorCrashFault",
     "AlwaysFailFault",
     "SleepFault",
     "kill_one_worker",
+    "sample_indices",
 ]
 
 
@@ -53,6 +55,23 @@ class ChaosError(RuntimeError):
     A distinct type so tests can assert that a propagated failure is
     the *injected* one and not collateral damage.
     """
+
+
+def sample_indices(
+    rng: np.random.Generator, n: int, rate: float
+) -> frozenset:
+    """Independently select each index in ``range(n)`` with ``rate``.
+
+    The shared sampling primitive behind :meth:`ChaosPlan.sampled` and
+    :meth:`repro.online.FaultPlan.sampled`: one uniform draw per index,
+    kept when it falls below ``rate``.  A rate of zero consumes *no*
+    randomness, so adding a new fault type to a plan never perturbs the
+    draws of the existing ones.
+    """
+    if rate <= 0.0:
+        return frozenset()
+    draws = rng.random(n)
+    return frozenset(int(i) for i in np.nonzero(draws < rate)[0])
 
 
 def _find_pool(evaluator) -> ProcessPoolEvaluator | None:
@@ -127,6 +146,13 @@ class ChaosPlan:
         purpose: a *near*-correct value is the hardest corruption).
     delay_seconds:
         Length of each injected delay.
+    straggler_batches:
+        Sleep ``straggler_seconds`` *after* evaluating these batches —
+        the results are correct but arrive late, a straggling worker
+        rather than a slow dispatch.  Together with ``delay_batches``
+        this brackets a batch's latency from both sides.
+    straggler_seconds:
+        Length of each injected straggler stall.
     stop_after_batch:
         After completing this batch index, set the evaluator's stop
         event — simulates an operator interrupt at a deterministic
@@ -140,6 +166,8 @@ class ChaosPlan:
     corrupt_batches: frozenset = frozenset()
     corrupt_factor: float = 1.01
     delay_seconds: float = 0.01
+    straggler_batches: frozenset = frozenset()
+    straggler_seconds: float = 0.01
     stop_after_batch: int | None = None
 
     @classmethod
@@ -154,33 +182,36 @@ class ChaosPlan:
         corrupt_rate: float = 0.0,
         corrupt_factor: float = 1.01,
         delay_seconds: float = 0.01,
+        straggler_rate: float = 0.0,
+        straggler_seconds: float = 0.01,
     ) -> "ChaosPlan":
         """Draw a random (but seed-reproducible) plan.
 
         Each batch index in ``range(num_batches)`` is independently
         assigned each fault type with the given rate.  Pass an integer
-        seed to make the plan a pure function of the seed.
+        seed to make the plan a pure function of the seed.  Zero-rate
+        fault types consume no randomness, so a plan sampled before the
+        straggler fault existed reproduces unchanged.
         """
         gen = (
             rng
             if isinstance(rng, np.random.Generator)
             else np.random.default_rng(rng)
         )
-
-        def pick(rate: float) -> frozenset:
-            if rate <= 0.0:
-                return frozenset()
-            draws = gen.random(num_batches)
-            return frozenset(int(i) for i in np.nonzero(draws < rate)[0])
-
         return cls(
-            kill_batches=pick(kill_rate),
-            delay_batches=pick(delay_rate),
-            raise_batches=pick(raise_rate),
-            nan_batches=pick(nan_rate),
-            corrupt_batches=pick(corrupt_rate),
+            kill_batches=sample_indices(gen, num_batches, kill_rate),
+            delay_batches=sample_indices(gen, num_batches, delay_rate),
+            raise_batches=sample_indices(gen, num_batches, raise_rate),
+            nan_batches=sample_indices(gen, num_batches, nan_rate),
+            corrupt_batches=sample_indices(
+                gen, num_batches, corrupt_rate
+            ),
             corrupt_factor=corrupt_factor,
             delay_seconds=delay_seconds,
+            straggler_batches=sample_indices(
+                gen, num_batches, straggler_rate
+            ),
+            straggler_seconds=straggler_seconds,
         )
 
 
@@ -231,7 +262,10 @@ class ChaosEvaluator:
     def _post_batch(
         self, index: int, values: list[float]
     ) -> list[float]:
-        """Apply result-corruption faults and the stop trigger."""
+        """Apply result-side faults and the stop trigger."""
+        if index in self.plan.straggler_batches:
+            self.faults_injected += 1
+            time.sleep(self.plan.straggler_seconds)
         if index in self.plan.nan_batches and values:
             self.faults_injected += 1
             values = list(values)
@@ -347,6 +381,46 @@ class WorkerKillFault(FlakyChunkFault):
         if os.getpid() == self.driver_pid:
             return
         if self._claim() is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass
+class ProcessorCrashFault:
+    """SIGKILL the worker that claims specific *global chunk ordinals*.
+
+    Where :class:`WorkerKillFault` kills on the first ``failures``
+    chunks regardless of position, this hook numbers every chunk the
+    pool dispatches (atomically, via one marker file per ordinal) and
+    crashes whichever worker draws an ordinal in ``at_chunks`` — the
+    pool-level analogue of :class:`repro.online.ProcessorCrash`, which
+    fells a processor at a planned moment of the execution.  A killed
+    chunk is re-dispatched by the recovery path and claims a *new*
+    ordinal, so the crash fires exactly once per planned ordinal.
+    Inert in the driver process (serial fallback survives).
+    """
+
+    marker_dir: str
+    at_chunks: frozenset = frozenset()
+    driver_pid: int = field(default_factory=os.getpid)
+
+    def _next_ordinal(self) -> int:
+        """Atomically claim and return the next global chunk number."""
+        i = 0
+        while True:
+            path = os.path.join(self.marker_dir, f"chaos-chunk-{i}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                i += 1
+                continue
+            os.close(fd)
+            return i
+
+    def __call__(self, genome_block) -> None:
+        """Die when this worker drew one of the planned chunk ordinals."""
+        if os.getpid() == self.driver_pid:
+            return
+        if self._next_ordinal() in self.at_chunks:
             os.kill(os.getpid(), signal.SIGKILL)
 
 

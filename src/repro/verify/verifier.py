@@ -23,6 +23,9 @@ kind                      invariant
 ``allocation-duplicate``  no task lists a processor twice
 ``allocation-range``      processor indices lie in ``[0, P)``
 ``wrong-duration``        ``finish - start == T(v, s(v))`` (needs table)
+``duration-short``        executed duration >= ``T(v, s(v))`` — only in
+                          :meth:`ScheduleVerifier.verify_execution`,
+                          where stragglers may legally inflate durations
 ``precedence``            successors start after predecessors finish
 ``overlap``               no processor runs two tasks at once
 ``makespan-mismatch``     the reported makespan matches the placements
@@ -57,6 +60,7 @@ VIOLATION_KINDS = (
     "allocation-duplicate",
     "allocation-range",
     "wrong-duration",
+    "duration-short",
     "precedence",
     "overlap",
     "makespan-mismatch",
@@ -177,6 +181,53 @@ class ScheduleVerifier:
             intervals_checked=intervals,
             makespan=makespan,
             durations_checked=self.table is not None,
+        )
+
+    def verify_execution(
+        self,
+        schedule: Schedule,
+        expected_makespan: float | None = None,
+    ) -> VerificationReport:
+        """Verify an *as-executed* schedule from the online runtime.
+
+        Executed placements keep every structural invariant (precedence,
+        exclusivity, allocation sanity, makespan consistency) but their
+        durations may legitimately exceed the table's prediction —
+        stragglers inflate execution times.  What can never happen is a
+        task finishing *faster* than the model predicts for its
+        processor count; that would mean the runtime dropped work.  So
+        this mode replaces the exact ``wrong-duration`` equality with a
+        one-sided ``duration-short`` bound when a table is available.
+        """
+        table, self.table = self.table, None
+        try:
+            report = self.verify(
+                schedule, expected_makespan=expected_makespan
+            )
+        finally:
+            self.table = table
+        if table is None:
+            return report
+        start, finish = schedule.start, schedule.finish
+        for v in range(self.ptg.num_tasks):
+            predicted = table.time(v, int(schedule.proc_sets[v].size))
+            got = float(finish[v] - start[v])
+            if got < predicted - _EPS * max(1.0, abs(predicted)):
+                raise VerificationError(
+                    f"task {self.ptg.task(v).name!r} executed in "
+                    f"{got!r} on {schedule.proc_sets[v].size} "
+                    f"processors, faster than the {table.model_name!r} "
+                    f"table's prediction {predicted!r}",
+                    kind="duration-short",
+                    task=v,
+                )
+        return VerificationReport(
+            tasks=report.tasks,
+            processors=report.processors,
+            edges_checked=report.edges_checked,
+            intervals_checked=report.intervals_checked,
+            makespan=report.makespan,
+            durations_checked=True,
         )
 
     # -- individual invariant groups -----------------------------------

@@ -337,6 +337,107 @@ class TestSchedule:
         assert args.max_wall_time is None
 
 
+class TestOnline:
+    ARGS = [
+        "online",
+        "--kind",
+        "fft",
+        "--size",
+        "4",
+        "--seed",
+        "1",
+        "--algorithm",
+        "mcpa",
+    ]
+
+    def test_fault_free_run_completes(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "outcome   : completed" in out
+        assert "verified  : True" in out
+        assert "0 crashes, 0 failures, 0 stragglers" in out
+
+    def test_faulty_run_reports_reactions(self, capsys):
+        rc = main(
+            self.ARGS
+            + [
+                "--failure-rate",
+                "0.3",
+                "--straggler-rate",
+                "0.3",
+                "--fault-seed",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "outcome   : completed" in out
+        assert "replans   :" in out
+
+    def test_impossible_deadline_exit_code(self, capsys):
+        rc = main(self.ARGS + ["--deadline-factor", "0.5"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "outcome   : deadline-missed" in out
+        assert "reason    :" in out
+
+    def test_aborted_exit_code(self, capsys):
+        rc = main(
+            self.ARGS
+            + [
+                "--failure-rate",
+                "1.0",
+                "--max-retries",
+                "0",
+                "--fault-seed",
+                "3",
+            ]
+        )
+        assert rc == 4
+        out = capsys.readouterr().out
+        assert "outcome   : aborted" in out
+        assert "retry budget" in out
+
+    def test_deadline_flags_are_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually"):
+            main(
+                self.ARGS
+                + ["--deadline", "10", "--deadline-factor", "2.0"]
+            )
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(SystemExit, match="rates"):
+            main(self.ARGS + ["--failure-rate", "1.5"])
+
+    def test_trace_and_metrics_outputs(self, tmp_path, capsys):
+        trace = tmp_path / "online.jsonl"
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            self.ARGS
+            + [
+                "--failure-rate",
+                "0.3",
+                "--fault-seed",
+                "3",
+                "--trace",
+                str(trace),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        assert trace.exists()
+        doc = json.loads(metrics.read_text())
+        assert any(k.startswith("online.") for k in doc)
+        # the trace digest renders the online section
+        rc = main(["report-trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "online    :" in out
+        assert "outcome : completed" in out
+
+
 class TestFigures:
     def test_figure1(self, capsys):
         assert main(["figure", "1"]) == 0

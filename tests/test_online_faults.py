@@ -1,0 +1,167 @@
+"""FaultPlan construction, validation and seed-reproducible sampling.
+
+The contract under test: a plan is pure data with hard validity
+invariants (no double faults, no plan that kills every processor), and
+:meth:`FaultPlan.sampled` is a pure function of its seed whose zero-rate
+fault types consume no randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.online import (
+    FaultPlan,
+    ProcessorCrash,
+    Straggler,
+    TaskFailure,
+)
+
+
+def test_default_plan_is_empty_and_valid():
+    plan = FaultPlan()
+    assert plan.is_empty
+    plan.validate(10, 4)  # must not raise
+
+
+def test_nonempty_flags():
+    assert not FaultPlan(
+        crashes=(ProcessorCrash(0, 1.0),)
+    ).is_empty
+    assert not FaultPlan(failures=(TaskFailure(0),)).is_empty
+    assert not FaultPlan(stragglers=(Straggler(0),)).is_empty
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        FaultPlan(max_retries=-1),
+        FaultPlan(backoff_seconds=-0.1),
+        FaultPlan(backoff_factor=0.5),
+        FaultPlan(crashes=(ProcessorCrash(4, 1.0),)),
+        FaultPlan(
+            crashes=(
+                ProcessorCrash(1, 1.0),
+                ProcessorCrash(1, 2.0),
+            )
+        ),
+        FaultPlan(crashes=(ProcessorCrash(0, -1.0),)),
+        FaultPlan(crashes=(ProcessorCrash(0, float("inf")),)),
+        FaultPlan(failures=(TaskFailure(10),)),
+        FaultPlan(failures=(TaskFailure(0), TaskFailure(0))),
+        FaultPlan(failures=(TaskFailure(0, attempts=0),)),
+        FaultPlan(failures=(TaskFailure(0, at_fraction=0.0),)),
+        FaultPlan(failures=(TaskFailure(0, at_fraction=1.5),)),
+        FaultPlan(stragglers=(Straggler(10),)),
+        FaultPlan(stragglers=(Straggler(0), Straggler(0))),
+        FaultPlan(stragglers=(Straggler(0, factor=0.5),)),
+        FaultPlan(stragglers=(Straggler(0, factor=float("nan")),)),
+    ],
+)
+def test_invalid_plans_raise(plan):
+    with pytest.raises(ConfigurationError):
+        plan.validate(10, 4)
+
+
+def test_crashing_every_processor_is_rejected():
+    plan = FaultPlan(
+        crashes=tuple(ProcessorCrash(p, 1.0) for p in range(4))
+    )
+    with pytest.raises(ConfigurationError, match="every processor"):
+        plan.validate(10, 4)
+
+
+def test_task_may_both_fail_and_straggle():
+    plan = FaultPlan(
+        failures=(TaskFailure(3),), stragglers=(Straggler(3),)
+    )
+    plan.validate(10, 4)
+
+
+# ----------------------------------------------------------------------
+# sampled plans
+
+
+def test_sampled_is_a_pure_function_of_the_seed():
+    kwargs = dict(
+        horizon=100.0,
+        crash_rate=0.2,
+        failure_rate=0.3,
+        straggler_rate=0.3,
+        straggler_factor=2.5,
+    )
+    a = FaultPlan.sampled(42, 50, 8, **kwargs)
+    b = FaultPlan.sampled(42, 50, 8, **kwargs)
+    assert a == b
+    assert not a.is_empty
+    a.validate(50, 8)
+
+
+def test_sampled_zero_rates_consume_no_randomness():
+    """Adding a later-sampled fault type never perturbs earlier draws."""
+    base = FaultPlan.sampled(
+        7, 50, 8, horizon=100.0, failure_rate=0.3
+    )
+    extended = FaultPlan.sampled(
+        7, 50, 8, horizon=100.0, failure_rate=0.3, straggler_rate=0.5
+    )
+    assert base.failures == extended.failures
+    assert base.crashes == extended.crashes == ()
+    assert base.stragglers == ()
+    assert extended.stragglers
+
+
+def test_sampled_spares_the_last_processor():
+    plan = FaultPlan.sampled(
+        3, 10, 1, horizon=50.0, crash_rate=1.0
+    )
+    assert plan.crashes == ()
+    plan = FaultPlan.sampled(
+        3, 10, 4, horizon=50.0, crash_rate=1.0
+    )
+    assert len(plan.crashes) == 3
+    plan.validate(10, 4)
+
+
+def test_sampled_scales_backoff_to_horizon():
+    plan = FaultPlan.sampled(1, 10, 4, horizon=200.0)
+    assert plan.backoff_seconds == pytest.approx(4.0)
+
+
+def test_sampled_crash_times_within_horizon():
+    plan = FaultPlan.sampled(
+        11, 10, 8, horizon=60.0, crash_rate=0.9
+    )
+    for crash in plan.crashes:
+        assert 0.0 <= crash.time <= 60.0
+
+
+@pytest.mark.parametrize("horizon", [0.0, -1.0, float("inf")])
+def test_sampled_rejects_bad_horizon(horizon):
+    with pytest.raises(ConfigurationError, match="horizon"):
+        FaultPlan.sampled(1, 10, 4, horizon=horizon)
+
+
+def test_sampled_accepts_generator():
+    gen = np.random.default_rng(5)
+    plan = FaultPlan.sampled(
+        gen, 30, 6, horizon=10.0, failure_rate=0.4
+    )
+    assert plan == FaultPlan.sampled(
+        np.random.default_rng(5), 30, 6, horizon=10.0, failure_rate=0.4
+    )
+
+
+def test_summary_counts():
+    plan = FaultPlan(
+        crashes=(ProcessorCrash(0, 1.0),),
+        failures=(TaskFailure(1), TaskFailure(2)),
+        stragglers=(Straggler(3),),
+    )
+    assert plan.summary() == {
+        "crashes": 1,
+        "failures": 2,
+        "stragglers": 1,
+    }

@@ -1,0 +1,407 @@
+"""End-to-end contracts of the online reactive runtime.
+
+The load-bearing properties:
+
+* **zero-fault identity** — with an empty fault plan,
+  :func:`execute_online` reproduces the static simulator's makespan and
+  event trace bit for bit, across the whole (scaled) paper corpus;
+* **graceful recovery** — crashes, transient failures and stragglers
+  end in a typed outcome with a verified as-executed schedule;
+* **determinism** — same seed, same plan, same events, on every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_allocator
+from repro.exceptions import ConfigurationError
+from repro.mapping import map_allocations
+from repro.obs import MetricsRegistry, Tracer, canonical_events
+from repro.online import (
+    FaultPlan,
+    ONLINE_OUTCOMES,
+    ProcessorCrash,
+    ReactionPolicy,
+    Straggler,
+    TaskFailure,
+    execute_online,
+)
+from repro.platform import chti, grelon
+from repro.simulator import simulate
+from repro.timemodels import AmdahlModel, SyntheticModel, TimeTable
+from repro.workloads import generate_fft, paper_corpus
+
+PTG = generate_fft(8, rng=777)
+CLUSTER = grelon()
+
+
+@pytest.fixture(scope="module")
+def table() -> TimeTable:
+    return TimeTable.build(SyntheticModel(), PTG, CLUSTER)
+
+
+@pytest.fixture(scope="module")
+def planned(table):
+    alloc = make_allocator("mcpa").allocate(PTG, table)
+    return map_allocations(PTG, table, alloc)
+
+
+def _event_kinds(result):
+    return [e.kind for e in result.events]
+
+
+# ----------------------------------------------------------------------
+# zero-fault identity
+
+
+def test_zero_fault_matches_simulator_exactly(planned, table):
+    baseline = simulate(planned)
+    result = execute_online(planned, table)
+    assert result.outcome == "completed"
+    assert result.makespan == baseline.makespan  # bitwise
+    assert result.trace.events == baseline.trace.events
+    assert result.verified
+    assert result.reschedules == 0
+    assert result.faults_injected == 0
+    assert result.budget_used == 0
+    assert result.events == []
+
+
+def test_zero_fault_identity_across_paper_corpus():
+    """The acceptance sweep: every corpus class, bit-identical."""
+    corpus = paper_corpus(seed=11, scale=0.02)
+    cluster = chti()
+    model = AmdahlModel()
+    checked = 0
+    for cls in corpus.classes:
+        for ptg in corpus.by_class(cls)[:3]:
+            table = TimeTable.build(model, ptg, cluster)
+            alloc = make_allocator("hcpa").allocate(ptg, table)
+            schedule = map_allocations(ptg, table, alloc)
+            baseline = simulate(schedule)
+            result = execute_online(schedule, table)
+            assert result.makespan == baseline.makespan, ptg.name
+            assert result.trace.events == baseline.trace.events
+            assert result.verified
+            checked += 1
+    assert checked >= 4  # every class contributed
+
+
+# ----------------------------------------------------------------------
+# fault recovery
+
+
+def test_transient_failure_retries_and_completes(planned, table):
+    plan = FaultPlan(failures=(TaskFailure(0),))
+    result = execute_online(planned, table, plan=plan, rng=1)
+    assert result.outcome == "completed"
+    assert result.verified
+    assert result.retries == 1
+    assert result.faults_injected >= 1
+    assert result.reschedules >= 1
+    kinds = _event_kinds(result)
+    assert "task-failed" in kinds
+    assert "reschedule-applied" in kinds
+    assert "task-abandoned" not in kinds
+
+
+def test_processor_crash_replans_around_the_loss(planned, table):
+    plan = FaultPlan(
+        crashes=(ProcessorCrash(0, planned.makespan * 0.25),)
+    )
+    result = execute_online(planned, table, plan=plan, rng=1)
+    assert result.outcome == "completed"
+    assert result.verified
+    kinds = _event_kinds(result)
+    assert "processor-crashed" in kinds
+    assert "reschedule-applied" in kinds
+    # the dead processor hosts nothing after the crash
+    crash_time = plan.crashes[0].time
+    for entry, procs in zip(
+        result.schedule.start, result.schedule.proc_sets
+    ):
+        if entry > crash_time and 0 in np.asarray(procs).tolist():
+            pytest.fail("task placed on a crashed processor")
+
+
+def test_straggler_is_detected_and_replanned(planned, table):
+    plan = FaultPlan(stragglers=(Straggler(0, factor=3.0),))
+    result = execute_online(planned, table, plan=plan, rng=1)
+    assert result.outcome == "completed"
+    assert result.verified
+    kinds = _event_kinds(result)
+    assert "straggler-detected" in kinds
+    assert "reschedule-applied" in kinds
+    # verify_execution tolerates the inflated duration (one-sided bound)
+    assert result.faults_injected == 1
+
+
+def test_sub_threshold_straggler_is_ignored(planned, table):
+    """Inflation below the detection threshold triggers nothing."""
+    policy = ReactionPolicy(straggler_threshold=1.5)
+    plan = FaultPlan(stragglers=(Straggler(0, factor=1.2),))
+    result = execute_online(
+        planned, table, plan=plan, policy=policy, rng=1
+    )
+    assert result.outcome == "completed"
+    assert "straggler-detected" not in _event_kinds(result)
+    assert result.reschedules == 0
+
+
+def test_retry_exhaustion_aborts_with_reason(planned, table):
+    plan = FaultPlan(
+        failures=(TaskFailure(0, attempts=5),), max_retries=1
+    )
+    result = execute_online(planned, table, plan=plan, rng=1)
+    assert result.outcome == "aborted"
+    assert result.schedule is None
+    assert result.trace is None
+    assert not result.verified
+    assert "retry budget" in result.reason
+    kinds = _event_kinds(result)
+    assert "task-abandoned" in kinds
+    assert result.retries == 1  # one retry granted, then abandoned
+
+
+def test_crash_of_every_processor_aborts():
+    """Losing the whole cluster is an abort, not a hang."""
+    ptg = generate_fft(4, rng=7)
+    cluster = chti()
+    table = TimeTable.build(AmdahlModel(), ptg, cluster)
+    alloc = make_allocator("mcpa").allocate(ptg, table)
+    schedule = map_allocations(ptg, table, alloc)
+    # crash all but one up front, the survivor mid-run; the plan stays
+    # valid (never *plans* to kill them all at once) but the runtime
+    # ends with zero capacity
+    plan = FaultPlan(
+        crashes=tuple(
+            ProcessorCrash(p, 1e-6)
+            for p in range(cluster.num_processors - 1)
+        )
+        + (
+            ProcessorCrash(
+                cluster.num_processors - 1, schedule.makespan * 0.5
+            ),
+        ),
+        max_retries=50,
+    )
+    with pytest.raises(ConfigurationError):
+        plan.validate(ptg.num_tasks, cluster.num_processors)
+    # relax: spare one processor from the *plan* but crash it later
+    result = execute_online(
+        schedule,
+        table,
+        plan=FaultPlan(
+            crashes=tuple(
+                ProcessorCrash(p, 1e-6)
+                for p in range(cluster.num_processors - 1)
+            ),
+            max_retries=50,
+        ),
+        rng=1,
+    )
+    # one processor left: the run still completes, serially
+    assert result.outcome == "completed"
+    assert result.verified
+
+
+def test_outcomes_are_typed(planned, table):
+    assert ONLINE_OUTCOMES == (
+        "completed",
+        "deadline-missed",
+        "aborted",
+    )
+    result = execute_online(planned, table)
+    assert result.outcome in ONLINE_OUTCOMES
+
+
+# ----------------------------------------------------------------------
+# deadlines
+
+
+def test_generous_deadline_completes(planned, table):
+    result = execute_online(
+        planned, table, deadline=planned.makespan * 10
+    )
+    assert result.outcome == "completed"
+    assert result.deadline == planned.makespan * 10
+    assert "deadline-breached" not in _event_kinds(result)
+
+
+def test_impossible_deadline_is_missed_with_one_emergency_replan(
+    planned, table
+):
+    result = execute_online(
+        planned, table, deadline=planned.makespan * 0.5, rng=1
+    )
+    assert result.outcome == "deadline-missed"
+    assert result.verified  # the run still finishes and verifies
+    assert result.makespan > result.deadline
+    kinds = _event_kinds(result)
+    assert kinds.count("deadline-breached") == 1  # latched
+    assert "deadline" in result.reason
+
+
+def test_mid_run_breach_from_stragglers(planned, table):
+    """A feasible deadline becomes infeasible once tasks straggle."""
+    stragglers = tuple(
+        Straggler(v, factor=4.0) for v in range(0, PTG.num_tasks, 2)
+    )
+    result = execute_online(
+        planned,
+        table,
+        plan=FaultPlan(stragglers=stragglers),
+        deadline=planned.makespan * 1.01,
+        rng=1,
+    )
+    assert result.outcome in ("completed", "deadline-missed")
+    if result.outcome == "deadline-missed":
+        assert _event_kinds(result).count("deadline-breached") == 1
+
+
+# ----------------------------------------------------------------------
+# budget and the degradation ladder
+
+
+def test_zero_budget_still_reacts_greedily(planned, table):
+    policy = ReactionPolicy(budget_evaluations=0)
+    plan = FaultPlan(failures=(TaskFailure(0),))
+    result = execute_online(
+        planned, table, plan=plan, policy=policy, rng=1
+    )
+    assert result.outcome == "completed"
+    assert result.verified
+    assert set(result.rungs) == {"greedy"}
+
+
+def test_budget_exhaustion_degrades_down_the_ladder(planned, table):
+    """With budget for one repair, the second reaction is greedy."""
+    policy = ReactionPolicy(budget_evaluations=3)
+    plan = FaultPlan(failures=(TaskFailure(0), TaskFailure(1)))
+    result = execute_online(
+        planned, table, plan=plan, policy=policy, rng=1
+    )
+    assert result.outcome == "completed"
+    assert result.reschedules >= 2
+    assert "repair" in result.rungs
+    assert "greedy" in result.rungs
+    assert "emts" not in result.rungs
+    assert result.budget_used <= 3 + 1  # greedy floor costs 1 each
+
+
+def test_budget_accounting_matches_events(planned, table):
+    plan = FaultPlan(failures=(TaskFailure(0), TaskFailure(5)))
+    result = execute_online(planned, table, plan=plan, rng=1)
+    applied = [
+        e for e in result.events if e.kind == "reschedule-applied"
+    ]
+    assert len(applied) == result.reschedules
+    assert sum(e.evaluations for e in applied) == result.budget_used
+    assert sum(result.rungs.values()) == result.reschedules
+
+
+# ----------------------------------------------------------------------
+# determinism
+
+
+def test_same_seed_runs_are_bit_identical(planned, table):
+    plan = FaultPlan.sampled(
+        3,
+        PTG.num_tasks,
+        CLUSTER.num_processors,
+        horizon=planned.makespan,
+        crash_rate=0.05,
+        failure_rate=0.2,
+        straggler_rate=0.2,
+    )
+    a = execute_online(planned, table, plan=plan, rng=5)
+    b = execute_online(planned, table, plan=plan, rng=5)
+    assert a.outcome == b.outcome
+    assert a.makespan == b.makespan  # bitwise
+    assert a.events == b.events
+    assert a.rungs == b.rungs
+    assert a.budget_used == b.budget_used
+    assert a.trace.events == b.trace.events
+
+
+def test_same_seed_traces_are_canonical_identical(
+    planned, table, tmp_path
+):
+    plan = FaultPlan(
+        failures=(TaskFailure(0),),
+        stragglers=(Straggler(3, factor=2.5),),
+    )
+    paths = []
+    for name in ("a.jsonl", "b.jsonl"):
+        path = tmp_path / name
+        tracer = Tracer(path)
+        try:
+            execute_online(
+                planned, table, plan=plan, rng=5, tracer=tracer
+            )
+        finally:
+            tracer.close()
+        paths.append(path)
+    assert canonical_events(paths[0]) == canonical_events(paths[1])
+
+
+# ----------------------------------------------------------------------
+# observability and validation
+
+
+def test_metrics_and_trace_emission(planned, table, tmp_path):
+    registry = MetricsRegistry()
+    tracer = Tracer(tmp_path / "online.jsonl")
+    plan = FaultPlan(
+        failures=(TaskFailure(0),),
+        stragglers=(Straggler(3, factor=2.5),),
+    )
+    try:
+        result = execute_online(
+            planned,
+            table,
+            plan=plan,
+            rng=2,
+            tracer=tracer,
+            metrics=registry,
+        )
+    finally:
+        tracer.close()
+    assert result.outcome == "completed"
+    assert registry.counter("online.faults.failure").value == 1
+    assert registry.counter("online.faults.straggler").value == 1
+    assert (
+        registry.counter("online.reschedules").value
+        == result.reschedules
+    )
+    assert registry.gauge("online.makespan").value == result.makespan
+    kinds = [
+        e["kind"] for e in canonical_events(tmp_path / "online.jsonl")
+    ]
+    assert kinds[0] == "online_start"
+    assert kinds[-1] == "online_end"
+    assert "fault" in kinds
+    assert "reschedule" in kinds
+
+
+def test_invalid_plan_is_rejected_up_front(planned, table):
+    plan = FaultPlan(
+        crashes=(ProcessorCrash(CLUSTER.num_processors, 1.0),)
+    )
+    with pytest.raises(ConfigurationError):
+        execute_online(planned, table, plan=plan)
+
+
+def test_summary_is_flat_primitives(planned, table):
+    result = execute_online(
+        planned,
+        table,
+        plan=FaultPlan(failures=(TaskFailure(0),)),
+        rng=1,
+    )
+    summary = result.summary()
+    assert summary["outcome"] == result.outcome
+    assert summary["reschedules"] == result.reschedules
+    assert isinstance(summary["rungs"], dict)

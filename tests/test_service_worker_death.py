@@ -1,0 +1,160 @@
+"""Worker-thread death robustness in the scheduling service.
+
+``_run_one`` already nets ordinary exceptions into a failed job; these
+tests attack the layer *above* it: a worker thread dying from something
+outside that net (``SystemExit``, ``KeyboardInterrupt``, resource
+exhaustion).  The pool must requeue the in-flight job (bounded by
+``max_job_attempts``), count the death, and respawn the thread so the
+service keeps draining its queue.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.graph import ptg_to_dict
+from repro.service import worker as worker_mod
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobStore
+from repro.service.protocol import parse_request
+from repro.service.queue import FairQueue
+from repro.service.worker import WorkerPool
+from repro.workloads import generate_fft
+
+PTG_DOC = ptg_to_dict(generate_fft(4, rng=7))
+
+
+def make_request(seed: int = 3):
+    return parse_request(
+        {
+            "ptg": PTG_DOC,
+            "platform": "chti",
+            "model": "amdahl",
+            "algorithm": "emts5",
+            "seed": seed,
+            "generations": 1,
+        }
+    )
+
+
+class _DieThenSucceed:
+    """run_request stand-in: raise ``exc_type`` for the first N calls."""
+
+    def __init__(self, deaths: int, exc_type=SystemExit):
+        self.deaths = deaths
+        self.exc_type = exc_type
+        self.calls = 0
+        self.lock = threading.Lock()
+
+    def __call__(self, job, warm, *, checkpoint_path=None, resume_from=None):
+        with self.lock:
+            self.calls += 1
+            if self.calls <= self.deaths:
+                raise self.exc_type(
+                    f"injected worker death {self.calls}"
+                )
+        return {"makespan": 1.0, "interrupted": False}
+
+
+def _pool(max_job_attempts: int = 3) -> WorkerPool:
+    return WorkerPool(
+        FairQueue(),
+        JobStore(None),
+        ResultCache(),
+        workers=1,
+        poll_interval=0.01,
+        max_job_attempts=max_job_attempts,
+    )
+
+
+def _submit(pool: WorkerPool, seed: int = 3):
+    job = pool.store.create(make_request(seed))
+    pool.queue.put(
+        job, tenant=job.request.tenant, priority=job.request.priority
+    )
+    return job
+
+
+# only BaseException-level faults reach the guard; Exception-level
+# faults (MemoryError, bugs in run_request) are _run_one's job to net
+@pytest.mark.parametrize("exc_type", [SystemExit, KeyboardInterrupt])
+def test_worker_death_requeues_and_job_completes(monkeypatch, exc_type):
+    monkeypatch.setattr(
+        worker_mod, "run_request", _DieThenSucceed(1, exc_type)
+    )
+    pool = _pool()
+    job = _submit(pool)
+    pool.start()
+    try:
+        assert job.done_event.wait(timeout=30), "job never finished"
+        assert job.state == "done"
+        assert job.attempts == 2  # died once, succeeded on the retry
+        assert job.result["makespan"] == 1.0
+        assert pool.metrics.counter("service.workers.died").value == 1
+        assert pool.metrics.counter("service.jobs.requeued").value == 1
+    finally:
+        pool.stop(timeout=10)
+
+
+def test_repeated_deaths_exhaust_attempts_and_fail(monkeypatch):
+    monkeypatch.setattr(worker_mod, "run_request", _DieThenSucceed(10))
+    pool = _pool(max_job_attempts=2)
+    job = _submit(pool)
+    pool.start()
+    try:
+        assert job.done_event.wait(timeout=30), "job never resolved"
+        assert job.state == "failed"
+        assert job.error["code"] == "worker-crashed"
+        assert "attempt 2/2" in job.error["message"]
+        assert job.attempts == 2
+        assert pool.metrics.counter("service.workers.died").value == 2
+        assert pool.metrics.counter("service.jobs.requeued").value == 1
+        assert pool.metrics.counter("service.jobs.failed").value == 1
+    finally:
+        pool.stop(timeout=10)
+
+
+def test_pool_keeps_serving_after_a_death(monkeypatch):
+    """The respawned worker drains jobs submitted after the death."""
+    monkeypatch.setattr(worker_mod, "run_request", _DieThenSucceed(1))
+    pool = _pool()
+    first = _submit(pool, seed=3)
+    second = _submit(pool, seed=4)
+    pool.start()
+    try:
+        assert first.done_event.wait(timeout=30)
+        assert second.done_event.wait(timeout=30)
+        assert first.state == "done"
+        assert second.state == "done"
+        assert pool.metrics.counter("service.workers.died").value == 1
+    finally:
+        pool.stop(timeout=10)
+
+
+def test_death_during_drain_fails_without_respawn(monkeypatch):
+    """A death after the queue closed fails the job (no requeue path)."""
+    monkeypatch.setattr(worker_mod, "run_request", _DieThenSucceed(10))
+    pool = _pool(max_job_attempts=3)
+    job = _submit(pool)
+    pool.start()
+    try:
+        # wait until the job is in flight, then close the queue so the
+        # requeue attempt inside recovery cannot succeed
+        deadline = threading.Event()
+        for _ in range(3000):
+            if job.attempts >= 1:
+                break
+            deadline.wait(0.01)
+        pool.queue.close()
+        assert job.done_event.wait(timeout=30), "job never resolved"
+        assert job.state == "failed"
+        assert job.error["code"] == "worker-crashed"
+    finally:
+        pool.stop(timeout=10)
+
+
+def test_max_job_attempts_validation():
+    with pytest.raises(ValueError, match="max_job_attempts"):
+        _pool(max_job_attempts=0)

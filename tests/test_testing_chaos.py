@@ -22,9 +22,11 @@ from repro.testing import (
     ChaosEvaluator,
     ChaosPlan,
     FlakyChunkFault,
+    ProcessorCrashFault,
     SleepFault,
     WorkerKillFault,
     kill_one_worker,
+    sample_indices,
 )
 from repro.timemodels import TimeTable
 from repro.workloads import generate_fft
@@ -261,6 +263,120 @@ def test_nan_fitness_degrades_to_rejection_in_emts():
     assert not result.interrupted
     assert np.isfinite(result.makespan)
     assert result.makespan <= min(result.seed_makespans.values()) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# shared sampling primitive and the straggler/crash fault extensions
+
+
+def test_sample_indices_zero_rate_consumes_no_randomness():
+    gen = np.random.default_rng(9)
+    before = gen.bit_generator.state
+    assert sample_indices(gen, 1000, 0.0) == frozenset()
+    assert gen.bit_generator.state == before
+
+
+def test_sample_indices_rate_one_selects_everything():
+    gen = np.random.default_rng(9)
+    assert sample_indices(gen, 10, 1.1) == frozenset(range(10))
+
+
+def test_sample_indices_is_reproducible():
+    a = sample_indices(np.random.default_rng(4), 200, 0.3)
+    b = sample_indices(np.random.default_rng(4), 200, 0.3)
+    assert a == b
+    assert a  # 60 expected hits in 200 draws
+    assert all(0 <= i < 200 for i in a)
+
+
+def test_straggler_batch_delays_but_preserves_values(
+    table, genomes, expected
+):
+    """Straggled results are correct, just late."""
+    import time as _time
+
+    chaos = ChaosEvaluator(
+        SerialEvaluator(PTG, table),
+        ChaosPlan(
+            straggler_batches=frozenset({0}),
+            straggler_seconds=0.05,
+        ),
+    )
+    try:
+        t0 = _time.perf_counter()
+        first = chaos.evaluate(genomes[:5])
+        elapsed = _time.perf_counter() - t0
+        assert first == expected[:5]
+        assert elapsed >= 0.05
+        assert chaos.faults_injected == 1
+        # subsequent batches are on time and clean
+        assert chaos.evaluate(genomes[5:10]) == expected[5:10]
+    finally:
+        chaos.close()
+
+
+def test_chaos_plan_sampled_straggler_rate():
+    plan = ChaosPlan.sampled(
+        5, 100, straggler_rate=0.2, straggler_seconds=0.25
+    )
+    assert plan.straggler_batches
+    assert plan.straggler_seconds == 0.25
+    assert plan == ChaosPlan.sampled(
+        5, 100, straggler_rate=0.2, straggler_seconds=0.25
+    )
+
+
+def test_chaos_plan_straggler_sampling_is_backward_compatible():
+    """Plans sampled before the straggler fault existed reproduce."""
+    old = ChaosPlan.sampled(42, 100, kill_rate=0.2, nan_rate=0.1)
+    new = ChaosPlan.sampled(
+        42, 100, kill_rate=0.2, nan_rate=0.1, straggler_rate=0.3
+    )
+    assert old.kill_batches == new.kill_batches
+    assert old.nan_batches == new.nan_batches
+
+
+def test_processor_crash_fault_kills_planned_chunk_ordinals(
+    table, genomes, expected, tmp_path
+):
+    """The worker drawing a planned ordinal dies; recovery completes."""
+    pool = ProcessPoolEvaluator(
+        PTG,
+        table,
+        workers=2,
+        retry_backoff=0.0,
+        fault_hook=ProcessorCrashFault(
+            marker_dir=str(tmp_path), at_chunks=frozenset({1})
+        ),
+    )
+    try:
+        assert pool.evaluate(genomes) == expected
+        assert pool.stats.pool_rebuilds >= 1
+    finally:
+        pool.close()
+
+
+def test_processor_crash_fault_is_inert_in_driver(tmp_path):
+    hook = ProcessorCrashFault(
+        marker_dir=str(tmp_path), at_chunks=frozenset({0})
+    )
+    hook(None)  # driver pid: must neither kill nor claim an ordinal
+    import os
+
+    assert not os.listdir(tmp_path)
+
+
+def test_processor_crash_fault_ordinals_are_atomic(tmp_path):
+    """Each call claims a fresh ordinal, even across instances."""
+    a = ProcessorCrashFault(
+        marker_dir=str(tmp_path), at_chunks=frozenset(), driver_pid=-1
+    )
+    b = ProcessorCrashFault(
+        marker_dir=str(tmp_path), at_chunks=frozenset(), driver_pid=-1
+    )
+    assert a._next_ordinal() == 0
+    assert b._next_ordinal() == 1
+    assert a._next_ordinal() == 2
 
 
 # ----------------------------------------------------------------------

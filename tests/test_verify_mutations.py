@@ -217,6 +217,36 @@ class TestMutations:
         )
         assert exc.processor is not None
 
+    def test_duration_short(self, problem):
+        """verify_execution rejects a task running faster than T(v, s)."""
+        ptg, table, schedule = problem
+        last = int(np.argmax(schedule.finish))
+        finish = schedule.finish.copy()
+        finish[last] = schedule.start[last] + 0.5 * (
+            finish[last] - schedule.start[last]
+        )
+        verifier = ScheduleVerifier(ptg, table)
+        with pytest.raises(VerificationError) as err:
+            verifier.verify_execution(mutate(schedule, finish=finish))
+        assert err.value.kind == "duration-short"
+        assert err.value.task == last
+
+    def test_inflated_duration_passes_execution_mode(self, problem):
+        """A straggler-inflated task is legal as-executed, not as-planned."""
+        ptg, table, schedule = problem
+        # the globally last-finishing task can be inflated without
+        # creating an overlap or precedence violation
+        last = int(np.argmax(schedule.finish))
+        finish = schedule.finish.copy()
+        finish[last] = schedule.start[last] + 2.0 * (
+            finish[last] - schedule.start[last]
+        )
+        inflated = mutate(schedule, finish=finish)
+        verifier = ScheduleVerifier(ptg, table)
+        report = verifier.verify_execution(inflated)
+        assert report.durations_checked
+        expect(verifier, inflated, "wrong-duration")
+
     def test_every_kind_is_exercised(self):
         """The suite above must cover every verifier-emitted kind."""
         covered = {
@@ -227,6 +257,7 @@ class TestMutations:
             "allocation-duplicate",
             "allocation-range",
             "wrong-duration",
+            "duration-short",
             "precedence",
             "overlap",
         }
