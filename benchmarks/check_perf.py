@@ -67,6 +67,13 @@ ONLINE_BUDGET_DEFAULTS: dict[str, float] = {
     "reaction_p50_ms": 100.0,
     "reaction_p99_ms": 500.0,
 }
+#: Kill-restart recovery budgets (ms restart-to-serving) used when a
+#: BENCH_recovery.json predates the pinned ``budgets`` section; the
+#: committed file's own pinned budgets take precedence and a refresh
+#: never relaxes them.
+RECOVERY_BUDGET_DEFAULTS: dict[str, float] = {
+    "restart_p99_ms": 10000.0,
+}
 
 # Same-run speedup gates: (fast kernel, reference kernel, committed
 # floor, fresh-run floor).  Both engines are measured in the same run
@@ -523,6 +530,91 @@ def check_online(online_path: Path) -> int:
     return 0
 
 
+def check_recovery(recovery_path: Path) -> int:
+    """Enforce the exactly-once gates on a ``BENCH_recovery.json``.
+
+    Four gates:
+
+    * no-loss — every job the client got an ack for reached ``done``
+      after the kill-restart cycles (``jobs_lost == 0``).
+    * no-duplicate — no idempotency key ever owned more than one spool
+      record (``jobs_duplicated == 0``): retries after lost acks were
+      answered by the original job, never by a twin.
+    * bit-identity — the per-cycle reference request produced the same
+      result document in every cycle, crashes notwithstanding.
+    * restart latency — restart-to-serving p99 (process start + spool
+      recovery until ``/healthz``) must stay within the pinned
+      ``budgets`` committed in the file; a refresh never relaxes them.
+
+    Plus liveness: at least 3 crash cycles with acked jobs.
+    """
+    data = json.loads(recovery_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    budgets = dict(RECOVERY_BUDGET_DEFAULTS)
+    budgets.update(data.get("budgets", {}))
+
+    lost = int(data.get("jobs_lost", -1))
+    ok = lost == 0
+    print(
+        f"recovery gate no-loss: {lost} acked job(s) lost "
+        f"{'ok' if ok else '<< ACKED JOBS LOST'}"
+    )
+    if not ok:
+        failures.append("no_loss")
+
+    duplicated = int(data.get("jobs_duplicated", -1))
+    ok = duplicated == 0
+    print(
+        f"recovery gate no-duplicate: {duplicated} duplicated key(s) "
+        f"{'ok' if ok else '<< DUPLICATE EXECUTION'}"
+    )
+    if not ok:
+        failures.append("no_duplicate")
+
+    identical = bool(data.get("results_identical", False))
+    print(
+        f"recovery gate bit-identity: reference results "
+        f"{'identical ok' if identical else '<< RESULTS DIVERGED'}"
+    )
+    if not identical:
+        failures.append("bit_identity")
+
+    value = float(data["restart_p99_ms"])
+    budget = float(budgets["restart_p99_ms"])
+    ok = value <= budget
+    print(
+        f"recovery gate restart_p99_ms: {value:.0f} ms "
+        f"(budget {budget:.0f} ms) "
+        f"{'ok' if ok else '<< OVER BUDGET'}"
+    )
+    if not ok:
+        failures.append("restart_p99_ms")
+
+    cycles = int(data.get("cycles", 0))
+    acked = int(data.get("jobs_acked", 0))
+    ok = cycles >= 3 and acked > 0
+    print(
+        f"recovery gate liveness: {cycles} crash cycles, "
+        f"{acked} acked jobs "
+        f"{'ok' if ok else '<< NO CRASHES MEASURED'}"
+    )
+    if not ok:
+        failures.append("liveness")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} recovery gate(s) failed: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "\nOK: no acked job lost, no duplicate execution, "
+        "bit-identical recovery within the restart budget"
+    )
+    return 0
+
+
 def check(
     run_path: Path, baseline_path: Path, max_ratio: float
 ) -> int:
@@ -651,6 +743,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--recovery",
+        type=Path,
+        default=None,
+        help=(
+            "BENCH_recovery.json from benchmarks/bench_recovery.py; "
+            "enforces the no-loss / no-duplicate / bit-identity "
+            "exactly-once gates and the pinned restart-to-serving "
+            "p99 budget"
+        ),
+    )
+    parser.add_argument(
         "--min-service-warm-speedup",
         type=float,
         default=(
@@ -693,10 +796,11 @@ def main(argv: list[str] | None = None) -> int:
         and args.batch is None
         and args.service is None
         and args.online is None
+        and args.recovery is None
     ):
         parser.error(
             "provide a benchmark run file, --obs, --batch, "
-            "--service and/or --online"
+            "--service, --online and/or --recovery"
         )
     if args.update:
         update_baseline(args.run, args.baseline)
@@ -714,6 +818,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.online is not None:
         rc |= check_online(args.online)
+    if args.recovery is not None:
+        rc |= check_recovery(args.recovery)
     return rc
 
 

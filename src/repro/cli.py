@@ -667,7 +667,8 @@ def _cmd_submit(args) -> int:
     from .service import (
         JobTimeout,
         QueueFullError,
-        ServiceClient,
+        RetryingServiceClient,
+        RetryPolicy,
         ServiceUnavailable,
     )
     from .exceptions import ServiceError
@@ -689,7 +690,15 @@ def _cmd_submit(args) -> int:
         request["generations"] = args.generations
     if args.max_wall_time is not None:
         request["max_wall_time"] = args.max_wall_time
-    client = ServiceClient(host=args.host, port=args.port)
+    if args.idempotency_key:
+        request["idempotency_key"] = args.idempotency_key
+    policy = RetryPolicy(
+        max_attempts=max(1, args.retries + 1),
+        deadline=args.timeout,
+    )
+    client = RetryingServiceClient(
+        host=args.host, port=args.port, policy=policy
+    )
     try:
         doc = client.schedule(
             request,
@@ -1243,6 +1252,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=120.0,
         help="give up after this many seconds (exit code 124)",
+    )
+    sb.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help=(
+            "retry transient failures (connection loss, 429/503) up to "
+            "this many times with jittered backoff; 0 disables retries"
+        ),
+    )
+    sb.add_argument(
+        "--idempotency-key",
+        default=None,
+        metavar="KEY",
+        help=(
+            "explicit idempotency key for the submission (a fresh one "
+            "is generated when omitted); resubmitting the same key "
+            "returns the original job instead of enqueuing a duplicate"
+        ),
     )
     sb.add_argument(
         "--poll-interval",

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from ..ea import EvolutionLog, GenerationStats, Individual
+from ..util.crash import crash_point
 from ..exceptions import CheckpointError
 from .evaluator import EvaluationStats
 
@@ -415,6 +416,9 @@ def save_checkpoint(checkpoint: Checkpoint, path: str | Path) -> Path:
         tmp.write_text(
             json.dumps(checkpoint.to_dict()), encoding="utf-8"
         )
+        # the new checkpoint exists only as a temp file: dying here
+        # must leave the previous checkpoint intact and resumable
+        crash_point("mid-checkpoint")
         os.replace(tmp, path)
     except OSError as exc:
         try:

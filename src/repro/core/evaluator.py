@@ -77,6 +77,7 @@ from ..exceptions import (
 from ..mapping import ScheduleKernel, makespan_of
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
+from ..util.backoff import exponential_delay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..graph import PTG
@@ -866,7 +867,7 @@ class ProcessPoolEvaluator(FitnessEvaluator):
                 )
                 if self.retry_backoff > 0:
                     time.sleep(
-                        self.retry_backoff * 2 ** (attempt - 1)
+                        exponential_delay(self.retry_backoff, attempt)
                     )
                 pending = failed
         values: list[float] = []

@@ -41,6 +41,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..exceptions import CampaignError
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
+from ..util.backoff import exponential_delay
 
 __all__ = [
     "Trial",
@@ -557,7 +558,7 @@ def _run_trials(
                     kind=status,
                 )
                 break
-            time.sleep(retry_backoff * (2 ** (attempts - 1)))
+            time.sleep(exponential_delay(retry_backoff, attempts))
 
 
 def campaign_status(out_dir: str | Path) -> dict[str, Any]:

@@ -44,6 +44,7 @@ from ..exceptions import SimulationError
 from ..mapping import Schedule
 from ..simulator import SimulationTrace, TaskFinished, TaskStarted
 from ..timemodels import TimeTable
+from ..util.backoff import exponential_delay
 from ..verify import ScheduleVerifier
 from .events import (
     DeadlineBreached,
@@ -354,8 +355,12 @@ class _OnlineRun:
         name = self.ptg.task(v).name
         attempt = int(self.attempts[v])
         if attempt <= self.plan.max_retries:
-            backoff = self.plan.backoff_seconds * (
-                self.plan.backoff_factor ** (attempt - 1)
+            # simulated-time backoff: exponential_delay keeps the exact
+            # floating-point expression, so event times stay bit-identical
+            backoff = exponential_delay(
+                self.plan.backoff_seconds,
+                attempt,
+                factor=self.plan.backoff_factor,
             )
             retry = t + backoff
             self.status[v] = _WAITING

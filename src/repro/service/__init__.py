@@ -21,7 +21,7 @@ from .client import (
     ServiceClient,
     ServiceUnavailable,
 )
-from .jobs import JOB_STATES, Job, JobStore
+from .jobs import DEFAULT_IDEMPOTENCY_ENTRIES, JOB_STATES, Job, JobStore
 from .protocol import (
     KNOWN_ALGORITHMS,
     KNOWN_MODELS,
@@ -34,6 +34,13 @@ from .protocol import (
     result_key,
 )
 from .queue import FairQueue, QueueFull
+from .retry import (
+    DEFAULT_RETRY_LEDGER,
+    RetryingServiceClient,
+    RetryPolicy,
+    RetryStats,
+    new_idempotency_key,
+)
 from .server import SchedulingService, serve
 from .worker import WorkerPool, run_request
 
@@ -57,6 +64,7 @@ __all__ = [
     "Job",
     "JobStore",
     "JOB_STATES",
+    "DEFAULT_IDEMPOTENCY_ENTRIES",
     "WorkerPool",
     "run_request",
     "SchedulingService",
@@ -65,4 +73,9 @@ __all__ = [
     "ServiceUnavailable",
     "QueueFullError",
     "JobTimeout",
+    "RetryPolicy",
+    "RetryingServiceClient",
+    "RetryStats",
+    "DEFAULT_RETRY_LEDGER",
+    "new_idempotency_key",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import time
 from typing import Any
 
@@ -90,11 +91,23 @@ class ServiceClient:
 
     @staticmethod
     def _retry_after(headers: dict[str, str]) -> float | None:
+        """Parse a ``Retry-After`` header into seconds, defensively.
+
+        The header crosses a trust boundary (any proxy or middlebox can
+        rewrite it), so every malformed shape — non-numeric, negative,
+        NaN, overflowing to infinity — degrades to ``None`` (no hint)
+        rather than surfacing an exception or a nonsense sleep.
+        """
         value = headers.get("retry-after")
-        try:
-            return float(value) if value is not None else None
-        except ValueError:
+        if value is None:
             return None
+        try:
+            seconds = float(value)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if not math.isfinite(seconds) or seconds < 0:
+            return None
+        return seconds
 
     def _raise_for(self, status: int, headers: dict, doc: dict) -> None:
         error = doc.get("error", {}) if isinstance(doc, dict) else {}

@@ -11,6 +11,23 @@ atomically (temp file + ``os.replace``), so a crash at any instant
 leaves either the old or the new record — never a torn one.  Passing
 ``spool=None`` runs the store fully in memory (tests, ephemeral
 benches).
+
+Two durability mechanisms live here beyond the basic spool:
+
+* **Idempotency index** — every job whose request carried an
+  ``idempotency_key`` is registered in an LRU-bounded key → job map.
+  A retried submit after an ambiguous failure (connection dropped
+  after the POST landed) finds the original job instead of enqueuing a
+  twin.  The index is derived state: it is rebuilt from the spool
+  records on :meth:`JobStore.recover`, so dedupe survives a daemon
+  restart without its own persistence (and therefore cannot itself be
+  torn by a crash).
+
+* **Quarantine** — :meth:`JobStore.recover` moves unreadable spool
+  records (zero-byte, truncated, tampered) and orphaned ``.json.tmp``
+  partial-rename debris into ``spool/quarantine/`` instead of raising:
+  one corrupt record must never poison recovery of the healthy ones.
+  The daemon surfaces the count as ``service.spool.quarantined``.
 """
 
 from __future__ import annotations
@@ -20,14 +37,22 @@ import os
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from ..exceptions import ServiceError
+from ..util.crash import crash_point
 from .protocol import ScheduleRequest, parse_request, result_key
 
-__all__ = ["Job", "JobStore", "JOB_STATES"]
+__all__ = ["Job", "JobStore", "JOB_STATES", "DEFAULT_IDEMPOTENCY_ENTRIES"]
+
+#: Bound of the idempotency key -> job id LRU index.  Sized for hours
+#: of retry windows, not forever: a key evicted here can in the worst
+#: case duplicate a *finished* job (a fresh run of a deterministic
+#: request — same bits, wasted work), never lose one.
+DEFAULT_IDEMPOTENCY_ENTRIES = 4096
 
 JOB_STATES = ("queued", "running", "interrupted", "done", "failed")
 
@@ -97,6 +122,7 @@ class Job:
             "max_wall_time": self.request.max_wall_time,
             "tenant": self.request.tenant,
             "priority": self.request.priority,
+            "idempotency_key": self.request.idempotency_key,
         }
         doc["result"] = self.result
         doc["error"] = self.error
@@ -135,9 +161,26 @@ def new_job_id() -> str:
 class JobStore:
     """Registry of jobs plus (optionally) their on-disk spool records."""
 
-    def __init__(self, spool: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        spool: str | Path | None = None,
+        *,
+        idempotency_entries: int = DEFAULT_IDEMPOTENCY_ENTRIES,
+    ) -> None:
+        if idempotency_entries < 1:
+            raise ServiceError(
+                f"idempotency_entries must be >= 1, "
+                f"got {idempotency_entries}",
+                code="bad-config",
+                status=500,
+            )
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
+        #: idempotency key -> job id, LRU-bounded (oldest key evicted)
+        self._idempotency: OrderedDict[str, str] = OrderedDict()
+        self.idempotency_entries = int(idempotency_entries)
+        #: spool records quarantined by the last :meth:`recover` call
+        self.quarantined: list[Path] = []
         self.spool = Path(spool) if spool is not None else None
         if self.spool is not None:
             (self.spool / "jobs").mkdir(parents=True, exist_ok=True)
@@ -161,6 +204,7 @@ class JobStore:
         )
         with self._lock:
             self._jobs[job.id] = job
+            self._register_idempotency_locked(job)
         self.persist(job)
         return job
 
@@ -168,9 +212,35 @@ class JobStore:
         """Register a job recovered from the spool."""
         with self._lock:
             self._jobs[job.id] = job
+            self._register_idempotency_locked(job)
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
+            return self._jobs.get(job_id)
+
+    # -- idempotent submission -----------------------------------------
+    def _register_idempotency_locked(self, job: Job) -> None:
+        key = job.request.idempotency_key
+        if key is None:
+            return
+        self._idempotency[key] = job.id
+        self._idempotency.move_to_end(key)
+        while len(self._idempotency) > self.idempotency_entries:
+            self._idempotency.popitem(last=False)
+
+    def find_idempotent(self, key: str | None) -> Job | None:
+        """The job a previous submit registered under ``key``, if any.
+
+        A hit refreshes the key's LRU position: a client actively
+        retrying a submission keeps its dedupe window open.
+        """
+        if key is None:
+            return None
+        with self._lock:
+            job_id = self._idempotency.get(key)
+            if job_id is None:
+                return None
+            self._idempotency.move_to_end(key)
             return self._jobs.get(job_id)
 
     def jobs(self) -> list[Job]:
@@ -188,12 +258,15 @@ class JobStore:
         """Atomically write the job's spool record (no-op in-memory)."""
         if self.spool is None:
             return
+        crash_point("pre-spool-write")
         path = self._record_path(job.id)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(
             json.dumps(job.to_dict(), sort_keys=True), encoding="utf-8"
         )
+        crash_point("mid-spool-write")
         os.replace(tmp, path)
+        crash_point("post-spool-write")
 
     def forget_checkpoint(self, job: Job) -> None:
         """Delete the job's checkpoint once it finished cleanly."""
@@ -202,24 +275,51 @@ class JobStore:
             path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path) -> None:
+        """Move an unusable spool file aside, keeping it for forensics."""
+        assert self.spool is not None
+        qdir = self.spool / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        n = 1
+        while target.exists():  # same-named record from an older crash
+            target = qdir / f"{path.name}.{n}"
+            n += 1
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # vanished (or unmovable): nothing left to poison
+        self.quarantined.append(target)
+
     def recover(self) -> list[Job]:
         """Load every unfinished job from the spool, oldest first.
 
         ``running`` records (daemon died mid-run without a clean drain)
         come back as ``queued``/``interrupted`` depending on whether
         their run left a resumable checkpoint behind.
+
+        A torn record cannot exist (atomic writes), so anything
+        unreadable here — zero-byte, truncated, tampered, or an
+        orphaned ``.json.tmp`` from a crash between temp-write and
+        rename — is moved to ``spool/quarantine/`` (never deleted,
+        never fatal) and reported via :attr:`quarantined`.
         """
         if self.spool is None:
             return []
+        self.quarantined = []
+        jobs_dir = self.spool / "jobs"
+        # partial-rename debris: the atomic-write temp never made it to
+        # its final name, so its content is by definition unacked state
+        for tmp in sorted(jobs_dir.glob("*.tmp")):
+            self._quarantine(tmp)
         pending: list[Job] = []
-        for path in sorted((self.spool / "jobs").glob("*.json")):
+        for path in sorted(jobs_dir.glob("*.json")):
             try:
                 job = Job.from_dict(
                     json.loads(path.read_text(encoding="utf-8"))
                 )
             except Exception:
-                # a torn record cannot exist (atomic writes); anything
-                # unreadable here was tampered with — skip, don't crash
+                self._quarantine(path)
                 continue
             self.adopt(job)
             if job.state in ("done", "failed"):

@@ -71,6 +71,12 @@ class ScheduleRequest:
     max_wall_time: float | None = None
     tenant: str = "default"
     priority: int = 0
+    #: Client-generated submission identity.  NOT part of the semantic
+    #: doc / result key: it identifies one *submission attempt chain*,
+    #: not the answer — two different keys with identical problems
+    #: still share caches, while a retried POST with the same key is
+    #: deduplicated into the original job instead of enqueuing a twin.
+    idempotency_key: str | None = None
 
     def semantic_doc(self) -> dict[str, Any]:
         """Everything that determines the answer, canonically ordered."""
@@ -169,6 +175,18 @@ def parse_request(doc: Any) -> ScheduleRequest:
     if not 0 <= priority <= _MAX_PRIORITY:
         raise _bad(f"'priority' must be in [0, {_MAX_PRIORITY}], got {priority}")
 
+    idempotency_key = doc.get("idempotency_key", None)
+    if idempotency_key is not None:
+        if (
+            not isinstance(idempotency_key, str)
+            or not idempotency_key
+            or len(idempotency_key) > 128
+        ):
+            raise _bad(
+                "'idempotency_key' must be a non-empty string "
+                "(<= 128 chars)"
+            )
+
     return ScheduleRequest(
         ptg_doc=ptg_doc,
         platform=platform,
@@ -179,6 +197,7 @@ def parse_request(doc: Any) -> ScheduleRequest:
         max_wall_time=max_wall_time,
         tenant=tenant,
         priority=priority,
+        idempotency_key=idempotency_key,
     )
 
 

@@ -38,6 +38,7 @@ from typing import Any
 
 from ..exceptions import ServiceError
 from ..obs import MetricsRegistry
+from ..util.crash import crash_point
 from .cache import ResultCache
 from .jobs import Job, JobStore
 from .protocol import parse_request, result_key
@@ -63,6 +64,7 @@ def _http_response(
         400: "Bad Request",
         404: "Not Found",
         405: "Method Not Allowed",
+        409: "Conflict",
         413: "Payload Too Large",
         429: "Too Many Requests",
         500: "Internal Server Error",
@@ -150,7 +152,14 @@ class SchedulingService:
     def recover_spool(self) -> int:
         """Re-enqueue unfinished jobs left behind by a previous daemon."""
         recovered = 0
-        for job in self.store.recover():
+        pending = self.store.recover()
+        if self.store.quarantined:
+            with self.metrics_lock:
+                self.metrics.counter(
+                    "service.spool.quarantined",
+                    help="corrupt spool records moved to quarantine",
+                ).inc(len(self.store.quarantined))
+        for job in pending:
             try:
                 self.queue.put(
                     job,
@@ -177,6 +186,30 @@ class SchedulingService:
                 status=503,
                 retry_after=self.queue.retry_after,
             )
+        # idempotent resubmission: a retried POST (same client-supplied
+        # key) returns the ORIGINAL job — whatever state it is in —
+        # instead of enqueuing a twin.  Checked before the result cache
+        # so the client always gets back the job id it first created.
+        original = self.store.find_idempotent(request.idempotency_key)
+        if original is not None:
+            if original.key != result_key(request):
+                raise ServiceError(
+                    f"idempotency key "
+                    f"{request.idempotency_key!r} was already used "
+                    f"for a different request",
+                    code="idempotency-mismatch",
+                    status=409,
+                )
+            with self.metrics_lock:
+                self.metrics.counter(
+                    "service.jobs.deduplicated",
+                    help="submissions answered by an existing job "
+                    "via idempotency key",
+                ).inc()
+            status = 200 if original.done_event.is_set() else 202
+            doc_out = self._job_doc(original)
+            doc_out["deduplicated"] = True
+            return status, doc_out, original
         key = result_key(request)
         cached = self.result_cache.get(key)
         if cached is not None:
@@ -211,6 +244,10 @@ class SchedulingService:
             with self.metrics_lock:
                 self.metrics.counter("service.jobs.rejected").inc()
             raise
+        # the job is durable and queued but the 202 has not been sent:
+        # dying here is the "ack lost" half of exactly-once, which the
+        # idempotency index turns into a dedupe on the client's retry
+        crash_point("post-enqueue")
         return 202, self._job_doc(job), job
 
     def _job_doc(self, job: Job) -> dict[str, Any]:
@@ -424,6 +461,9 @@ class SchedulingService:
         self.draining = True
         print("drain requested: finishing in-flight work", flush=True)
         self.pool.initiate_drain()
+        # stop events are set but nothing has checkpointed or joined
+        # yet: dying here models SIGKILL landing mid-graceful-shutdown
+        crash_point("mid-drain")
 
         async def _finish() -> None:
             # workers stop at the next generation boundary; join them

@@ -42,6 +42,7 @@ from ..core import (
 )
 from ..mapping import schedule_to_dict
 from ..obs import MetricsRegistry
+from ..util.crash import crash_point
 from ..verify import ScheduleVerifier
 from .cache import ResultCache, WarmCache
 from .jobs import Job, JobStore
@@ -125,6 +126,23 @@ def run_request(
 
 class _Interrupted(Exception):
     """Internal: the run was stopped by a drain at a generation boundary."""
+
+
+def _checkpoint_resumable(path) -> bool:
+    """Can the engine resume this checkpoint at all?
+
+    ``False`` for checkpoints marking a completed run (the engine
+    rightly refuses them: there is nothing left to evolve) and for
+    unreadable ones — both are crash debris the worker answers with a
+    fresh run instead of a failed job.
+    """
+    from ..core.checkpoint import load_checkpoint
+    from ..exceptions import CheckpointError
+
+    try:
+        return not load_checkpoint(path).completed
+    except CheckpointError:
+        return False
 
 
 class WorkerPool:
@@ -306,6 +324,14 @@ class WorkerPool:
 
             ckpt = store.checkpoint_path(job)
             resume = ckpt if ckpt is not None and ckpt.exists() else None
+            if resume is not None and not _checkpoint_resumable(resume):
+                # two crash shapes leave a checkpoint that must NOT be
+                # passed to the engine: a *completed* one (the daemon
+                # died after the final generation but before the result
+                # became durable — nothing left to run) and an
+                # unreadable one.  Either way a fresh deterministic run
+                # re-derives the exact same result bits.
+                resume = None
             if self._draining.is_set():
                 job.stop_event.set()
             warm_hits_before = warm.stats.hits
@@ -316,6 +342,10 @@ class WorkerPool:
                 local.counter("service.cache.warm.hits").inc()
             else:
                 local.counter("service.cache.warm.misses").inc()
+            # the run is complete and verified but the done record is
+            # not yet durable: dying here forces a full re-execution on
+            # restart, which determinism makes observationally idempotent
+            crash_point("pre-result-persist")
             job.result = result_doc
             job.served_from = "resume" if resume is not None else "run"
             if not result_doc["interrupted"]:

@@ -8,8 +8,15 @@ fitness evaluator with a deterministic fault schedule (worker kills,
 raised exceptions, NaN fitness, delays) and ships picklable fault hooks
 that detonate *inside* pool worker processes.
 
+:mod:`repro.testing.chaos_service` raises the attack one layer: a
+fault-injecting TCP proxy between client and daemon (drops, resets
+after the request landed, truncated responses, delays), deterministic
+spool-record corruptors, and a subprocess harness for kill-restart
+recovery tests with named crash points.
+
 Deliberately dependency-free and deterministic: every fault fires at a
-planned batch index, so a chaos test is exactly reproducible.
+planned batch index or connection ordinal, so a chaos test is exactly
+reproducible.
 """
 
 from .chaos import (
@@ -24,6 +31,16 @@ from .chaos import (
     kill_one_worker,
     sample_indices,
 )
+from .chaos_service import (
+    CORRUPTION_MODES,
+    ChaosProxy,
+    DaemonStartupError,
+    ProxyPlan,
+    ServiceDaemon,
+    corrupt_record,
+    quarantined_files,
+    spool_job_ids,
+)
 
 __all__ = [
     "ChaosError",
@@ -36,4 +53,12 @@ __all__ = [
     "SleepFault",
     "kill_one_worker",
     "sample_indices",
+    "ProxyPlan",
+    "ChaosProxy",
+    "corrupt_record",
+    "CORRUPTION_MODES",
+    "ServiceDaemon",
+    "DaemonStartupError",
+    "spool_job_ids",
+    "quarantined_files",
 ]
