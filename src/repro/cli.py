@@ -599,10 +599,15 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_report_trace(args) -> int:
-    from .obs import render_trace_report
-
     try:
-        print(render_trace_report(args.trace))
+        if args.service:
+            from .obs.assemble import render_service_report
+
+            print(render_service_report(args.trace))
+        else:
+            from .obs import render_trace_report
+
+            print(render_trace_report(args.trace))
     except TraceError as exc:
         raise SystemExit(f"trace error: {exc}") from exc
     return 0
@@ -648,6 +653,9 @@ def _cmd_serve(args) -> int:
     spool = args.spool
     if spool is not None:
         Path(spool).mkdir(parents=True, exist_ok=True)
+    trace_dir = args.trace_dir
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     return serve(
         host=args.host,
         port=args.port,
@@ -657,6 +665,7 @@ def _cmd_serve(args) -> int:
         tenant_quota=args.tenant_quota,
         result_cache_size=args.result_cache_size,
         warm_max_problems=args.warm_problems,
+        trace_dir=trace_dir,
     )
 
 
@@ -750,6 +759,78 @@ def _cmd_submit(args) -> int:
             f"seed {result.get('seed')})"
         )
     return 0
+
+
+def _format_slo_rows(rows: list[dict]) -> str:
+    lines = [
+        f"{'slo':<22} {'objective':>9} {'compliance':>10} "
+        f"{'budget':>7} {'burn(60s/600s)':>15} {'status':>8}"
+    ]
+    for row in rows:
+        burns = row.get("burn_rates", {})
+        burn = "/".join(
+            f"{burns[k]:.2f}" for k in sorted(burns, key=lambda s: int(s[:-1]))
+        ) or "-"
+        status = (
+            "ALERT"
+            if row.get("alerting")
+            else ("ok" if row.get("ok") else "VIOLATED")
+        )
+        lines.append(
+            f"{row['name']:<22} {row['objective']:>9.4f} "
+            f"{row['compliance']:>10.5f} "
+            f"{row.get('budget_remaining', 0.0):>7.2f} {burn:>15} "
+            f"{status:>8}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_slo(args) -> int:
+    """Evaluate SLOs: committed bench baselines or a live daemon."""
+    import json as _json
+
+    from .obs.slo import evaluate_bench
+
+    failures = 0
+    if args.bench:
+        for path in args.bench:
+            try:
+                doc = _json.loads(Path(path).read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                print(f"{path}: unreadable: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            rows = evaluate_bench(doc, path)
+            if not rows:
+                print(f"{path}: no SLO mapping (skipped)")
+                continue
+            print(f"{path}:")
+            for row in rows:
+                verdict = "ok" if row["ok"] else "VIOLATED"
+                print(
+                    f"  {row['name']:<28} value={row['value']:g} "
+                    f"budget={row['budget']:g} {verdict}"
+                )
+                if not row["ok"]:
+                    failures += 1
+        return 1 if failures else 0
+
+    from .service import ServiceClient
+    from .exceptions import ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        stats = client.stats()
+    except (ServiceError, OSError) as exc:
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return 1
+    rows = stats.get("slo") or []
+    if not rows:
+        print("daemon reports no SLO data", file=sys.stderr)
+        return 1
+    print(_format_slo_rows(rows))
+    bad = [r for r in rows if r.get("alerting") or not r.get("ok")]
+    return 1 if bad else 0
 
 
 # ----------------------------------------------------------------------
@@ -1143,7 +1224,22 @@ def build_parser() -> argparse.ArgumentParser:
         "report-trace",
         help="summarize a --trace JSONL file (runs, phases, campaigns)",
     )
-    rt.add_argument("trace", help="trace file written by --trace")
+    rt.add_argument(
+        "trace",
+        help=(
+            "trace file written by --trace, or a service trace "
+            "directory with --service"
+        ),
+    )
+    rt.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "treat TRACE as a daemon --trace-dir: join the per-process "
+            "shards into causal span trees and render one request "
+            "waterfall per job"
+        ),
+    )
     rt.set_defaults(func=_cmd_report_trace)
 
     c = sub.add_parser("corpus", help="build the evaluation corpus")
@@ -1204,7 +1300,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         help="prepared problems kept warm per worker",
     )
+    sv.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "distributed-tracing shard directory: the server and each "
+            "worker attempt write JSONL span shards here, joined by "
+            "`report-trace --service DIR` (default: tracing disabled)"
+        ),
+    )
     sv.set_defaults(func=_cmd_serve)
+
+    so = sub.add_parser(
+        "slo",
+        help="evaluate service-level objectives (live daemon or bench files)",
+    )
+    so.add_argument("--host", default="127.0.0.1")
+    so.add_argument("--port", type=int, default=8787)
+    so.add_argument(
+        "--bench",
+        nargs="+",
+        default=None,
+        metavar="FILE",
+        help=(
+            "evaluate committed BENCH_*.json baselines against the "
+            "pinned SLO budgets instead of querying a live daemon; "
+            "exits non-zero if any baseline violates its budget"
+        ),
+    )
+    so.set_defaults(func=_cmd_slo)
 
     sb = sub.add_parser(
         "submit",

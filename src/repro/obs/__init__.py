@@ -17,6 +17,14 @@ the scheduler:
   point (hierarchical ``repro.*`` loggers, optional JSON formatter,
   idempotent handler installation).
 * :mod:`repro.obs.report` — the ``repro-emts report-trace`` renderer.
+* :mod:`repro.obs.assemble` — joins the serving stack's per-process
+  trace shards into causal per-request span trees
+  (``report-trace --service``).
+* :mod:`repro.obs.slo` — declarative SLO specs evaluated continuously
+  from the metrics registry with multi-window burn-rate alerting.
+* :mod:`repro.obs.flight` — a bounded crash flight recorder ring,
+  dumped atomically beside quarantined spool records and on armed
+  crash-point exits.
 
 Instrumentation is **off by default** and adds <2 % overhead when
 disabled (gated by ``benchmarks/check_perf.py``); enable it per run via
@@ -24,6 +32,20 @@ disabled (gated by ``benchmarks/check_perf.py``); enable it per run via
 ``--metrics-out`` CLI flags.
 """
 
+from .assemble import (
+    SpanNode,
+    TraceTree,
+    assemble_traces,
+    canonical_tree,
+    render_service_report,
+)
+from .flight import (
+    FlightRecorder,
+    arm_crash_dump,
+    flight_recorder,
+    read_flight_dump,
+    reset_flight_recorder,
+)
 from .instrument import ObservedEvaluator, run_metrics, run_snapshot
 from .log import (
     JsonFormatter,
@@ -42,15 +64,28 @@ from .metrics import (
 )
 from .profiler import NULL_PROFILER, NullProfiler, PhaseProfiler
 from .report import render_trace_report, summarize_runs
+from .slo import (
+    SLOEngine,
+    SLOSpec,
+    default_service_slos,
+    evaluate_bench,
+)
 from .trace import (
     EVENT_KINDS,
+    SUPPORTED_TRACE_VERSIONS,
     TRACE_FORMAT,
     TRACE_VERSION,
+    TraceContext,
     TraceEvent,
     Tracer,
     canonical_events,
+    current_context,
+    derive_span_id,
+    derive_trace_id,
     read_trace,
+    read_trace_prefix,
     strip_timestamps,
+    use_context,
     validate_event,
 )
 
@@ -65,13 +100,37 @@ __all__ = [
     # trace
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "SUPPORTED_TRACE_VERSIONS",
     "EVENT_KINDS",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
+    "current_context",
+    "derive_span_id",
+    "derive_trace_id",
     "read_trace",
+    "read_trace_prefix",
+    "use_context",
     "validate_event",
     "strip_timestamps",
     "canonical_events",
+    # assembly
+    "SpanNode",
+    "TraceTree",
+    "assemble_traces",
+    "canonical_tree",
+    "render_service_report",
+    # slo
+    "SLOSpec",
+    "SLOEngine",
+    "default_service_slos",
+    "evaluate_bench",
+    # flight recorder
+    "FlightRecorder",
+    "flight_recorder",
+    "arm_crash_dump",
+    "read_flight_dump",
+    "reset_flight_recorder",
     # profiling
     "PhaseProfiler",
     "NullProfiler",

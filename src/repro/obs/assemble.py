@@ -1,0 +1,470 @@
+"""Cross-process trace assembly: JSONL shards → causal span trees.
+
+The serving stack writes one trace shard per process-ish unit of work:
+``server.jsonl`` (append-mode, survives restarts) carries the HTTP
+front-end's ``request``/``drain`` events, and one ``job-<trace>-a<n>``
+shard per worker execution attempt carries that attempt's
+``queue_wait`` + ``service_run_start``..``service_run_end`` span with
+the EMTS run events nested inside.  Every event's ``ctx`` mirror
+(:class:`~repro.obs.trace.TraceContext`-derived hex ids) says where it
+belongs in the *global* tree; this module does the join.
+
+Crash tolerance is the point: a worker killed mid-span leaves a
+truncated shard and an unclosed ``service_run_start``.  The assembler
+recovers the valid prefix, marks the span ``complete: false`` and the
+tree ``crashed``, and still renders — an exception would be the
+postmortem eating itself.  Genuinely malformed nesting (an event whose
+parent id is not explainable by any emitted span, the synthesized
+request root, or a truncation wound) still raises
+:class:`~repro.exceptions.TraceError`, which ``report-trace`` turns
+into a non-zero exit.
+
+Determinism: ids are derived, shard names are derived, and child
+ordering uses (shard, file-local span) — all deterministic — so
+:func:`canonical_tree` of two same-seed round trips is bit-identical
+once timestamps and process-volatile attrs are stripped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..exceptions import TraceError
+from .trace import (
+    TraceEvent,
+    read_trace_prefix,
+    strip_timestamps,
+)
+
+__all__ = [
+    "SpanNode",
+    "TraceTree",
+    "assemble_traces",
+    "canonical_tree",
+    "load_shards",
+    "render_service_report",
+]
+
+#: Attr keys that vary per process/run without changing semantics:
+#: uuid-based job ids, the compiled-vs-numpy engine choice, thread and
+#: process identity, and the client's random idempotency key.  Stripped
+#: by :func:`canonical_tree` alongside the timestamp keys.
+VOLATILE_ATTRS = frozenset(
+    {
+        "job_id",
+        "engine",
+        "pid",
+        "thread",
+        "worker",
+        "idempotency_key",
+        "host",
+    }
+)
+
+#: ``*_end`` kinds that close a span and fold into their ``*_start``.
+_SPAN_END_TO_START = {
+    "run_end": "run_start",
+    "service_run_end": "service_run_start",
+    "campaign_end": "campaign_start",
+}
+
+
+@dataclass
+class SpanNode:
+    """One node of an assembled trace tree.
+
+    ``*_start``/``*_end`` pairs fold into a single node: ``kind`` is
+    the start kind, ``end_attrs``/``dur`` come from the matching end
+    event, and ``complete`` says whether that end was ever written.
+    Instantaneous events are nodes with ``complete=True`` and no
+    children of their own (usually).
+    """
+
+    span_id: str
+    kind: str
+    shard: str
+    local_span: int
+    t: float | None = None
+    dur: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    end_attrs: dict[str, Any] = field(default_factory=dict)
+    complete: bool = True
+    synthetic: bool = False
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def sort_key(self) -> tuple[int, str, int]:
+        # server shard first (the request precedes its execution),
+        # then job shards in attempt order via their derived names;
+        # within a shard, file-local emission order.
+        rank = 0 if self.shard == "server" else 1
+        return (rank, self.shard, self.local_span)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class TraceTree:
+    """The assembled causal tree of one trace id."""
+
+    trace_id: str
+    root: SpanNode
+    shards: tuple[str, ...]
+    truncated_shards: tuple[str, ...]
+
+    @property
+    def crashed(self) -> bool:
+        """True when a writer died mid-trace (torn shard or open span)."""
+        if self.truncated_shards:
+            return True
+        return any(not node.complete for node in self.root.walk())
+
+
+def load_shards(
+    trace_dir: str | Path,
+) -> tuple[list[tuple[str, TraceEvent]], dict[str, bool]]:
+    """Read every ``*.jsonl`` shard under ``trace_dir``.
+
+    Returns ``(tagged_events, truncated)``: events tagged with their
+    shard stem (in deterministic shard-name order), and a per-shard
+    truncation flag from :func:`read_trace_prefix`.
+    """
+    trace_dir = Path(trace_dir)
+    if not trace_dir.exists():
+        raise TraceError(f"trace directory {trace_dir} does not exist")
+    if trace_dir.is_file():
+        files = [trace_dir]
+    else:
+        files = sorted(trace_dir.glob("*.jsonl"))
+    if not files:
+        raise TraceError(
+            f"trace directory {trace_dir} contains no *.jsonl shards"
+        )
+    tagged: list[tuple[str, TraceEvent]] = []
+    truncated: dict[str, bool] = {}
+    for path in files:
+        events, torn = read_trace_prefix(path)
+        truncated[path.stem] = torn
+        tagged.extend((path.stem, event) for event in events)
+    return tagged, truncated
+
+
+def assemble_traces(
+    trace_dir: str | Path, strict: bool = False
+) -> list[TraceTree]:
+    """Join all shards under ``trace_dir`` into one tree per trace id.
+
+    ``strict=True`` refuses crash damage too (truncated shards, spans
+    left open); the default forgives it and flags it, raising only on
+    structural breaks no crash can explain — an event parenting to an
+    id that no shard emitted while its own shard is intact.
+    """
+    tagged, truncated = load_shards(trace_dir)
+    by_trace: dict[str, list[tuple[str, TraceEvent]]] = {}
+    for shard, event in tagged:
+        ctx = event.ctx
+        if not ctx or not ctx.get("trace"):
+            continue  # context-free event (e.g. ``drain``): not in a tree
+        by_trace.setdefault(ctx["trace"], []).append((shard, event))
+
+    trees: list[TraceTree] = []
+    for trace_id in sorted(by_trace):
+        trees.append(
+            _assemble_one(
+                trace_id, by_trace[trace_id], truncated, strict
+            )
+        )
+    if not trees:
+        raise TraceError(
+            f"no context-carrying events in {trace_dir}: nothing to "
+            "assemble (was the daemon started with --trace-dir?)"
+        )
+    return trees
+
+
+def _assemble_one(
+    trace_id: str,
+    tagged: list[tuple[str, TraceEvent]],
+    truncated: Mapping[str, bool],
+    strict: bool,
+) -> TraceTree:
+    shards = tuple(sorted({shard for shard, _ in tagged}))
+    torn = tuple(s for s in shards if truncated.get(s))
+    if strict and torn:
+        raise TraceError(
+            f"trace {trace_id}: shard(s) {', '.join(torn)} are "
+            "truncated (crash-torn tail); re-run without strict mode "
+            "to assemble the partial tree"
+        )
+
+    nodes: dict[str, SpanNode] = {}
+    parent_of: dict[str, str | None] = {}
+    pending_end: list[tuple[str, TraceEvent]] = []
+    for shard, event in tagged:
+        ctx = event.ctx or {}
+        span_id = ctx.get("span", "")
+        if event.kind in _SPAN_END_TO_START:
+            pending_end.append((shard, event))
+            continue
+        parent_of[span_id] = ctx.get("parent")
+        if span_id in nodes:
+            raise TraceError(
+                f"trace {trace_id}: duplicate span id {span_id} "
+                f"({nodes[span_id].kind} in shard "
+                f"{nodes[span_id].shard} vs {event.kind} in shard "
+                f"{shard}) — shards overlap or ids collide"
+            )
+        nodes[span_id] = SpanNode(
+            span_id=span_id,
+            kind=event.kind,
+            shard=shard,
+            local_span=event.span,
+            t=event.t,
+            attrs=dict(event.attrs),
+            complete=event.kind not in (
+                "run_start",
+                "service_run_start",
+                "campaign_start",
+            ),
+            dur=event.dur,
+        )
+
+    # fold ``*_end`` events into the span they close
+    for shard, event in pending_end:
+        ctx = event.ctx or {}
+        opener = nodes.get(ctx.get("parent", ""))
+        expected = _SPAN_END_TO_START[event.kind]
+        if opener is None or opener.kind != expected:
+            raise TraceError(
+                f"trace {trace_id}: {event.kind} in shard {shard} "
+                f"closes span {ctx.get('parent')!r}, but no open "
+                f"{expected} matches — span nesting is structurally "
+                "broken"
+            )
+        opener.end_attrs = dict(event.attrs)
+        opener.dur = event.dur
+        opener.complete = True
+
+    # link children; parents outside the emitted set are "anchors" —
+    # spans that live only as derived ids (the client-minted request
+    # root), or wounds where truncation ate the opener.
+    anchors: dict[str, list[SpanNode]] = {}
+    for node in nodes.values():
+        parent_id = parent_of.get(node.span_id)
+        if parent_id is not None and parent_id in nodes:
+            nodes[parent_id].children.append(node)
+        else:
+            anchors.setdefault(parent_id or "", []).append(node)
+
+    if len(anchors) > 1 and not torn:
+        detail = ", ".join(
+            f"{pid or '<none>'} ({len(kids)} events)"
+            for pid, kids in sorted(anchors.items())
+        )
+        raise TraceError(
+            f"trace {trace_id}: events parent under {len(anchors)} "
+            f"distinct unknown spans [{detail}] with no truncated "
+            "shard to explain it — span nesting is structurally broken"
+        )
+
+    root_id = min(anchors) if anchors else trace_id
+    root = SpanNode(
+        span_id=root_id or trace_id,
+        kind="request_root",
+        shard="",
+        local_span=0,
+        synthetic=True,
+    )
+    for _, orphans in sorted(anchors.items()):
+        root.children.extend(orphans)
+    for node in nodes.values():
+        node.children.sort(key=SpanNode.sort_key)
+    root.children.sort(key=SpanNode.sort_key)
+
+    tree = TraceTree(
+        trace_id=trace_id,
+        root=root,
+        shards=shards,
+        truncated_shards=torn,
+    )
+    if strict and tree.crashed:
+        open_spans = [
+            n.kind for n in root.walk() if not n.complete
+        ]
+        raise TraceError(
+            f"trace {trace_id}: span(s) {', '.join(open_spans)} never "
+            "closed (writer died mid-span); re-run without strict "
+            "mode to assemble the partial tree"
+        )
+    return tree
+
+
+# ----------------------------------------------------------------------
+def _canonical_attrs(attrs: Mapping[str, Any]) -> dict[str, Any]:
+    stripped = strip_timestamps({"attrs": dict(attrs)}).get("attrs", {})
+    return {
+        k: v for k, v in stripped.items() if k not in VOLATILE_ATTRS
+    }
+
+
+def _canonical_node(node: SpanNode) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "kind": node.kind,
+        "complete": node.complete,
+    }
+    attrs = _canonical_attrs(node.attrs)
+    if attrs:
+        out["attrs"] = attrs
+    end_attrs = _canonical_attrs(node.end_attrs)
+    if end_attrs:
+        out["end_attrs"] = end_attrs
+    if node.children:
+        out["children"] = [
+            _canonical_node(child) for child in node.children
+        ]
+    return out
+
+
+def canonical_tree(tree: TraceTree) -> dict[str, Any]:
+    """The tree's deterministic skeleton, for cross-run comparison.
+
+    Drops timestamps (the :func:`~repro.obs.trace.strip_timestamps`
+    contract), span ids (redundant with structure), and
+    :data:`VOLATILE_ATTRS`; keeps the trace id, which is itself
+    derived and must reproduce.  Two same-seed ``serve → submit``
+    round trips yield identical canonical trees.
+    """
+    return {
+        "trace_id": tree.trace_id,
+        "crashed": tree.crashed,
+        "spans": [
+            _canonical_node(child) for child in tree.root.children
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+def _fmt_dur(dur: float | None) -> str:
+    return "   -    " if dur is None else f"{dur:8.3f}s"
+
+
+_WATERFALL_KINDS = {
+    "request": "request",
+    "queue_wait": "queue wait",
+    "service_run_start": "run attempt",
+    "run_start": "emts run",
+    "online_start": "online run",
+    "verify": "verify",
+    "checkpoint": "checkpoint",
+    "fault": "fault",
+    "reschedule": "reschedule",
+}
+
+
+def _render_node(node: SpanNode, depth: int, lines: list[str]) -> None:
+    label = _WATERFALL_KINDS.get(node.kind)
+    if label is None and node.kind not in (
+        "generation",
+        "evaluation",
+        "seed",
+    ):
+        label = node.kind
+    if label is not None:
+        indent = "  " * depth
+        detail = _node_detail(node)
+        flag = "" if node.complete else "  [UNCLOSED — crash?]"
+        lines.append(
+            f"  {_fmt_dur(node.dur)}  {indent}{label}"
+            f"{':  ' + detail if detail else ''}{flag}"
+        )
+        depth += 1
+    # generations/evaluations are summarized, not listed
+    gens = sum(1 for c in node.children if c.kind == "generation")
+    evals = sum(
+        c.attrs.get("genomes", 0)
+        for c in node.children
+        if c.kind == "evaluation"
+    )
+    if gens or evals:
+        indent = "  " * depth
+        lines.append(
+            f"  {'':>9}  {indent}· {gens} generations, "
+            f"{int(evals)} genomes evaluated"
+        )
+    for child in node.children:
+        if child.kind in ("generation", "evaluation"):
+            continue
+        _render_node(child, depth, lines)
+
+
+def _node_detail(node: SpanNode) -> str:
+    a, z = node.attrs, node.end_attrs
+    if node.kind == "request":
+        return (
+            f"{a.get('outcome', '?')} status={a.get('status', '?')} "
+            f"tenant={a.get('tenant', '?')} "
+            f"priority={a.get('priority', '?')}"
+        )
+    if node.kind == "queue_wait":
+        return (
+            f"priority={a.get('priority', '?')} "
+            f"tenant={a.get('tenant', '?')}"
+        )
+    if node.kind == "service_run_start":
+        parts = [f"attempt={a.get('attempt', '?')}"]
+        if z.get("served_from"):
+            parts.append(f"served_from={z['served_from']}")
+        if z.get("state"):
+            parts.append(f"state={z['state']}")
+        if z.get("warm_hit") is not None:
+            parts.append(f"warm_hit={z['warm_hit']}")
+        return " ".join(parts)
+    if node.kind == "run_start":
+        problem = a.get("problem", {})
+        parts = [a.get("algorithm", "?")]
+        if problem:
+            parts.append(
+                f"{problem.get('ptg_name', '?')}"
+                f"/{problem.get('cluster_name', '?')}"
+            )
+        if z.get("makespan") is not None:
+            parts.append(f"makespan={z['makespan']:.6g}")
+        if a.get("resumed"):
+            parts.append("resumed")
+        if z.get("interrupted"):
+            parts.append("interrupted")
+        return " ".join(parts)
+    if node.kind == "verify":
+        return f"{a.get('verified', 0)} evaluations re-verified"
+    if node.kind == "checkpoint":
+        return f"generation {a.get('generation', '?')}"
+    return ""
+
+
+def render_service_report(trace_dir: str | Path) -> str:
+    """The ``report-trace --service`` text: one waterfall per trace."""
+    trees = assemble_traces(trace_dir, strict=False)
+    blocks: list[str] = [
+        f"service trace: {trace_dir} — {len(trees)} request "
+        f"trace{'s' if len(trees) != 1 else ''}"
+    ]
+    for tree in trees:
+        header = f"trace {tree.trace_id}"
+        notes = []
+        if tree.truncated_shards:
+            notes.append(
+                "torn shard(s): " + ", ".join(tree.truncated_shards)
+            )
+        if tree.crashed:
+            notes.append("CRASHED — partial tree")
+        if notes:
+            header += f"  [{'; '.join(notes)}]"
+        lines = [header, f"  shards: {', '.join(tree.shards)}"]
+        for child in tree.root.children:
+            _render_node(child, 0, lines)
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

@@ -20,6 +20,8 @@ import logging
 import sys
 from typing import TextIO
 
+from .trace import current_context
+
 __all__ = [
     "get_logger",
     "configure_logging",
@@ -43,9 +45,12 @@ class JsonFormatter(logging.Formatter):
     """One JSON object per log record (machine-readable log stream).
 
     Fields: ``level``, ``logger``, ``message``, plus ``exc`` when the
-    record carries exception info.  Timestamps are deliberately kept in
-    a separate ``ts`` field so log lines can be compared across runs by
-    dropping it.
+    record carries exception info and ``trace_id``/``span_id`` when a
+    request/run :class:`~repro.obs.trace.TraceContext` is active on the
+    emitting thread — every log line a worker writes while executing a
+    job joins that job's distributed trace.  Timestamps are
+    deliberately kept in a separate ``ts`` field so log lines can be
+    compared across runs by dropping it.
     """
 
     def format(self, record: logging.LogRecord) -> str:
@@ -55,6 +60,10 @@ class JsonFormatter(logging.Formatter):
             "logger": record.name,
             "message": record.getMessage(),
         }
+        ctx = current_context()
+        if ctx is not None:
+            payload["trace_id"] = ctx.trace_id
+            payload["span_id"] = ctx.span_id
         if record.exc_info:
             payload["exc"] = self.formatException(record.exc_info)
         return json.dumps(payload, sort_keys=True)

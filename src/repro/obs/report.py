@@ -36,7 +36,9 @@ def summarize_runs(events: list[TraceEvent]) -> list[dict[str, Any]]:
     """
     runs: list[dict[str, Any]] = []
     open_runs: dict[int, dict[str, Any]] = {}
+    seen_spans: set[int] = set()
     for event in events:
+        seen_spans.add(event.span)
         if event.kind == "run_start":
             open_runs[event.span] = {
                 "start": event,
@@ -66,7 +68,23 @@ def summarize_runs(events: list[TraceEvent]) -> list[dict[str, Any]]:
         ):
             run = open_runs.get(event.parent)
             if run is None:
-                continue  # event outside any run span (campaign noise)
+                # mixed traces are normal — campaigns nest these under
+                # trial events, service shards under service_run spans,
+                # and the worker's acceptance verify lands after
+                # run_end — but a parent *nobody emitted* is not a
+                # mixture, it is broken nesting, and report-trace must
+                # exit non-zero rather than shrug it off
+                if (
+                    event.parent is None
+                    or event.parent not in seen_spans
+                ):
+                    raise TraceError(
+                        f"{event.kind} event (span {event.span}) "
+                        f"parents to span {event.parent!r}, which no "
+                        "event in this trace emitted — span nesting "
+                        "is structurally broken"
+                    )
+                continue
             if event.kind == "generation":
                 run["generations"].append(event)
             elif event.kind == "evaluation":

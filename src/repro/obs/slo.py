@@ -1,0 +1,420 @@
+"""Declarative SLOs evaluated live from the metrics registry.
+
+An :class:`SLOSpec` states an objective over metrics the serving stack
+already records — "99.9 % of submissions succeed", "99 % of requests
+finish within 5 s" — and the :class:`SLOEngine` turns a stream of
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dicts into
+compliance, error-budget burn, and multi-window burn-rate alerts.
+
+Two spec kinds cover everything the stack needs:
+
+``ratio``
+    good events / (good + bad events), each side summing one or more
+    counters.  No traffic means no verdict, which scores as compliant
+    (an idle service has burned no budget).
+``latency``
+    the fraction of histogram samples at or below ``threshold``
+    seconds, interpolated inside the crossing bucket exactly like
+    :meth:`~repro.obs.metrics.Histogram.quantile`.  An objective of
+    0.99 with threshold 5.0 is the declarative form of "p99 <= 5 s".
+
+Burn rate is the SRE-workbook quantity: (1 - compliance) / (1 -
+objective) over a trailing window — 1.0 means the error budget is
+being spent exactly at the sustainable rate, N means N× too fast.  The
+engine keeps a bounded deque of timestamped samples and evaluates each
+spec over *both* a fast and a slow window; the alert fires only when
+both burn above the spec's threshold, which is what keeps one bad
+second from paging while still catching sustained burn quickly.
+
+The default specs mirror the budgets already pinned in
+``benchmarks/check_perf.py`` so the live service alerts on exactly the
+regressions CI would reject.  :func:`evaluate_bench` closes that loop
+from the other side: it re-states a committed ``BENCH_*.json`` in SLO
+terms so the perf-smoke job runs one evaluator over both worlds.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "SLOSpec",
+    "SLOEngine",
+    "DEFAULT_WINDOWS",
+    "default_service_slos",
+    "evaluate_bench",
+    "latency_compliance",
+]
+
+#: (fast, slow) trailing windows in seconds.  The page-worthy pair from
+#: the multiwindow burn-rate recipe, scaled to a daemon whose whole
+#: life is usually minutes: 1 minute catches a cliff, 10 minutes
+#: confirms it is not a blip.
+DEFAULT_WINDOWS = (60.0, 600.0)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over already-recorded metrics."""
+
+    name: str
+    description: str
+    objective: float          # target fraction of good events, e.g. 0.999
+    kind: str = "ratio"       # "ratio" | "latency"
+    good: tuple[str, ...] = ()    # ratio: counters of good events
+    bad: tuple[str, ...] = ()     # ratio: counters of bad events
+    histogram: str = ""           # latency: histogram metric name
+    threshold: float = 0.0        # latency: "good" means <= this (s)
+    #: both windows must burn at or above this rate to alert.  14.4 =
+    #: "a 99.9 % budget gone in ~2 h" — the classic fast-burn page.
+    burn_alert: float = 14.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"slo {self.name!r}: objective must lie in (0, 1), "
+                f"got {self.objective}"
+            )
+        if self.kind not in ("ratio", "latency"):
+            raise ValueError(
+                f"slo {self.name!r}: unknown kind {self.kind!r}"
+            )
+        if self.kind == "ratio" and not self.good:
+            raise ValueError(
+                f"slo {self.name!r}: ratio specs need >= 1 good counter"
+            )
+        if self.kind == "latency" and not self.histogram:
+            raise ValueError(
+                f"slo {self.name!r}: latency specs need a histogram"
+            )
+
+    # -- sampling ------------------------------------------------------
+    def sample(
+        self, snapshot: Mapping[str, Mapping[str, Any]]
+    ) -> tuple[float, float]:
+        """Extract ``(good, total)`` cumulative event counts."""
+        if self.kind == "ratio":
+            good = _counter_sum(snapshot, self.good)
+            bad = _counter_sum(snapshot, self.bad)
+            return good, good + bad
+        hist = snapshot.get(self.histogram)
+        if hist is None or hist.get("kind") != "histogram":
+            return 0.0, 0.0
+        total = float(hist.get("total", 0))
+        return latency_compliance(hist, self.threshold) * total, total
+
+    def compliance(self, good: float, total: float) -> float:
+        return good / total if total > 0 else 1.0
+
+
+def _counter_sum(
+    snapshot: Mapping[str, Mapping[str, Any]],
+    names: tuple[str, ...],
+) -> float:
+    out = 0.0
+    for name in names:
+        data = snapshot.get(name)
+        if data is not None and data.get("kind") in (
+            "counter",
+            "gauge",
+        ):
+            out += float(data.get("value", 0))
+    return out
+
+
+def latency_compliance(
+    hist: Mapping[str, Any], threshold: float
+) -> float:
+    """Fraction of histogram samples at or below ``threshold`` seconds.
+
+    Linear interpolation inside the bucket containing the threshold —
+    the same estimator the service's p50/p99 figures use, so "p99
+    <= 5 s" and "99 % within 5 s" agree with each other.
+    """
+    total = float(hist.get("total", 0))
+    if total <= 0:
+        return 1.0
+    buckets = list(hist.get("buckets", ()))
+    counts = list(hist.get("counts", ()))
+    below = 0.0
+    lower = 0.0
+    for bound, count in zip(buckets, counts):
+        if threshold >= bound:
+            below += count
+        else:
+            if threshold > lower:
+                below += count * (threshold - lower) / (bound - lower)
+            break
+        lower = bound
+    else:
+        # threshold beyond the last finite bound: +inf samples are
+        # conservatively counted as violations
+        pass
+    return min(1.0, below / total)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _Sample:
+    t: float
+    # spec name -> (good, total) cumulative counts at time t
+    values: dict[str, tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+
+class SLOEngine:
+    """Continuous SLO evaluation with multi-window burn-rate alerting.
+
+    Feed it :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dicts
+    via :meth:`observe` (the daemon does this from a background
+    sampler); read :meth:`report` any time.  History is bounded: only
+    what the slowest window needs is retained.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[SLOSpec, ...] | list[SLOSpec],
+        windows: tuple[float, float] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate slo names in {names}")
+        self.specs = tuple(specs)
+        self.windows = tuple(sorted(windows))
+        self._clock = clock
+        self._samples: deque[_Sample] = deque()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        snapshot: Mapping[str, Mapping[str, Any]],
+        now: float | None = None,
+    ) -> None:
+        """Record one cumulative metrics snapshot."""
+        t = self._clock() if now is None else now
+        sample = _Sample(t=t)
+        for spec in self.specs:
+            sample.values[spec.name] = spec.sample(snapshot)
+        self._samples.append(sample)
+        horizon = t - self.windows[-1] - 1.0
+        while (
+            len(self._samples) > 2 and self._samples[1].t < horizon
+        ):
+            self._samples.popleft()
+
+    def _window_delta(
+        self, spec: SLOSpec, window: float, now: float
+    ) -> tuple[float, float]:
+        """(good, total) accrued over the trailing ``window`` seconds."""
+        if not self._samples:
+            return 0.0, 0.0
+        newest = self._samples[-1]
+        base = None
+        for sample in self._samples:
+            if sample.t >= now - window:
+                break
+            base = sample
+        if base is None:
+            base = self._samples[0]
+        g0, t0 = base.values.get(spec.name, (0.0, 0.0))
+        g1, t1 = newest.values.get(spec.name, (0.0, 0.0))
+        # counters only move forward; a negative delta means the
+        # registry was reset (drain) — start the window over
+        if t1 < t0 or g1 < g0:
+            return g1, t1
+        return g1 - g0, t1 - t0
+
+    def report(self, now: float | None = None) -> list[dict[str, Any]]:
+        """One status dict per spec (compliance, burn, alert)."""
+        t = self._clock() if now is None else now
+        out: list[dict[str, Any]] = []
+        for spec in self.specs:
+            if self._samples:
+                good, total = self._samples[-1].values.get(
+                    spec.name, (0.0, 0.0)
+                )
+            else:
+                good, total = 0.0, 0.0
+            compliance = spec.compliance(good, total)
+            budget = 1.0 - spec.objective
+            burn_rates: dict[str, float] = {}
+            alerting = True
+            for window in self.windows:
+                wg, wt = self._window_delta(spec, window, t)
+                w_compliance = spec.compliance(wg, wt)
+                burn = (1.0 - w_compliance) / budget
+                burn_rates[f"{int(window)}s"] = burn
+                if burn < spec.burn_alert:
+                    alerting = False
+            out.append(
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "kind": spec.kind,
+                    "objective": spec.objective,
+                    "compliance": compliance,
+                    "events": total,
+                    "budget_remaining": (
+                        max(0.0, 1.0 - (1.0 - compliance) / budget)
+                    ),
+                    "burn_rates": burn_rates,
+                    "burn_alert_threshold": spec.burn_alert,
+                    "alerting": alerting,
+                    "ok": compliance >= spec.objective,
+                }
+            )
+        return out
+
+    def alerts(self, now: float | None = None) -> list[str]:
+        """Names of specs currently burning past their alert threshold."""
+        return [
+            row["name"] for row in self.report(now) if row["alerting"]
+        ]
+
+
+# ----------------------------------------------------------------------
+def default_service_slos() -> tuple[SLOSpec, ...]:
+    """The daemon's built-in objectives.
+
+    Thresholds mirror the pinned budgets in
+    ``benchmarks/check_perf.py`` (`--service`, `--online`,
+    `--recovery`): the live alerts and the CI gates disagree about
+    nothing.
+    """
+    return (
+        SLOSpec(
+            name="availability",
+            description=(
+                "submissions that end done (not failed/rejected)"
+            ),
+            objective=0.999,
+            kind="ratio",
+            good=("service.jobs.completed",),
+            bad=("service.jobs.failed", "service.jobs.rejected"),
+        ),
+        SLOSpec(
+            name="submit-latency",
+            description="requests finishing within 5 s (p99 budget)",
+            objective=0.99,
+            kind="latency",
+            histogram="service.request_seconds",
+            threshold=5.0,
+        ),
+        SLOSpec(
+            name="online-reaction",
+            description=(
+                "online reschedule reactions within 500 ms "
+                "(p99 budget)"
+            ),
+            objective=0.99,
+            kind="latency",
+            histogram="online.reaction.seconds",
+            threshold=0.5,
+        ),
+        SLOSpec(
+            name="recovery",
+            description=(
+                "completions not preceded by a requeue or a "
+                "quarantined spool record (recovery budget)"
+            ),
+            objective=0.99,
+            kind="ratio",
+            good=("service.jobs.completed",),
+            bad=(
+                "service.jobs.requeued",
+                "service.spool.quarantined",
+            ),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+#: BENCH_*.json field -> SLO-style row, per bench kind.  Each entry is
+#: (row name, value key, budget key in the file's own "budgets"
+#: section); values are milliseconds and must stay at or below budget.
+_BENCH_LATENCY_ROWS = {
+    "service": (
+        ("service-p99", "p99_ms", "p99_ms"),
+        ("service-warm-p99", "loaded_warm_p99_ms", "warm_p99_ms"),
+    ),
+    "online": (
+        ("online-reaction-p50", "reaction_p50_ms", "reaction_p50_ms"),
+        ("online-reaction-p99", "reaction_p99_ms", "reaction_p99_ms"),
+    ),
+    "recovery": (
+        ("recovery-restart-p99", "restart_p99_ms", "restart_p99_ms"),
+    ),
+}
+
+#: BENCH fields that must be exactly zero (correctness budgets).
+_BENCH_ZERO_ROWS = {
+    "recovery": (
+        ("recovery-jobs-lost", "jobs_lost"),
+        ("recovery-jobs-duplicated", "jobs_duplicated"),
+    ),
+    "online": (("online-unverified-runs", "unverified_runs"),),
+}
+
+
+def _bench_kind(doc: Mapping[str, Any], path: str) -> str | None:
+    lowered = str(path).lower()
+    for kind in ("service", "online", "recovery"):
+        if kind in lowered:
+            return kind
+    if "restart_p99_ms" in doc:
+        return "recovery"
+    if "reaction_p99_ms" in doc:
+        return "online"
+    if "warm_p99_ms" in doc.get("budgets", {}):
+        return "service"
+    return None
+
+
+def evaluate_bench(
+    doc: Mapping[str, Any], path: str = ""
+) -> list[dict[str, Any]]:
+    """Re-state one committed bench baseline as SLO verdict rows.
+
+    Returns ``[]`` for bench kinds with no SLO mapping (obs, batch).
+    Each row: ``{"name", "value", "budget", "ok"}`` — ``ok`` false
+    means the committed baseline itself violates its pinned budget,
+    which the perf-smoke job treats as a failure.
+    """
+    kind = _bench_kind(doc, path)
+    if kind is None:
+        return []
+    budgets = doc.get("budgets", {})
+    rows: list[dict[str, Any]] = []
+    for name, value_key, budget_key in _BENCH_LATENCY_ROWS.get(
+        kind, ()
+    ):
+        value = doc.get(value_key)
+        budget = budgets.get(budget_key)
+        if value is None or budget is None:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "value": float(value),
+                "budget": float(budget),
+                "ok": float(value) <= float(budget),
+            }
+        )
+    for name, value_key in _BENCH_ZERO_ROWS.get(kind, ()):
+        value = doc.get(value_key)
+        if value is None:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "value": float(value),
+                "budget": 0.0,
+                "ok": float(value) == 0.0,
+            }
+        )
+    return rows

@@ -8,7 +8,7 @@ sequence.  Every line is one JSON object — the documented
 :class:`TraceEvent` schema (``docs/TRACE_SCHEMA.md``):
 
 ``v``
-    Schema version (currently 1).
+    Schema version (currently 2; version-1 files remain readable).
 ``kind``
     Event kind, one of :data:`EVENT_KINDS`.
 ``span``
@@ -25,6 +25,13 @@ sequence.  Every line is one JSON object — the documented
 ``attrs``
     Kind-specific payload (problem fingerprint, generation statistics,
     phase breakdown, ...).
+``ctx``
+    Version 2, optional: the distributed-trace mirror of ``span`` /
+    ``parent`` — ``{"trace": <hex>, "span": <hex>, "parent": <hex|null>}``
+    with globally unique ids derived from the request fingerprint (see
+    :class:`TraceContext`).  ``span``/``parent`` stay file-local; ``ctx``
+    lets :mod:`repro.obs.assemble` join shards written by different
+    processes into one causal tree.
 
 Determinism contract: for a fixed seed and configuration the event
 *sequence* — kinds, span ids, parents, and every ``attrs`` entry except
@@ -42,34 +49,53 @@ checkpoint loader's error discipline: truncated or corrupt files raise
 
 from __future__ import annotations
 
+import contextvars
+import hashlib
 import json
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from ..exceptions import TraceError
 
 __all__ = [
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "SUPPORTED_TRACE_VERSIONS",
     "EVENT_KINDS",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
+    "current_context",
+    "derive_span_id",
+    "derive_trace_id",
     "read_trace",
+    "read_trace_prefix",
+    "use_context",
     "validate_event",
     "strip_timestamps",
     "canonical_events",
 ]
 
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+#: Versions :func:`validate_event` accepts.  Version 2 added the
+#: optional ``ctx`` distributed-trace mirror and the ``request`` /
+#: ``queue_wait`` / ``service_run_*`` / ``drain`` kinds; version-1
+#: files are a strict subset and stay readable.
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
-#: Every kind a version-1 trace may contain.  The ``online_*``, ``fault``
+#: Every kind a version-2 trace may contain.  The ``online_*``, ``fault``
 #: and ``reschedule`` kinds are emitted by the reactive execution runtime
 #: (:mod:`repro.online`): an ``online_start`` .. ``online_end`` span with
 #: one ``fault`` event per injected/observed fault and one ``reschedule``
-#: event per frontier re-optimization.
+#: event per frontier re-optimization.  The ``request``, ``queue_wait``,
+#: ``service_run_start``/``service_run_end`` and ``drain`` kinds are
+#: emitted by the serving stack (:mod:`repro.service`): one ``request``
+#: per HTTP submission outcome, one ``queue_wait`` + ``service_run_*``
+#: span per worker execution attempt, one ``drain`` per shutdown.
 EVENT_KINDS = (
     "run_start",
     "run_end",
@@ -85,7 +111,105 @@ EVENT_KINDS = (
     "online_end",
     "fault",
     "reschedule",
+    "request",
+    "queue_wait",
+    "service_run_start",
+    "service_run_end",
+    "drain",
 )
+
+# ----------------------------------------------------------------------
+_TRACE_ID_BYTES = 16  # 32 hex chars
+_SPAN_ID_BYTES = 8    # 16 hex chars
+
+
+def derive_trace_id(*parts: str) -> str:
+    """A deterministic 32-hex-char trace id from string parts.
+
+    Same-seed requests hash the same canonical fingerprint, so their
+    trace ids — and every span id derived below them — are bit-identical
+    across runs.  That is what lets the golden-trace CI check diff an
+    assembled tree against a committed fixture.
+    """
+    digest = hashlib.sha256(
+        ("repro-trace\x00" + "\x00".join(parts)).encode("utf-8")
+    )
+    return digest.hexdigest()[: _TRACE_ID_BYTES * 2]
+
+
+def derive_span_id(trace_id: str, name: str) -> str:
+    """A deterministic 16-hex-char span id scoped to one trace."""
+    digest = hashlib.sha256(
+        (trace_id + "\x00" + name).encode("utf-8")
+    )
+    return digest.hexdigest()[: _SPAN_ID_BYTES * 2]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a distributed trace: where new spans should parent.
+
+    ``trace_id`` names the whole request journey; ``span_id`` the span
+    this context represents; ``parent_id`` its parent (``None`` at the
+    root).  Ids are *derived*, not random — see :func:`derive_trace_id`
+    — so the same request produces the same context every run.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def child(self, name: str) -> "TraceContext":
+        """A context for a deterministic child span named ``name``."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_span_id(
+                self.trace_id, f"{self.span_id}/{name}"
+            ),
+            parent_id=self.span_id,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace"]),
+            span_id=str(data["span"]),
+            parent_id=(
+                None if data.get("parent") is None
+                else str(data["parent"])
+            ),
+        )
+
+
+#: The active request/run context, if any.  ``contextvars`` gives each
+#: worker thread (and each asyncio task) its own slot, so concurrent
+#: jobs never see each other's ids.  The JSON log formatter reads this
+#: to stamp ``trace_id`` onto log records.
+_CURRENT_CONTEXT: contextvars.ContextVar[TraceContext | None] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def current_context() -> TraceContext | None:
+    """The :class:`TraceContext` active on this thread/task, if any."""
+    return _CURRENT_CONTEXT.get()
+
+
+@contextmanager
+def use_context(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Activate ``ctx`` as :func:`current_context` for the block."""
+    token = _CURRENT_CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT_CONTEXT.reset(token)
 
 
 @dataclass(frozen=True)
@@ -98,6 +222,7 @@ class TraceEvent:
     parent: int | None = None
     dur: float | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    ctx: dict[str, Any] | None = None
     v: int = TRACE_VERSION
 
     def to_dict(self) -> dict[str, Any]:
@@ -112,10 +237,13 @@ class TraceEvent:
             data["dur"] = self.dur
         if self.attrs:
             data["attrs"] = self.attrs
+        if self.ctx is not None:
+            data["ctx"] = self.ctx
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        ctx = data.get("ctx")
         return cls(
             kind=data["kind"],
             span=int(data["span"]),
@@ -127,6 +255,7 @@ class TraceEvent:
                 None if data.get("dur") is None else float(data["dur"])
             ),
             attrs=dict(data.get("attrs", {})),
+            ctx=None if ctx is None else dict(ctx),
             v=int(data["v"]),
         )
 
@@ -140,26 +269,86 @@ class Tracer:
     explicit span stack: :meth:`begin` pushes, :meth:`end` pops, and
     :meth:`event` records an instantaneous event under the innermost
     open span.
+
+    With a ``context`` every event also carries the ``ctx`` mirror:
+    the file-local integer ids are translated into globally unique,
+    deterministic hex ids under the context's span, so a multi-process
+    assembler can join this shard into the request's causal tree.
+    ``append=True`` opens the file in append mode (per-process shards
+    that must survive a daemon restart, e.g. the server shard).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        context: TraceContext | None = None,
+        append: bool = False,
+    ) -> None:
         self.path = Path(path)
+        self.context = context
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        next_span = 1
+        if append:
+            next_span = self._seal_existing(self.path)
         try:
-            self._file = open(self.path, "w", encoding="utf-8")
+            self._file = open(
+                self.path, "a" if append else "w", encoding="utf-8"
+            )
         except OSError as exc:
             raise TraceError(
                 f"cannot open trace file {self.path}: {exc}"
             ) from exc
         self._t0 = time.perf_counter()
-        self._next_span = 1
+        self._next_span = next_span
         # (span id, kind, start time) of every open span, outermost first
         self._stack: list[tuple[int, str, float]] = []
+
+    @staticmethod
+    def _seal_existing(path: Path) -> int:
+        """Prepare an existing shard for appending across restarts.
+
+        A previous process may have died mid-write, leaving a torn
+        final line; appending after it would weld two events into one
+        corrupt line, so the tear is truncated away (it was never a
+        complete event — the same unacked-state stance as quarantining
+        an orphaned spool temp file).  Returns the next free span id,
+        one past the largest already in the file, so restart never
+        reuses ids within the shard.
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return 1
+        if raw and not raw.endswith(b"\n"):
+            cut = raw.rfind(b"\n") + 1
+            raw = raw[:cut]
+            try:
+                path.write_bytes(raw)
+            except OSError as exc:
+                raise TraceError(
+                    f"cannot seal torn trace file {path}: {exc}"
+                ) from exc
+        next_span = 1
+        for line in raw.decode("utf-8", "replace").splitlines():
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue
+            span = data.get("span")
+            if isinstance(span, int) and span >= next_span:
+                next_span = span + 1
+        return next_span
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
         return time.perf_counter() - self._t0
+
+    def _ctx_span(self, span: int) -> str:
+        """The deterministic hex mirror of a file-local span id."""
+        ctx = self.context
+        return derive_span_id(ctx.trace_id, f"{ctx.span_id}#e{span}")
 
     def _write(
         self,
@@ -169,6 +358,7 @@ class Tracer:
         t: float,
         dur: float | None,
         attrs: Mapping[str, Any] | None,
+        ctx: Mapping[str, Any] | None = None,
     ) -> None:
         if self._file is None:
             raise TraceError(
@@ -190,6 +380,18 @@ class Tracer:
             data["dur"] = round(dur, 6)
         if attrs:
             data["attrs"] = dict(attrs)
+        if ctx is not None:
+            data["ctx"] = dict(ctx)
+        elif self.context is not None:
+            data["ctx"] = {
+                "trace": self.context.trace_id,
+                "span": self._ctx_span(span),
+                "parent": (
+                    self.context.span_id
+                    if parent is None
+                    else self._ctx_span(parent)
+                ),
+            }
         try:
             self._file.write(
                 json.dumps(data, sort_keys=True, default=_jsonable)
@@ -207,12 +409,26 @@ class Tracer:
         kind: str,
         attrs: Mapping[str, Any] | None = None,
         dur: float | None = None,
+        ctx: TraceContext | None = None,
     ) -> int:
-        """Record an instantaneous event; returns its span id."""
+        """Record an instantaneous event; returns its span id.
+
+        ``ctx`` overrides the tracer-wide context for this one event —
+        the server shard uses this to stamp each ``request`` event with
+        that request's own trace id.
+        """
         span = self._next_span
         self._next_span += 1
         parent = self._stack[-1][0] if self._stack else None
-        self._write(kind, span, parent, self._now(), dur, attrs)
+        self._write(
+            kind,
+            span,
+            parent,
+            self._now(),
+            dur,
+            attrs,
+            ctx=None if ctx is None else ctx.to_dict(),
+        )
         return span
 
     def begin(
@@ -252,6 +468,22 @@ class Tracer:
         return span
 
     # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open (stack depth)."""
+        return len(self._stack)
+
+    @property
+    def next_span(self) -> int:
+        """The file-local id the next emitted event will receive.
+
+        Restart-unique in append mode (see :meth:`_seal_existing`), so
+        deriving an explicit-ctx span id from it — as the server shard
+        does for ``request`` events — never collides across daemon
+        generations.
+        """
+        return self._next_span
+
     def close(self) -> None:
         """Flush and close the trace file (idempotent)."""
         if self._file is not None:
@@ -285,12 +517,24 @@ def _jsonable(value):
 
 
 # ----------------------------------------------------------------------
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex_id(value: str) -> bool:
+    """True for non-empty lowercase hex strings of sane length."""
+    return (
+        0 < len(value) <= 64
+        and all(c in _HEX_DIGITS for c in value)
+    )
+
+
 def validate_event(
     data: Any, line: int | None = None, path: str | Path | None = None
 ) -> None:
-    """Check one decoded trace line against the version-1 schema.
+    """Check one decoded trace line against the trace schema.
 
-    Raises :class:`~repro.exceptions.TraceError` naming the offending
+    Accepts any version in :data:`SUPPORTED_TRACE_VERSIONS`.  Raises
+    :class:`~repro.exceptions.TraceError` naming the offending
     file/line and field on any violation.
     """
 
@@ -308,10 +552,13 @@ def validate_event(
     if not isinstance(data, dict):
         raise bad(f"expected a JSON object, got {type(data).__name__}")
     version = data.get("v")
-    if version != TRACE_VERSION:
+    if version not in SUPPORTED_TRACE_VERSIONS or isinstance(
+        version, bool
+    ):
+        supported = ", ".join(str(v) for v in SUPPORTED_TRACE_VERSIONS)
         raise bad(
             f"unsupported trace version {version!r} "
-            f"(this reader understands version {TRACE_VERSION})"
+            f"(this reader understands versions {supported})"
         )
     kind = data.get("kind")
     if kind not in EVENT_KINDS:
@@ -348,6 +595,30 @@ def validate_event(
         raise bad(
             f"attrs must be a JSON object, got {type(attrs).__name__}"
         )
+    ctx = data.get("ctx")
+    if ctx is not None:
+        if version < 2:
+            raise bad("ctx requires trace version 2")
+        if not isinstance(ctx, dict):
+            raise bad(
+                f"ctx must be a JSON object, got {type(ctx).__name__}"
+            )
+        for key in ("trace", "span"):
+            value = ctx.get(key)
+            if not isinstance(value, str) or not _is_hex_id(value):
+                raise bad(
+                    f"ctx.{key} must be a lowercase hex id, "
+                    f"got {value!r}"
+                )
+        parent_ctx = ctx.get("parent")
+        if parent_ctx is not None and (
+            not isinstance(parent_ctx, str)
+            or not _is_hex_id(parent_ctx)
+        ):
+            raise bad(
+                "ctx.parent must be null or a lowercase hex id, "
+                f"got {parent_ctx!r}"
+            )
 
 
 def read_trace(path: str | Path) -> list[TraceEvent]:
@@ -394,6 +665,58 @@ def read_trace(path: str | Path) -> list[TraceEvent]:
     if not events:
         raise TraceError(f"trace file {path} contains no events")
     return events
+
+
+def read_trace_prefix(
+    path: str | Path,
+) -> tuple[list[TraceEvent], bool]:
+    """The valid leading prefix of a possibly crash-torn trace file.
+
+    Where :func:`read_trace` refuses a truncated file outright, this
+    reader returns ``(events, truncated)``: every complete, valid event
+    before the first torn or corrupt line, plus a flag saying whether
+    anything had to be dropped.  This is the assembler's entry point —
+    a worker killed mid-span leaves a readable prefix, and the partial
+    tree (crash flagged) is exactly what the postmortem needs.
+
+    Structural violations *within* a complete line (bad schema, unknown
+    kind) still raise: corruption is only forgiven at the torn tail.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(
+            f"cannot read trace file {path}: {exc}"
+        ) from exc
+    lines = text.split("\n")
+    truncated = False
+    if lines and lines[-1] == "":
+        lines.pop()
+    elif lines:
+        # final line torn mid-write: drop it, remember the wound
+        lines.pop()
+        truncated = True
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            raise TraceError(
+                f"trace file {path}, line {lineno}: blank line in "
+                "event stream (file corrupt?)"
+            )
+        try:
+            data = json.loads(line)
+        except ValueError:
+            if lineno == len(lines):
+                # a torn line that happened to end in "\n" content-wise
+                truncated = True
+                break
+            raise TraceError(
+                f"trace file {path}, line {lineno}: not valid JSON"
+            ) from None
+        validate_event(data, line=lineno, path=path)
+        events.append(TraceEvent.from_dict(data))
+    return events, truncated
 
 
 # ----------------------------------------------------------------------

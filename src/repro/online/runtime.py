@@ -61,10 +61,34 @@ from .monitor import ExecutionMonitor
 from .policies import ReactionPolicy
 from .rescheduler import Rescheduler
 
-__all__ = ["execute_online", "OnlineResult", "ONLINE_OUTCOMES"]
+__all__ = [
+    "execute_online",
+    "OnlineResult",
+    "ONLINE_OUTCOMES",
+    "REACTION_BUCKETS",
+]
 
 #: Terminal states of one online run.
 ONLINE_OUTCOMES = ("completed", "deadline-missed", "aborted")
+
+#: Buckets (seconds) of the ``online.reaction.seconds`` histogram.
+#: Finer than the decade-stepped defaults around the 500 ms reaction
+#: budget the SLO engine and ``check_perf.py --online`` both gate on —
+#: interpolating "99 % within 0.5 s" across a 0.1–1.0 decade bucket
+#: would be guesswork.
+REACTION_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
 
 # task lifecycle
 _PENDING, _RUNNING, _DONE, _WAITING = 0, 1, 2, 3
@@ -563,7 +587,7 @@ class _OnlineRun:
         self.count(f"online.reschedule.rung.{result.rung}")
         if self.metrics is not None:
             self.metrics.histogram(
-                "online.reaction.seconds"
+                "online.reaction.seconds", buckets=REACTION_BUCKETS
             ).observe(reaction)
         self.wake_pending(now)
 

@@ -20,6 +20,7 @@ from .client import (
     QueueFullError,
     ServiceClient,
     ServiceUnavailable,
+    mint_trace_field,
 )
 from .jobs import DEFAULT_IDEMPOTENCY_ENTRIES, JOB_STATES, Job, JobStore
 from .protocol import (
@@ -27,13 +28,15 @@ from .protocol import (
     KNOWN_MODELS,
     KNOWN_PLATFORMS,
     PROTOCOL_VERSION,
+    SEMANTIC_KEYS,
     ScheduleRequest,
     canonical_json,
     parse_request,
     problem_digest,
+    request_trace_context,
     result_key,
 )
-from .queue import FairQueue, QueueFull
+from .queue import QUEUE_WAIT_BUCKETS, FairQueue, QueueFull
 from .retry import (
     DEFAULT_RETRY_LEDGER,
     RetryingServiceClient,
@@ -50,6 +53,10 @@ __all__ = [
     "problem_digest",
     "result_key",
     "canonical_json",
+    "request_trace_context",
+    "mint_trace_field",
+    "SEMANTIC_KEYS",
+    "QUEUE_WAIT_BUCKETS",
     "PROTOCOL_VERSION",
     "KNOWN_ALGORITHMS",
     "KNOWN_MODELS",

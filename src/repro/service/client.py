@@ -4,6 +4,13 @@ Built on :mod:`http.client` only (no third-party HTTP stack) so the
 ``repro-emts submit`` CLI and the load-bench harness share one tested
 code path.  Errors map to typed exceptions carrying the server's error
 code and ``Retry-After`` hint.
+
+Every submission is also where a distributed trace is *born*: unless
+the caller minted one, :meth:`ServiceClient.submit` stamps the wire
+document with a ``trace`` context whose ids derive from the request's
+semantic fields — deterministic, so the same request traces under the
+same id on every run, and the server, spool and workers all parent
+their spans under it.
 """
 
 from __future__ import annotations
@@ -15,13 +22,48 @@ import time
 from typing import Any
 
 from ..exceptions import ServiceError
+from ..obs.trace import derive_span_id, derive_trace_id
 
 __all__ = [
     "ServiceClient",
     "ServiceUnavailable",
     "QueueFullError",
     "JobTimeout",
+    "mint_trace_field",
 ]
+
+
+def mint_trace_field(request_doc: dict[str, Any]) -> dict[str, str]:
+    """A deterministic ``trace`` wire field for one request document.
+
+    Hashes the document's semantic keys (the same set
+    :func:`repro.service.protocol.result_key` consumes) — never the
+    idempotency key or routing metadata — so retries, requeues and
+    same-seed reruns all land under one trace id.  Kept here rather
+    than in :mod:`.protocol` so the client needs no request parsing.
+    """
+    # mirror of protocol.SEMANTIC_KEYS; inlined to keep this module's
+    # import graph stdlib-only-shallow for the chaos harness
+    semantic = {
+        key: request_doc.get(key)
+        for key in (
+            "ptg",
+            "platform",
+            "model",
+            "algorithm",
+            "seed",
+            "generations",
+            "max_wall_time",
+        )
+    }
+    fingerprint = json.dumps(
+        semantic, sort_keys=True, separators=(",", ":"), default=str
+    )
+    trace_id = derive_trace_id("submit", fingerprint)
+    return {
+        "trace_id": trace_id,
+        "span_id": derive_span_id(trace_id, "request"),
+    }
 
 
 class ServiceUnavailable(ServiceError):
@@ -149,7 +191,13 @@ class ServiceClient:
         finishes (bounded); the returned document then carries the
         result inline.  Raises :class:`QueueFullError` on backpressure
         and :class:`ServiceUnavailable` while draining/down.
+
+        A ``trace`` context is minted (deterministically, from the
+        semantic fields) unless the document already carries one.
         """
+        if "trace" not in request_doc:
+            request_doc = dict(request_doc)
+            request_doc["trace"] = mint_trace_field(request_doc)
         path = "/v1/jobs"
         if wait is not None:
             path += f"?wait={float(wait)}"

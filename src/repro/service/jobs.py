@@ -124,6 +124,13 @@ class Job:
             "priority": self.request.priority,
             "idempotency_key": self.request.idempotency_key,
         }
+        if self.request.trace_id and self.request.trace_span:
+            # the trace context survives the spool: a restarted daemon
+            # re-parents the recovered run under the original request
+            doc["request"]["trace"] = {
+                "trace_id": self.request.trace_id,
+                "span_id": self.request.trace_span,
+            }
         doc["result"] = self.result
         doc["error"] = self.error
         return doc
@@ -290,6 +297,21 @@ class JobStore:
         except OSError:
             return  # vanished (or unmovable): nothing left to poison
         self.quarantined.append(target)
+        # park the flight ring next to the debris: the record can no
+        # longer say what happened to it, but the process's last moves
+        # leading up to the quarantine can
+        try:
+            from ..obs.flight import flight_recorder
+
+            flight_recorder().record(
+                "spool", "quarantined record", file=path.name
+            )
+            flight_recorder().dump(
+                target.with_name(target.name + ".flight.json"),
+                reason=f"quarantine:{path.name}",
+            )
+        except Exception:  # pragma: no cover - forensics must not kill
+            pass
 
     def recover(self) -> list[Job]:
         """Load every unfinished job from the spool, oldest first.

@@ -34,9 +34,11 @@ __all__ = [
     "KNOWN_ALGORITHMS",
     "KNOWN_MODELS",
     "KNOWN_PLATFORMS",
+    "SEMANTIC_KEYS",
     "ScheduleRequest",
     "parse_request",
     "problem_digest",
+    "request_trace_context",
     "result_key",
     "canonical_json",
 ]
@@ -77,6 +79,12 @@ class ScheduleRequest:
     #: still share caches, while a retried POST with the same key is
     #: deduplicated into the original job instead of enqueuing a twin.
     idempotency_key: str | None = None
+    #: Client-minted distributed-trace identity (``trace`` wire field).
+    #: Like the idempotency key, observability metadata is NOT part of
+    #: the semantic doc / result key — tracing a request must never
+    #: change which cache entry answers it.
+    trace_id: str | None = None
+    trace_span: str | None = None
 
     def semantic_doc(self) -> dict[str, Any]:
         """Everything that determines the answer, canonically ordered."""
@@ -91,6 +99,21 @@ class ScheduleRequest:
         }
 
 
+#: Wire-document keys that feed :func:`result_key` — everything else
+#: (idempotency key, trace context, tenant/priority routing) is
+#: submission metadata.  The stdlib-only client derives its trace id
+#: from exactly these keys so same-seed submissions trace identically.
+SEMANTIC_KEYS = (
+    "ptg",
+    "platform",
+    "model",
+    "algorithm",
+    "seed",
+    "generations",
+    "max_wall_time",
+)
+
+
 def canonical_json(doc: Any) -> str:
     """Stable, whitespace-free JSON used for hashing."""
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -98,6 +121,15 @@ def canonical_json(doc: Any) -> str:
 
 def _bad(message: str) -> ServiceError:
     return ServiceError(message, code="bad-request", status=400)
+
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex_id(value: str) -> bool:
+    return 0 < len(value) <= 64 and all(
+        c in _HEX_DIGITS for c in value
+    )
 
 
 def _require_str(doc: dict, key: str, default: str, known: tuple) -> str:
@@ -187,6 +219,25 @@ def parse_request(doc: Any) -> ScheduleRequest:
                 "(<= 128 chars)"
             )
 
+    trace_id = trace_span = None
+    trace = doc.get("trace", None)
+    if trace is not None:
+        if not isinstance(trace, dict):
+            raise _bad(
+                f"'trace' must be an object, got {type(trace).__name__}"
+            )
+        trace_id = trace.get("trace_id")
+        trace_span = trace.get("span_id")
+        for label, value in (
+            ("trace.trace_id", trace_id),
+            ("trace.span_id", trace_span),
+        ):
+            if not isinstance(value, str) or not _is_hex_id(value):
+                raise _bad(
+                    f"'{label}' must be a lowercase hex id "
+                    f"(<= 64 chars), got {value!r}"
+                )
+
     return ScheduleRequest(
         ptg_doc=ptg_doc,
         platform=platform,
@@ -198,6 +249,8 @@ def parse_request(doc: Any) -> ScheduleRequest:
         tenant=tenant,
         priority=priority,
         idempotency_key=idempotency_key,
+        trace_id=trace_id,
+        trace_span=trace_span,
     )
 
 
@@ -221,3 +274,27 @@ def result_key(request: ScheduleRequest) -> str:
     return hashlib.sha256(
         canonical_json(request.semantic_doc()).encode("utf-8")
     ).hexdigest()
+
+
+def request_trace_context(request: ScheduleRequest):
+    """The request's root :class:`~repro.obs.trace.TraceContext`.
+
+    The client-supplied context wins (it is the one the client logs
+    against); a traceless submission gets a server-minted context
+    derived from the result key, so either way the id is a pure
+    function of the request — same-seed traces stay bit-identical.
+    """
+    from ..obs.trace import (
+        TraceContext,
+        derive_span_id,
+        derive_trace_id,
+    )
+
+    if request.trace_id and request.trace_span:
+        return TraceContext(
+            trace_id=request.trace_id, span_id=request.trace_span
+        )
+    tid = derive_trace_id("request", result_key(request))
+    return TraceContext(
+        trace_id=tid, span_id=derive_span_id(tid, "request")
+    )

@@ -15,20 +15,45 @@ Backpressure
 The queue is a plain thread-safe structure (condition variable, no
 asyncio): the event loop ``put``\\ s from coroutines (non-blocking) and
 worker threads block in ``get``.
+
+Pressure visibility
+    Given a metrics registry, every put/get samples the
+    ``service.queue.depth`` gauge and every get observes the dequeued
+    job's residency in a per-priority-lane
+    ``service.queue.wait_seconds.p<N>`` histogram — queue pressure
+    shows up on ``/metrics`` while it builds, not only once 429s fire.
+    All observations happen *outside* the queue lock (queue lock and
+    metrics lock are never held together).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from typing import Any
 
 from ..exceptions import ServiceError
 
-__all__ = ["FairQueue", "QueueFull"]
+__all__ = ["FairQueue", "QueueFull", "QUEUE_WAIT_BUCKETS"]
 
 DEFAULT_MAX_DEPTH = 256
 DEFAULT_TENANT_QUOTA = 64
+
+#: Queue-residency buckets (seconds): finer than the request-latency
+#: buckets at the low end because healthy queue waits are milliseconds
+#: and the interesting signal is the climb through 10-100 ms.
+QUEUE_WAIT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
 
 
 class QueueFull(ServiceError):
@@ -51,6 +76,9 @@ class FairQueue:
         max_depth: int = DEFAULT_MAX_DEPTH,
         tenant_quota: int = DEFAULT_TENANT_QUOTA,
         retry_after: float = 1.0,
+        *,
+        metrics: Any | None = None,
+        metrics_lock: threading.Lock | None = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
@@ -61,14 +89,40 @@ class FairQueue:
         self.max_depth = int(max_depth)
         self.tenant_quota = int(tenant_quota)
         self.retry_after = float(retry_after)
+        self.metrics = metrics
+        self.metrics_lock = (
+            metrics_lock if metrics_lock is not None else threading.Lock()
+        )
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        # priority -> tenant -> FIFO of jobs; tenants kept in insertion
-        # order and rotated on each take for round-robin fairness
+        # priority -> tenant -> FIFO of (job, enqueued_at) pairs;
+        # tenants kept in insertion order and rotated on each take for
+        # round-robin fairness
         self._lanes: dict[int, OrderedDict[str, deque]] = {}
         self._tenant_depth: dict[str, int] = {}
         self._depth = 0
         self._closed = False
+
+    # ------------------------------------------------------------------
+    def _sample_depth(self, depth: int) -> None:
+        """Update the depth gauge (called with the queue lock RELEASED)."""
+        if self.metrics is None:
+            return
+        with self.metrics_lock:
+            self.metrics.gauge(
+                "service.queue.depth", help="jobs currently queued"
+            ).set(depth)
+
+    def _observe_wait(self, priority: int, wait: float) -> None:
+        """Record one dequeued job's lane residency (lock RELEASED)."""
+        if self.metrics is None:
+            return
+        with self.metrics_lock:
+            self.metrics.histogram(
+                f"service.queue.wait_seconds.p{int(priority)}",
+                buckets=QUEUE_WAIT_BUCKETS,
+                help="queue residency per priority lane",
+            ).observe(max(0.0, wait))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -107,10 +161,14 @@ class FairQueue:
                     retry_after=self.retry_after,
                 )
             lanes = self._lanes.setdefault(int(priority), OrderedDict())
-            lanes.setdefault(tenant, deque()).append(job)
+            lanes.setdefault(tenant, deque()).append(
+                (job, time.monotonic())
+            )
             self._tenant_depth[tenant] = held + 1
             self._depth += 1
+            depth = self._depth
             self._not_empty.notify()
+        self._sample_depth(depth)
 
     # ------------------------------------------------------------------
     def get(self, timeout: float | None = None) -> Any | None:
@@ -120,14 +178,18 @@ class FairQueue:
                 lambda: self._depth > 0, timeout=timeout
             ):
                 return None
-            return self._take_locked()
+            job, enqueued_at, priority = self._take_locked()
+            depth = self._depth
+        self._observe_wait(priority, time.monotonic() - enqueued_at)
+        self._sample_depth(depth)
+        return job
 
-    def _take_locked(self) -> Any:
+    def _take_locked(self) -> tuple[Any, float, int]:
         priority = max(self._lanes)
         lanes = self._lanes[priority]
         # head tenant takes its turn, then moves to the back of the ring
         tenant, fifo = next(iter(lanes.items()))
-        job = fifo.popleft()
+        job, enqueued_at = fifo.popleft()
         if fifo:
             lanes.move_to_end(tenant)
         else:
@@ -140,7 +202,7 @@ class FairQueue:
         else:
             del self._tenant_depth[tenant]
         self._depth -= 1
-        return job
+        return job, enqueued_at, priority
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -153,5 +215,5 @@ class FairQueue:
         out = []
         with self._lock:
             while self._depth:
-                out.append(self._take_locked())
+                out.append(self._take_locked()[0])
         return out

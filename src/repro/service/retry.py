@@ -40,6 +40,7 @@ from .client import (
     QueueFullError,
     ServiceClient,
     ServiceUnavailable,
+    mint_trace_field,
 )
 
 __all__ = [
@@ -248,11 +249,15 @@ class RetryingServiceClient:
         The injected idempotency key makes the POST re-sendable: if an
         earlier attempt landed before its connection died, the server
         returns the original job (``"deduplicated": true``) instead of
-        creating a twin.
+        creating a twin.  The trace context is minted once, before the
+        retry loop, so every re-POST carries the *same* ids and the
+        assembled trace shows the whole attempt chain as one request.
         """
         doc = dict(request_doc)
         if not doc.get("idempotency_key"):
             doc["idempotency_key"] = new_idempotency_key()
+        if "trace" not in doc:
+            doc["trace"] = mint_trace_field(doc)
         result = self._with_retry(
             lambda: self.inner.submit(doc, wait=wait)
         )

@@ -34,14 +34,18 @@ import json
 import signal
 import threading
 import time
+from pathlib import Path
 from typing import Any
 
-from ..exceptions import ServiceError
+from ..exceptions import ServiceError, TraceError
 from ..obs import MetricsRegistry
+from ..obs.flight import arm_crash_dump, record as flight_record
+from ..obs.slo import SLOEngine, default_service_slos
+from ..obs.trace import TraceContext, Tracer, derive_span_id
 from ..util.crash import crash_point
 from .cache import ResultCache
 from .jobs import Job, JobStore
-from .protocol import parse_request, result_key
+from .protocol import parse_request, request_trace_context, result_key
 from .queue import FairQueue
 from .worker import LATENCY_BUCKETS, WorkerPool
 
@@ -119,6 +123,8 @@ class SchedulingService:
         warm_max_problems: int = 32,
         eval_cache_entries: int = 65_536,
         retry_after: float = 1.0,
+        trace_dir: str | None = None,
+        slo_interval: float = 1.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -129,8 +135,20 @@ class SchedulingService:
             max_depth=queue_limit,
             tenant_quota=tenant_quota,
             retry_after=retry_after,
+            metrics=self.metrics,
+            metrics_lock=self.metrics_lock,
         )
         self.result_cache = ResultCache(result_cache_size)
+        self.trace_dir = (
+            Path(trace_dir) if trace_dir is not None else None
+        )
+        # the front-end's own shard: append-mode so ``request`` events
+        # from every daemon generation share one file across restarts
+        self.tracer = (
+            Tracer(self.trace_dir / "server.jsonl", append=True)
+            if self.trace_dir is not None
+            else None
+        )
         self.pool = WorkerPool(
             self.queue,
             self.store,
@@ -140,7 +158,14 @@ class SchedulingService:
             metrics_lock=self.metrics_lock,
             warm_max_problems=warm_max_problems,
             eval_cache_entries=eval_cache_entries,
+            trace_dir=trace_dir,
         )
+        self.slo = SLOEngine(default_service_slos())
+        self.slo_interval = float(slo_interval)
+        if spool is not None:
+            # on any crash-point exit the in-memory flight ring lands
+            # next to the spool for the postmortem
+            arm_crash_dump(Path(spool) / "flight")
         self.draining = False
         self.started_at = time.time()
         self._server: asyncio.AbstractServer | None = None
@@ -173,6 +198,44 @@ class SchedulingService:
             recovered += 1
         return recovered
 
+    # -- tracing -------------------------------------------------------
+    def _trace_request(
+        self, request, outcome: str, status: int
+    ) -> None:
+        """Stamp one ``request`` event into the server shard.
+
+        Each event carries an explicit ctx: a span derived from the
+        request's root context plus the shard's next file-local id —
+        unique across daemon restarts (append mode resumes ids), while
+        the *structure* (one request child under the root, in emission
+        order) stays deterministic for same-seed runs.  Tracing must
+        never fail a submission, so trace-file trouble is swallowed.
+        """
+        if self.tracer is None:
+            return
+        root = request_trace_context(request)
+        span = derive_span_id(
+            root.trace_id,
+            f"{root.span_id}/http-{self.tracer.next_span}",
+        )
+        try:
+            self.tracer.event(
+                "request",
+                attrs={
+                    "outcome": outcome,
+                    "status": status,
+                    "tenant": request.tenant,
+                    "priority": request.priority,
+                },
+                ctx=TraceContext(
+                    trace_id=root.trace_id,
+                    span_id=span,
+                    parent_id=root.span_id,
+                ),
+            )
+        except TraceError:  # pragma: no cover - disk trouble
+            pass
+
     # -- submission ----------------------------------------------------
     def submit(self, doc: Any) -> tuple[int, dict[str, Any], Job | None]:
         """Handle one POST body; returns (status, response doc, job)."""
@@ -180,6 +243,7 @@ class SchedulingService:
         with self.metrics_lock:
             self.metrics.counter("service.jobs.submitted").inc()
         if self.draining:
+            self._trace_request(request, "rejected", 503)
             raise ServiceError(
                 "service is draining; not accepting new jobs",
                 code="draining",
@@ -193,6 +257,7 @@ class SchedulingService:
         original = self.store.find_idempotent(request.idempotency_key)
         if original is not None:
             if original.key != result_key(request):
+                self._trace_request(request, "rejected", 409)
                 raise ServiceError(
                     f"idempotency key "
                     f"{request.idempotency_key!r} was already used "
@@ -207,6 +272,7 @@ class SchedulingService:
                     "via idempotency key",
                 ).inc()
             status = 200 if original.done_event.is_set() else 202
+            self._trace_request(request, "deduplicated", status)
             doc_out = self._job_doc(original)
             doc_out["deduplicated"] = True
             return status, doc_out, original
@@ -231,6 +297,7 @@ class SchedulingService:
                 self.metrics.histogram(
                     "service.request_seconds", buckets=LATENCY_BUCKETS
                 ).observe(total)
+            self._trace_request(request, "result-cache", 200)
             return 200, self._job_doc(job), job
         job = self.store.create(request)
         try:
@@ -243,7 +310,12 @@ class SchedulingService:
             self.store.persist(job)
             with self.metrics_lock:
                 self.metrics.counter("service.jobs.rejected").inc()
+            self._trace_request(request, "rejected", 429)
+            flight_record(
+                "server", "submission rejected", job_id=job.id
+            )
             raise
+        self._trace_request(request, "accepted", 202)
         # the job is durable and queued but the 202 has not been sent:
         # dying here is the "ack lost" half of exactly-once, which the
         # idempotency index turns into a dedupe on the client's retry
@@ -259,7 +331,20 @@ class SchedulingService:
         return doc
 
     # -- introspection -------------------------------------------------
+    def sample_slo(self) -> list[dict[str, Any]]:
+        """Feed the SLO engine one metrics snapshot; return the report.
+
+        Called by the background sampler on a cadence and by ``stats``
+        / ``metrics`` on demand, so a fresh daemon answers with current
+        numbers before the first tick.
+        """
+        with self.metrics_lock:
+            snapshot = self.metrics.snapshot()
+        self.slo.observe(snapshot)
+        return self.slo.report()
+
     def stats(self) -> dict[str, Any]:
+        slo_report = self.sample_slo()
         with self.metrics_lock:
             p50 = p99 = 0.0
             if "service.request_seconds" in self.metrics:
@@ -278,9 +363,11 @@ class SchedulingService:
             "running": len(self.pool.running_jobs()),
             "result_cache": self.result_cache.snapshot(),
             "latency": {"p50_seconds": p50, "p99_seconds": p99},
+            "slo": slo_report,
         }
 
     def render_metrics(self) -> str:
+        slo_report = self.sample_slo()
         with self.metrics_lock:
             self.metrics.gauge(
                 "service.queue.depth",
@@ -290,6 +377,26 @@ class SchedulingService:
                 "service.jobs.running",
                 help="jobs currently executing",
             ).set(len(self.pool.running_jobs()))
+            for row in slo_report:
+                prefix = f"slo.{row['name']}"
+                self.metrics.gauge(
+                    f"{prefix}.compliance",
+                    help=row["description"],
+                ).set(row["compliance"])
+                self.metrics.gauge(
+                    f"{prefix}.budget_remaining",
+                    help="fraction of the error budget left",
+                ).set(row["budget_remaining"])
+                self.metrics.gauge(
+                    f"{prefix}.alerting",
+                    help="1 while every burn window exceeds the "
+                    "alert threshold",
+                ).set(1.0 if row["alerting"] else 0.0)
+                for window, burn in row["burn_rates"].items():
+                    self.metrics.gauge(
+                        f"{prefix}.burn.{window}",
+                        help="error-budget burn rate over the window",
+                    ).set(burn)
             return self.metrics.render_prometheus()
 
     # -- HTTP ----------------------------------------------------------
@@ -439,14 +546,27 @@ class SchedulingService:
         return _json_response(200, self._job_doc(job))
 
     # -- lifecycle -----------------------------------------------------
+    async def _slo_sampler(self) -> None:
+        """Feed the SLO engine on a cadence until the drain completes."""
+        try:
+            while not self._drained.is_set():
+                self.sample_slo()
+                await asyncio.sleep(self.slo_interval)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown
+            pass
+
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
         recovered = self.recover_spool()
+        flight_record(
+            "server", "daemon starting", recovered=recovered
+        )
         self.pool.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )
         self.bound_port = self._server.sockets[0].getsockname()[1]
+        self._slo_task = asyncio.ensure_future(self._slo_sampler())
         if recovered:
             print(f"recovered {recovered} unfinished job(s) from spool")
         print(
@@ -460,6 +580,25 @@ class SchedulingService:
             return
         self.draining = True
         print("drain requested: finishing in-flight work", flush=True)
+        flight_record(
+            "server",
+            "drain requested",
+            queued=self.queue.depth,
+            running=len(self.pool.running_jobs()),
+        )
+        if self.tracer is not None:
+            try:
+                # context-free by design: a drain belongs to the daemon,
+                # not to any one request's tree
+                self.tracer.event(
+                    "drain",
+                    attrs={
+                        "queued": self.queue.depth,
+                        "running": len(self.pool.running_jobs()),
+                    },
+                )
+            except TraceError:  # pragma: no cover - disk trouble
+                pass
         self.pool.initiate_drain()
         # stop events are set but nothing has checkpointed or joined
         # yet: dying here models SIGKILL landing mid-graceful-shutdown
@@ -492,6 +631,8 @@ class SchedulingService:
         assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
+        if self.tracer is not None:
+            self.tracer.close()
         print("drain complete; daemon exiting", flush=True)
 
 

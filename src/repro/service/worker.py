@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 from typing import Any, Callable
 
 from ..core import (
@@ -42,11 +43,17 @@ from ..core import (
 )
 from ..mapping import schedule_to_dict
 from ..obs import MetricsRegistry
+from ..obs.flight import record as flight_record
+from ..obs.trace import TraceContext, Tracer, use_context
 from ..util.crash import crash_point
 from ..verify import ScheduleVerifier
 from .cache import ResultCache, WarmCache
 from .jobs import Job, JobStore
-from .protocol import PROTOCOL_VERSION, ScheduleRequest
+from .protocol import (
+    PROTOCOL_VERSION,
+    ScheduleRequest,
+    request_trace_context,
+)
 from .queue import FairQueue
 
 __all__ = ["WorkerPool", "run_request", "LATENCY_BUCKETS"]
@@ -73,6 +80,7 @@ def run_request(
     *,
     checkpoint_path=None,
     resume_from=None,
+    tracer: Tracer | None = None,
 ) -> dict[str, Any]:
     """Execute one job's EMTS run and build its ``result`` document.
 
@@ -81,6 +89,11 @@ def run_request(
     it is bit-identical whether produced by a cold worker, a warm
     worker replaying its fitness-cache shard, a resumed run after a
     drain, or the offline ``repro-emts`` CLI with the same seed.
+
+    A ``tracer`` (the worker's per-attempt shard) is handed straight to
+    the engine, which nests its ``run_start``..``run_end`` span — with
+    every generation, checkpoint and verify event — under the open
+    ``service_run`` span.
     """
     request = job.request
     prepared = warm.get_or_prepare(request)
@@ -96,6 +109,7 @@ def run_request(
         max_wall_time=request.max_wall_time,
         stop_event=job.stop_event,
         evaluator_wrapper=prepared.evaluator_wrapper,
+        trace=tracer,
     )
     if result.interrupted and job.stop_event.is_set():
         # stopped by a drain: the run already journaled its checkpoint;
@@ -104,6 +118,12 @@ def run_request(
     report = ScheduleVerifier(prepared.ptg, prepared.table).verify(
         result.schedule, expected_makespan=result.makespan
     )
+    if tracer is not None:
+        # the service's own acceptance check, distinct from any
+        # in-run verification the engine may have traced already
+        tracer.event(
+            "verify", attrs={"verified": report.tasks, "service": True}
+        )
     return {
         "protocol": PROTOCOL_VERSION,
         "algorithm": request.algorithm,
@@ -162,6 +182,7 @@ class WorkerPool:
         poll_interval: float = 0.1,
         on_job_done: Callable[[Job], None] | None = None,
         max_job_attempts: int = 3,
+        trace_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need workers >= 1, got {workers}")
@@ -179,6 +200,9 @@ class WorkerPool:
         self.poll_interval = poll_interval
         self.on_job_done = on_job_done
         self.max_job_attempts = int(max_job_attempts)
+        self.trace_dir = (
+            Path(trace_dir) if trace_dir is not None else None
+        )
         self.num_workers = int(workers)
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -301,17 +325,94 @@ class WorkerPool:
                 self._inflight.pop(index, None)
 
     # ------------------------------------------------------------------
+    def _open_attempt_trace(
+        self, job: Job
+    ) -> tuple[Tracer | None, TraceContext | None]:
+        """Open this attempt's trace shard, anchored under the request.
+
+        The shard's :class:`~repro.obs.trace.TraceContext` is the
+        request context's ``attempt-<n>`` child — distinct per attempt,
+        so retried jobs never collide on derived span ids — and its
+        first event is a ``queue_wait`` stamped with *that context
+        itself*: the one span whose parent is the client-minted request
+        root.  Every later event in the shard mirrors under it, which
+        is what lets the assembler hang the whole attempt off the
+        request tree.
+        """
+        if self.trace_dir is None:
+            return None, None
+        ctx = request_trace_context(job.request).child(
+            f"attempt-{job.attempts}"
+        )
+        tracer = Tracer(
+            self.trace_dir
+            / f"job-{ctx.trace_id}-a{job.attempts}.jsonl",
+            context=ctx,
+        )
+        tracer.event(
+            "queue_wait",
+            attrs={
+                "attempt": job.attempts,
+                "priority": job.request.priority,
+                "tenant": job.request.tenant,
+            },
+            dur=max(0.0, job.wait_seconds() or 0.0),
+            ctx=ctx,
+        )
+        return tracer, ctx
+
+    @staticmethod
+    def _end_run_span(tracer: Tracer | None, **attrs: Any) -> None:
+        """Close the attempt's ``service_run`` span, debris included.
+
+        A failure escaping the engine can leave its ``run_start`` span
+        dangling on the shard's stack; it is closed (marked
+        ``aborted``) so the shard stays structurally valid before the
+        ``service_run_end`` goes out.
+        """
+        if tracer is None:
+            return
+        while tracer.depth > 1:
+            tracer.end("run_end", attrs={"aborted": True})
+        tracer.end(
+            "service_run_end",
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        )
+
     def _run_one(
         self, job: Job, warm: WarmCache, local: MetricsRegistry
     ) -> None:
-        store = self.store
         job.attempts += 1
         job.state = "running"
         job.started_at = time.time()
         with self._running_lock:
             self._running[job.id] = job
-        store.persist(job)
+        self.store.persist(job)
+        flight_record(
+            "worker", "job started", job_id=job.id, attempt=job.attempts
+        )
+        tracer, ctx = self._open_attempt_trace(job)
+        try:
+            with use_context(ctx):
+                self._execute(job, warm, local, tracer)
+        finally:
+            if tracer is not None:
+                tracer.close()
+
+    def _execute(
+        self,
+        job: Job,
+        warm: WarmCache,
+        local: MetricsRegistry,
+        tracer: Tracer | None,
+    ) -> None:
+        store = self.store
         t0 = time.perf_counter()
+        if tracer is not None:
+            tracer.begin(
+                "service_run_start",
+                attrs={"attempt": job.attempts, "job_id": job.id},
+            )
         try:
             # an identical request may have completed while we queued
             cached = self.result_cache.get(job.key)
@@ -319,6 +420,9 @@ class WorkerPool:
                 job.result = cached
                 job.served_from = "result-cache"
                 local.counter("service.jobs.served_from_cache").inc()
+                self._end_run_span(
+                    tracer, state="done", served_from="result-cache"
+                )
                 self._finish(job, "done")
                 return
 
@@ -336,9 +440,14 @@ class WorkerPool:
                 job.stop_event.set()
             warm_hits_before = warm.stats.hits
             result_doc = run_request(
-                job, warm, checkpoint_path=ckpt, resume_from=resume
+                job,
+                warm,
+                checkpoint_path=ckpt,
+                resume_from=resume,
+                tracer=tracer,
             )
-            if warm.stats.hits > warm_hits_before:
+            warm_hit = warm.stats.hits > warm_hits_before
+            if warm_hit:
                 local.counter("service.cache.warm.hits").inc()
             else:
                 local.counter("service.cache.warm.misses").inc()
@@ -356,6 +465,13 @@ class WorkerPool:
             local.histogram(
                 "service.run_seconds", buckets=LATENCY_BUCKETS
             ).observe(time.perf_counter() - t0)
+            self._end_run_span(
+                tracer,
+                state="done",
+                served_from=job.served_from,
+                warm_hit=warm_hit,
+                interrupted=bool(result_doc["interrupted"]),
+            )
             self._finish(job, "done")
         except _Interrupted:
             job.state = "interrupted"
@@ -363,12 +479,25 @@ class WorkerPool:
             with self._running_lock:
                 self._running.pop(job.id, None)
             store.persist(job)
+            flight_record(
+                "worker", "job interrupted by drain", job_id=job.id
+            )
+            self._end_run_span(tracer, state="interrupted")
         except Exception as exc:
             job.error = {
                 "code": getattr(exc, "code", type(exc).__name__),
                 "message": str(exc),
             }
             local.counter("service.jobs.failed").inc()
+            flight_record(
+                "worker",
+                "job failed",
+                job_id=job.id,
+                code=job.error["code"],
+            )
+            self._end_run_span(
+                tracer, state="failed", error=job.error["code"]
+            )
             self._finish(job, "failed")
 
     def _finish(self, job: Job, state: str) -> None:

@@ -527,11 +527,17 @@ def spool_job_ids(spool: Path | str) -> set[str]:
 
 
 def quarantined_files(spool: Path | str) -> list[Path]:
-    """Records parked in ``spool/quarantine/`` by recovery."""
+    """Records parked in ``spool/quarantine/`` by recovery.
+
+    Flight-recorder sidecars (``*.flight.json``) are evidence written
+    *beside* quarantined records, not quarantined records themselves.
+    """
     qdir = Path(spool) / "quarantine"
     if not qdir.is_dir():
         return []
-    return sorted(qdir.iterdir())
+    return sorted(
+        p for p in qdir.iterdir() if not p.name.endswith(".flight.json")
+    )
 
 
 def wait_for(

@@ -15,7 +15,9 @@ from .crash import (
     CRASH_EXIT_CODE,
     KNOWN_CRASH_POINTS,
     crash_point,
+    register_crash_hook,
     reset_crash_counts,
+    reset_crash_hooks,
 )
 
 __all__ = [
@@ -26,5 +28,7 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "KNOWN_CRASH_POINTS",
     "crash_point",
+    "register_crash_hook",
     "reset_crash_counts",
+    "reset_crash_hooks",
 ]

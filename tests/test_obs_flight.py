@@ -1,0 +1,133 @@
+"""Tests for the crash flight recorder (repro.obs.flight)."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    arm_crash_dump,
+    flight_recorder,
+    read_flight_dump,
+    reset_flight_recorder,
+)
+from repro.obs.flight import DEFAULT_CAPACITY, _crash_dump_hook
+from repro.util.crash import reset_crash_hooks
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Leave the process-wide ring and hooks as we found them."""
+    reset_flight_recorder()
+    reset_crash_hooks()
+    yield
+    reset_flight_recorder()
+    reset_crash_hooks()
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        ring = FlightRecorder(capacity=4)
+        for i in range(10):
+            ring.record("test", f"event {i}")
+        events = ring.snapshot()
+        assert len(events) == 4
+        # oldest fell off; sequence numbers keep counting
+        assert [e["seq"] for e in events] == [7, 8, 9, 10]
+        assert events[-1]["message"] == "event 9"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_data_kwargs_recorded(self):
+        ring = FlightRecorder()
+        ring.record("worker", "job started", job_id="j-1", attempt=2)
+        (event,) = ring.snapshot()
+        assert event["category"] == "worker"
+        assert event["data"] == {"job_id": "j-1", "attempt": 2}
+        assert event["thread"] == threading.current_thread().name
+
+    def test_process_wide_ring_is_shared(self):
+        from repro.obs.flight import record
+
+        record("test", "breadcrumb")
+        assert len(flight_recorder()) == 1
+        reset_flight_recorder()
+        assert len(flight_recorder()) == 0
+
+    def test_default_capacity_sane(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+
+class TestDump:
+    def test_dump_read_round_trip(self, tmp_path):
+        ring = FlightRecorder()
+        ring.record("server", "daemon starting", recovered=3)
+        ring.record("worker", "job started")
+        path = ring.dump(tmp_path / "flight.json", reason="test")
+        doc = read_flight_dump(path)
+        assert doc["reason"] == "test"
+        assert doc["pid"] == os.getpid()
+        assert [e["message"] for e in doc["events"]] == [
+            "daemon starting",
+            "job started",
+        ]
+
+    def test_dump_creates_parent_dirs(self, tmp_path):
+        ring = FlightRecorder()
+        ring.record("t", "m")
+        path = ring.dump(tmp_path / "a" / "b" / "f.json", reason="r")
+        assert path.exists()
+
+    def test_unserializable_data_stringified_not_fatal(self, tmp_path):
+        ring = FlightRecorder()
+        ring.record("t", "m", weird=object())
+        doc = read_flight_dump(ring.dump(tmp_path / "f.json", "r"))
+        assert "object object" in doc["events"][0]["data"]["weird"]
+
+    def test_reader_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope", "v": 1}))
+        with pytest.raises(ValueError, match="not a flight dump"):
+            read_flight_dump(path)
+
+    def test_reader_rejects_out_of_order_events(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-flight",
+                    "v": 1,
+                    "events": [{"seq": 2}, {"seq": 1}],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="sequence"):
+            read_flight_dump(path)
+
+
+class TestCrashDump:
+    def test_armed_directories_receive_dumps(self, tmp_path):
+        from repro.obs.flight import record
+
+        arm_crash_dump(tmp_path / "flight")
+        record("server", "about to die")
+        # exercise the hook the crash point would run pre-``os._exit``
+        _crash_dump_hook("test-point")
+        (dump,) = sorted((tmp_path / "flight").glob("flight-*.json"))
+        doc = read_flight_dump(dump)
+        assert doc["reason"] == "crash-point:test-point"
+        assert f"-{os.getpid()}.json" in dump.name
+        assert doc["events"][-1]["message"] == "about to die"
+
+    def test_arming_is_idempotent_per_directory(self, tmp_path):
+        from repro.obs import flight
+
+        arm_crash_dump(tmp_path)
+        arm_crash_dump(tmp_path)
+        assert flight._armed_dirs.count(tmp_path) == 1

@@ -337,3 +337,92 @@ class TestCampaignTrace:
         assert end.attrs["quarantined"] == 0
         assert registry.value("campaign.trials.ok") == 1
         assert campaign.complete
+
+
+class TestMixedTraceReport:
+    """``report-trace`` over files mixing service and run events."""
+
+    def _mixed_trace(self, path):
+        from repro.obs import Tracer
+
+        with Tracer(path) as tracer:
+            tracer.event(
+                "request",
+                attrs={"outcome": "accepted", "status": 202},
+            )
+            tracer.event("queue_wait", attrs={"priority": 0}, dur=0.0)
+            tracer.begin("service_run_start", attrs={"attempt": 1})
+            tracer.begin("run_start", attrs={"algorithm": "emts5"})
+            tracer.event(
+                "generation",
+                attrs={
+                    "generation": 1,
+                    "best": 2.0,
+                    "mean": 2.0,
+                    "evaluations": 4,
+                },
+            )
+            tracer.end(
+                "run_end",
+                attrs={"makespan": 2.0, "generations": 1},
+            )
+            # the worker's acceptance verify lands after run_end,
+            # parented under the still-open service_run span
+            tracer.event("verify", attrs={"verified": 4})
+            tracer.end("service_run_end", attrs={"state": "done"})
+            tracer.event("drain", attrs={"queued": 0})
+        return path
+
+    def test_service_kinds_do_not_break_the_report(self, tmp_path):
+        from repro.obs import render_trace_report
+
+        report = render_trace_report(
+            self._mixed_trace(tmp_path / "mixed.jsonl")
+        )
+        assert "emts5" in report
+        assert "makespan 2 s after 1 generations" in report
+
+    def test_broken_nesting_raises(self, tmp_path):
+        import json as _json
+
+        from repro.obs import render_trace_report
+
+        path = self._mixed_trace(tmp_path / "broken.jsonl")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(
+                _json.dumps(
+                    {
+                        "v": 2,
+                        "kind": "generation",
+                        "span": 99,
+                        "parent": 77,  # nobody ever emitted span 77
+                        "t": 9.0,
+                        "attrs": {"generation": 2},
+                    }
+                )
+                + "\n"
+            )
+        with pytest.raises(TraceError, match="structurally broken"):
+            render_trace_report(path)
+
+    def test_orphan_parenting_to_null_raises(self, tmp_path):
+        import json as _json
+
+        from repro.obs import render_trace_report
+
+        path = tmp_path / "orphan.jsonl"
+        path.write_text(
+            _json.dumps(
+                {
+                    "v": 2,
+                    "kind": "verify",
+                    "span": 1,
+                    "parent": None,
+                    "t": 0.0,
+                    "attrs": {"verified": 3},
+                }
+            )
+            + "\n"
+        )
+        with pytest.raises(TraceError, match="structurally broken"):
+            render_trace_report(path)

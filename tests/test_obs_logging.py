@@ -137,3 +137,46 @@ class TestJsonFormatter:
         payload = json.loads(stream.getvalue())
         assert payload["message"] == "kernel ready"
         assert payload["logger"] == "repro.mapping.ckernel"
+
+
+class TestTraceStamping:
+    """``--log-json`` records join the active distributed trace."""
+
+    def test_active_context_stamped_onto_records(self):
+        from repro.obs import TraceContext, use_context
+
+        stream = io.StringIO()
+        configure_logging(level="info", json_output=True, stream=stream)
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with use_context(ctx):
+            get_logger("service.worker").info("job started")
+        payload = json.loads(stream.getvalue())
+        assert payload["trace_id"] == ctx.trace_id
+        assert payload["span_id"] == ctx.span_id
+
+    def test_no_context_no_trace_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_output=True, stream=stream)
+        get_logger("service.worker").info("idle")
+        payload = json.loads(stream.getvalue())
+        assert "trace_id" not in payload
+        assert "span_id" not in payload
+
+    def test_context_is_thread_local(self):
+        import threading
+
+        from repro.obs import TraceContext, use_context
+
+        stream = io.StringIO()
+        configure_logging(level="info", json_output=True, stream=stream)
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+
+        def other_thread():
+            get_logger("service.worker").info("from elsewhere")
+
+        with use_context(ctx):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        payload = json.loads(stream.getvalue())
+        assert "trace_id" not in payload

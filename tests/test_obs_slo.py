@@ -1,0 +1,229 @@
+"""Tests for the SLO engine (repro.obs.slo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLOEngine, SLOSpec
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    default_service_slos,
+    evaluate_bench,
+    latency_compliance,
+)
+
+
+def ratio_spec(**overrides):
+    kwargs = dict(
+        name="avail",
+        description="jobs that finish",
+        objective=0.99,
+        kind="ratio",
+        good=("jobs.good",),
+        bad=("jobs.bad",),
+    )
+    kwargs.update(overrides)
+    return SLOSpec(**kwargs)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def snapshot(good: float, bad: float = 0.0):
+    registry = MetricsRegistry()
+    registry.counter("jobs.good").inc(good)
+    registry.counter("jobs.bad").inc(bad)
+    return registry.snapshot()
+
+
+class TestSpecValidation:
+    def test_objective_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="objective"):
+            ratio_spec(objective=1.0)
+        with pytest.raises(ValueError, match="objective"):
+            ratio_spec(objective=0.0)
+
+    def test_ratio_needs_a_good_counter(self):
+        with pytest.raises(ValueError, match="good counter"):
+            ratio_spec(good=())
+
+    def test_latency_needs_a_histogram(self):
+        with pytest.raises(ValueError, match="histogram"):
+            SLOSpec(
+                name="lat",
+                description="",
+                objective=0.99,
+                kind="latency",
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            ratio_spec(kind="nonsuch")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([ratio_spec(), ratio_spec()])
+
+
+class TestLatencyCompliance:
+    def test_threshold_on_bucket_boundary(self):
+        hist = {
+            "kind": "histogram",
+            "buckets": [0.1, 1.0],
+            "counts": [80, 20],
+            "total": 100,
+        }
+        assert latency_compliance(hist, 0.1) == pytest.approx(0.8)
+        assert latency_compliance(hist, 1.0) == pytest.approx(1.0)
+
+    def test_interpolates_inside_a_bucket(self):
+        hist = {
+            "kind": "histogram",
+            "buckets": [0.1, 1.1],
+            "counts": [50, 50],
+            "total": 100,
+        }
+        # halfway through the (0.1, 1.1] bucket: half its 50 samples
+        assert latency_compliance(hist, 0.6) == pytest.approx(0.75)
+
+    def test_empty_histogram_is_compliant(self):
+        assert latency_compliance({"total": 0}, 1.0) == 1.0
+
+    def test_overflow_samples_count_as_violations(self):
+        hist = {
+            "kind": "histogram",
+            "buckets": [0.1],
+            "counts": [50],
+            "total": 100,  # 50 samples beyond the last finite bound
+        }
+        assert latency_compliance(hist, 99.0) == pytest.approx(0.5)
+
+
+class TestEngine:
+    def test_healthy_service_never_alerts(self):
+        clock = FakeClock()
+        engine = SLOEngine([ratio_spec()], clock=clock)
+        for step in range(5):
+            clock.t = step * 10.0
+            engine.observe(snapshot(good=100 * (step + 1)))
+        (row,) = engine.report()
+        assert row["ok"] is True
+        assert row["alerting"] is False
+        assert row["compliance"] == 1.0
+        assert row["budget_remaining"] == pytest.approx(1.0)
+        assert set(row["burn_rates"]) == {"60s", "600s"}
+
+    def test_fast_burn_alerts_on_both_windows(self):
+        clock = FakeClock()
+        engine = SLOEngine([ratio_spec()], clock=clock)
+        engine.observe(snapshot(good=0))
+        clock.t = 30.0
+        # every event bad: burn rate 1/0.01 = 100 >> 14.4 on
+        # both windows (the whole history fits inside each)
+        engine.observe(snapshot(good=0, bad=50))
+        (row,) = engine.report()
+        assert row["ok"] is False
+        assert row["alerting"] is True
+        assert row["burn_rates"]["60s"] == pytest.approx(100.0)
+        assert engine.alerts() == ["avail"]
+
+    def test_old_failures_age_out_of_the_fast_window(self):
+        clock = FakeClock()
+        engine = SLOEngine([ratio_spec()], clock=clock)
+        engine.observe(snapshot(good=0, bad=50))  # ancient disaster
+        for step in range(1, 8):
+            clock.t = step * 100.0
+            engine.observe(snapshot(good=step * 1000, bad=50))
+        (row,) = engine.report()
+        # the fast window saw only good events; the alert needs BOTH
+        assert row["burn_rates"]["60s"] == pytest.approx(0.0)
+        assert row["alerting"] is False
+
+    def test_registry_reset_restarts_the_window(self):
+        clock = FakeClock()
+        engine = SLOEngine([ratio_spec()], clock=clock)
+        engine.observe(snapshot(good=1000))
+        clock.t = 10.0
+        # counters went backwards: a drain/restart, not time travel
+        engine.observe(snapshot(good=3, bad=1))
+        (row,) = engine.report()
+        assert row["burn_rates"]["60s"] == pytest.approx(
+            (1 - 0.75) / 0.01
+        )
+
+    def test_history_stays_bounded(self):
+        clock = FakeClock()
+        engine = SLOEngine([ratio_spec()], clock=clock)
+        for step in range(10_000):
+            clock.t = float(step)
+            engine.observe(snapshot(good=step))
+        assert len(engine._samples) < DEFAULT_WINDOWS[-1] + 10
+
+    def test_latency_spec_against_live_registry(self):
+        spec = SLOSpec(
+            name="lat",
+            description="",
+            objective=0.9,
+            kind="latency",
+            histogram="req.seconds",
+            threshold=0.1,
+        )
+        engine = SLOEngine([spec], clock=FakeClock())
+        registry = MetricsRegistry()
+        hist = registry.histogram("req.seconds", buckets=(0.1, 1.0))
+        for _ in range(99):
+            hist.observe(0.05)
+        hist.observe(0.9)
+        engine.observe(registry.snapshot())
+        (row,) = engine.report()
+        assert row["compliance"] == pytest.approx(0.99)
+        assert row["ok"] is True
+
+
+class TestDefaults:
+    def test_default_specs_cover_the_serving_stack(self):
+        names = {s.name for s in default_service_slos()}
+        assert names == {
+            "availability",
+            "submit-latency",
+            "online-reaction",
+            "recovery",
+        }
+
+    def test_default_specs_construct_an_engine(self):
+        engine = SLOEngine(default_service_slos())
+        engine.observe(MetricsRegistry().snapshot())
+        assert len(engine.report()) == 4
+
+
+class TestEvaluateBench:
+    def test_service_bench_within_budget(self):
+        doc = {
+            "p99_ms": 400.0,
+            "loaded_warm_p99_ms": 30.0,
+            "budgets": {"p99_ms": 5000.0, "warm_p99_ms": 500.0},
+        }
+        rows = evaluate_bench(doc, "BENCH_service.json")
+        assert [r["name"] for r in rows] == [
+            "service-p99",
+            "service-warm-p99",
+        ]
+        assert all(r["ok"] for r in rows)
+
+    def test_violated_budget_flagged(self):
+        doc = {
+            "restart_p99_ms": 99_999.0,
+            "jobs_lost": 1,
+            "budgets": {"restart_p99_ms": 10_000.0},
+        }
+        rows = {r["name"]: r for r in evaluate_bench(doc, "x.json")}
+        assert rows["recovery-restart-p99"]["ok"] is False
+        assert rows["recovery-jobs-lost"]["ok"] is False
+
+    def test_unmapped_bench_kinds_return_nothing(self):
+        assert evaluate_bench({"anything": 1}, "BENCH_obs.json") == []

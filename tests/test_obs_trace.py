@@ -247,3 +247,158 @@ class TestDeterminism:
         assert json.dumps(a, sort_keys=True) == json.dumps(
             b, sort_keys=True
         )
+
+
+class TestTraceContext:
+    def test_ids_are_deterministic(self):
+        from repro.obs import derive_span_id, derive_trace_id
+
+        a = derive_trace_id("request", "fingerprint")
+        b = derive_trace_id("request", "fingerprint")
+        assert a == b and len(a) == 32
+        assert derive_trace_id("request", "other") != a
+        span = derive_span_id(a, "request")
+        assert span == derive_span_id(a, "request")
+        assert len(span) == 16
+
+    def test_child_contexts_chain_parents(self):
+        from repro.obs import TraceContext, derive_trace_id
+
+        tid = derive_trace_id("t")
+        root = TraceContext(trace_id=tid, span_id="ab" * 8)
+        child = root.child("attempt-1")
+        assert child.trace_id == tid
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+        # derivation is name-sensitive and reproducible
+        assert root.child("attempt-1") == child
+        assert root.child("attempt-2") != child
+
+    def test_dict_round_trip(self):
+        from repro.obs import TraceContext
+
+        ctx = TraceContext(
+            trace_id="ab" * 16, span_id="cd" * 8, parent_id="ef" * 8
+        )
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_use_context_scopes_current_context(self):
+        from repro.obs import TraceContext, current_context, use_context
+
+        assert current_context() is None
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with use_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_tracer_mirrors_context_onto_events(self, tmp_path):
+        from repro.obs import TraceContext, derive_trace_id
+
+        tid = derive_trace_id("t")
+        ctx = TraceContext(trace_id=tid, span_id="ab" * 8)
+        path = tmp_path / "t.jsonl"
+        with Tracer(path, context=ctx) as tracer:
+            tracer.begin("run_start", attrs={})
+            tracer.event("generation", attrs={"generation": 1})
+            tracer.end("run_end", attrs={})
+        events = read_trace(path)
+        assert all(e.ctx is not None for e in events)
+        assert all(e.ctx["trace"] == tid for e in events)
+        # root spans in the shard parent under the context span
+        assert events[0].ctx["parent"] == ctx.span_id
+        # nesting mirrors the file-local parent chain
+        assert events[1].ctx["parent"] == events[0].ctx["span"]
+
+    def test_explicit_ctx_overrides_the_mirror(self, tmp_path):
+        from repro.obs import TraceContext, derive_trace_id
+
+        tid = derive_trace_id("t")
+        ctx = TraceContext(trace_id=tid, span_id="ab" * 8)
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            tracer.event("request", attrs={"status": 202}, ctx=ctx)
+        (event,) = read_trace(path)
+        assert event.ctx == {
+            "trace": tid,
+            "span": ctx.span_id,
+            "parent": None,
+        }
+
+    def test_contextless_tracer_writes_no_ctx(self, tmp_path):
+        events = read_trace(write_small_trace(tmp_path / "t.jsonl"))
+        assert all(e.ctx is None for e in events)
+
+
+class TestReadTracePrefix:
+    def test_intact_file_is_not_truncated(self, tmp_path):
+        from repro.obs import read_trace_prefix
+
+        path = write_small_trace(tmp_path / "t.jsonl")
+        events, truncated = read_trace_prefix(path)
+        assert truncated is False
+        assert [e.kind for e in events] == [
+            "run_start",
+            "seed",
+            "generation",
+            "run_end",
+        ]
+
+    def test_torn_tail_dropped_and_flagged(self, tmp_path):
+        from repro.obs import read_trace_prefix
+
+        path = write_small_trace(tmp_path / "t.jsonl")
+        path.write_bytes(path.read_bytes()[:-9])
+        events, truncated = read_trace_prefix(path)
+        assert truncated is True
+        assert [e.kind for e in events] == [
+            "run_start",
+            "seed",
+            "generation",
+        ]
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        from repro.obs import read_trace_prefix
+
+        path = write_small_trace(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        lines[1] = "{not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="not valid JSON"):
+            read_trace_prefix(path)
+
+
+class TestAppendMode:
+    def test_append_resumes_span_numbering(self, tmp_path):
+        path = tmp_path / "server.jsonl"
+        with Tracer(path, append=True) as tracer:
+            tracer.event("request", attrs={"status": 202})
+            tracer.event("request", attrs={"status": 202})
+        # a second daemon generation appends to the same shard
+        with Tracer(path, append=True) as tracer:
+            assert tracer.next_span == 3
+            tracer.event("drain", attrs={})
+        spans = [e.span for e in read_trace(path)]
+        assert spans == [1, 2, 3]
+
+    def test_append_seals_a_torn_tail(self, tmp_path):
+        path = tmp_path / "server.jsonl"
+        with Tracer(path, append=True) as tracer:
+            tracer.event("request", attrs={"status": 202})
+            tracer.event("request", attrs={"status": 429})
+        path.write_bytes(path.read_bytes()[:-4])  # kill -9 mid-line
+        with Tracer(path, append=True) as tracer:
+            tracer.event("drain", attrs={})
+        events = read_trace(path)  # strict reader: file must be whole
+        assert [e.kind for e in events] == ["request", "drain"]
+        assert [e.span for e in events] == [1, 2]
+
+    def test_depth_tracks_open_spans(self, tmp_path):
+        with Tracer(tmp_path / "t.jsonl") as tracer:
+            assert tracer.depth == 0
+            tracer.begin("run_start", attrs={})
+            assert tracer.depth == 1
+            tracer.begin("service_run_start", attrs={})
+            assert tracer.depth == 2
+            tracer.end("service_run_end", attrs={})
+            tracer.end("run_end", attrs={})
+            assert tracer.depth == 0

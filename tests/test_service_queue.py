@@ -121,3 +121,58 @@ class TestBlockingGet:
             q.put(i, tenant="t")
         assert sorted(q.drain_remaining()) == [0, 1, 2, 3]
         assert q.depth == 0
+
+
+class TestQueueMetrics:
+    """Sampled depth gauge + per-lane wait histograms."""
+
+    def _metered_queue(self, **kwargs):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        return (
+            FairQueue(
+                metrics=registry,
+                metrics_lock=threading.Lock(),
+                **kwargs,
+            ),
+            registry,
+        )
+
+    def test_depth_gauge_tracks_put_and_get(self):
+        q, registry = self._metered_queue()
+        for i in range(3):
+            q.put(i, tenant="t")
+        assert (
+            registry.snapshot()["service.queue.depth"]["value"] == 3
+        )
+        q.get(timeout=0)
+        assert (
+            registry.snapshot()["service.queue.depth"]["value"] == 2
+        )
+
+    def test_wait_histogram_per_priority_lane(self):
+        q, registry = self._metered_queue()
+        q.put("a", tenant="t", priority=0)
+        q.put("b", tenant="t", priority=5)
+        while q.get(timeout=0) is not None:
+            pass
+        snapshot = registry.snapshot()
+        for lane in ("p0", "p5"):
+            hist = snapshot[f"service.queue.wait_seconds.{lane}"]
+            assert hist["kind"] == "histogram"
+            assert hist["total"] == 1
+
+    def test_rejected_puts_leave_no_sample(self):
+        q, registry = self._metered_queue(max_depth=1)
+        q.put("a", tenant="t")
+        with pytest.raises(QueueFull):
+            q.put("b", tenant="t")
+        assert (
+            registry.snapshot()["service.queue.depth"]["value"] == 1
+        )
+
+    def test_queue_without_registry_records_nothing(self):
+        q = FairQueue()
+        q.put("a", tenant="t")
+        assert q.get(timeout=0) == "a"

@@ -34,6 +34,7 @@ from repro.service import (
 )
 from repro.exceptions import ServiceError
 from repro.mapping import schedule_to_dict
+from repro.obs import read_flight_dump
 from repro.testing import (
     ServiceDaemon,
     quarantined_files,
@@ -110,6 +111,19 @@ def assert_contract(spool, final_doc, key, generations):
     )
 
 
+def assert_flight_dump(spool, point):
+    """Every induced crash leaves a parseable flight-recorder dump."""
+    dumps = sorted((spool / "flight").glob(f"flight-{point}-*.json"))
+    assert dumps, (
+        f"no flight-recorder dump for crash point {point!r} under "
+        f"{spool / 'flight'}"
+    )
+    for dump in dumps:
+        doc = read_flight_dump(dump)  # raises if malformed
+        assert doc["reason"] == f"crash-point:{point}"
+        assert doc["events"], "flight dump recorded no breadcrumbs"
+
+
 def recovered_schedule(spool, doc):
     """Restart on the spool and drive the keyed request to done."""
     with ServiceDaemon(spool=spool) as daemon:
@@ -163,6 +177,7 @@ def test_submit_time_crash(tmp_path, point):
     except ServiceError:
         pass
     assert daemon.wait(timeout=30) == CRASH_EXIT_CODE
+    assert_flight_dump(spool, point)
 
     durable = spool_job_ids(spool)
     if point in ("post-spool-write", "post-enqueue"):
@@ -205,6 +220,7 @@ def test_run_time_crash_recovers_acked_job(tmp_path, spec):
     acked = client.submit(doc)  # 202 before the run begins
     acked_id = acked["job"]["id"]
     assert daemon.wait(timeout=120) == CRASH_EXIT_CODE
+    assert_flight_dump(spool, spec.split(":")[0])
     assert acked_id in spool_job_ids(spool), "acked job lost"
 
     final = recovered_schedule(spool, doc)
@@ -225,6 +241,7 @@ def test_mid_drain_crash_recovers_acked_job(tmp_path):
     wait_running(client, acked_id)
     daemon.terminate()  # SIGTERM starts the drain; the point detonates
     assert daemon.returncode == CRASH_EXIT_CODE
+    assert_flight_dump(spool, "mid-drain")
     assert acked_id in spool_job_ids(spool), "acked job lost"
 
     final = recovered_schedule(spool, doc)

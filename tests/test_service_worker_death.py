@@ -48,7 +48,15 @@ class _DieThenSucceed:
         self.calls = 0
         self.lock = threading.Lock()
 
-    def __call__(self, job, warm, *, checkpoint_path=None, resume_from=None):
+    def __call__(
+        self,
+        job,
+        warm,
+        *,
+        checkpoint_path=None,
+        resume_from=None,
+        tracer=None,
+    ):
         with self.lock:
             self.calls += 1
             if self.calls <= self.deaths:
